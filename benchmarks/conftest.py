@@ -1,0 +1,29 @@
+"""Benchmark harness helpers.
+
+Every benchmark regenerates one of the paper's tables/figures end to
+end (cluster -> planner -> simulators -> report) and prints the rows
+next to the paper's values, bypassing pytest's capture so the output
+lands in ``bench_output.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture()
+def show(capsys):
+    """Print through pytest's capture (benchmarks report their tables)."""
+
+    def _show(text: str) -> None:
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return _show
+
+
+def run_once(benchmark, fn):
+    """Time one full regeneration of a table/figure (deterministic, so a
+    single round is meaningful)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

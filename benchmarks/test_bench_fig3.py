@@ -1,0 +1,18 @@
+"""Figure 3 regeneration: single-VW throughput & utilization vs Nm."""
+
+from conftest import run_once
+
+from repro.experiments import run_fig3
+
+
+def test_bench_fig3_vgg19(benchmark, show):
+    result = run_once(benchmark, lambda: run_fig3("vgg19"))
+    show(result.render())
+    assert result.nm1_throughput("VVVV") > result.nm1_throughput("QQQQ")
+
+
+def test_bench_fig3_resnet152(benchmark, show):
+    result = run_once(benchmark, lambda: run_fig3("resnet152"))
+    show(result.render())
+    rates = [result.nm1_throughput(m) for m in ("VVVV", "RRRR", "GGGG", "QQQQ")]
+    assert rates == sorted(rates, reverse=True)

@@ -1,0 +1,19 @@
+"""Figure 4 regeneration: Horovod vs NP/ED/ED-local/HD at D=0."""
+
+from conftest import run_once
+
+from repro.experiments import run_fig4
+
+
+def test_bench_fig4_vgg19(benchmark, show):
+    result = run_once(benchmark, lambda: run_fig4("vgg19"))
+    show(result.render())
+    # headline: ED-local decisively beats Horovod for the 548-MiB model
+    assert result.bar("ED-local").throughput > 1.4 * result.bar("Horovod").throughput
+
+
+def test_bench_fig4_resnet152(benchmark, show):
+    result = run_once(benchmark, lambda: run_fig4("resnet152"))
+    show(result.render())
+    assert result.bar("Horovod").gpus == 12  # G GPUs unusable for DP
+    assert result.bar("ED-local").throughput > result.bar("Horovod").throughput

@@ -1,0 +1,16 @@
+"""Figure 5 regeneration: ResNet-152 accuracy vs time (12 vs 16 GPUs)."""
+
+from conftest import run_once
+
+from repro.experiments import run_fig5
+from repro.experiments.report import ascii_curve
+
+
+def test_bench_fig5_resnet_convergence(benchmark, show):
+    result = run_once(benchmark, run_fig5)
+    show(result.render())
+    for label, run in result.runs.items():
+        show(ascii_curve([(t, a) for t, _, a in run.curve], width=60, height=10, label=label))
+    horovod = result.runs["Horovod-12"]
+    assert result.runs["HetPipe-12"].speedup_vs(horovod) > 0.15  # paper: 0.35
+    assert result.runs["HetPipe-16"].speedup_vs(horovod) > 0.25  # paper: 0.39

@@ -1,0 +1,19 @@
+"""Figure 6 regeneration: VGG-19 accuracy vs time across D."""
+
+from conftest import run_once
+
+from repro.experiments import run_fig6
+from repro.experiments.report import ascii_curve
+
+
+def test_bench_fig6_vgg_convergence(benchmark, show):
+    result = run_once(benchmark, run_fig6)
+    show(result.render())
+    for label, run in result.runs.items():
+        show(ascii_curve([(t, a) for t, _, a in run.curve], width=60, height=10, label=label))
+    horovod = result.runs["Horovod"]
+    d0, d4, d32 = result.runs["D=0"], result.runs["D=4"], result.runs["D=32"]
+    assert d0.speedup_vs(horovod) > 0.15  # paper: 0.29
+    assert d4.mean_time_to_target < d0.mean_time_to_target  # paper: 28% faster
+    # D=32 saves no further time and staleness grows (paper: 4.7% worse)
+    assert d32.mean_time_to_target >= d4.mean_time_to_target * 0.999

@@ -1,0 +1,20 @@
+"""§8.4 regeneration: waiting/idle time vs D."""
+
+from conftest import run_once
+
+from repro.experiments import run_sync_overhead
+
+
+def test_bench_sync_overhead_vgg19(benchmark, show):
+    result = run_once(benchmark, lambda: run_sync_overhead("vgg19"))
+    show(result.render())
+    # paper: waiting at D=4 ~ 62% of D=0; idle a small fraction of waiting
+    assert result.row(4).wait_ratio_vs_d0 < 0.8
+    assert result.row(4).idle_fraction <= 0.25
+    assert result.row(4).throughput >= result.row(0).throughput
+
+
+def test_bench_sync_overhead_resnet152(benchmark, show):
+    result = run_once(benchmark, lambda: run_sync_overhead("resnet152"))
+    show(result.render())
+    assert result.row(4).wait_per_wave <= result.row(0).wait_per_wave

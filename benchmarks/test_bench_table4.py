@@ -1,0 +1,18 @@
+"""Table 4 regeneration: throughput while adding whimpy GPUs."""
+
+from conftest import run_once
+
+from repro.experiments import run_table4
+
+
+def test_bench_table4_vgg19(benchmark, show):
+    result = run_once(benchmark, lambda: run_table4("vgg19"))
+    show(result.render())
+    assert result.speedup_from_whimpy() > 1.4  # paper: up to 2.3x
+
+
+def test_bench_table4_resnet152(benchmark, show):
+    result = run_once(benchmark, lambda: run_table4("resnet152"))
+    show(result.render())
+    assert result.row("VRQG").horovod is None  # the paper's X
+    assert result.speedup_from_whimpy() > 1.8

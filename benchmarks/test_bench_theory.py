@@ -1,0 +1,39 @@
+"""Theorem 1 empirically: regret of WSP on a convex objective."""
+
+from conftest import run_once
+
+from repro.experiments.report import format_table
+from repro.training import measure_regret
+from repro.training.nn import make_convex_problem
+
+
+def test_bench_theorem1_regret(benchmark, show):
+    measurement = run_once(
+        benchmark,
+        lambda: measure_regret(
+            make_convex_problem(),
+            num_virtual_workers=4,
+            nm=4,
+            d=2,
+            total_minibatches=2400,
+        ),
+    )
+    rows = [
+        (t, r, b)
+        for t, r, b in zip(
+            measurement.t_values, measurement.regrets, measurement.bound_values
+        )
+    ]
+    show(
+        format_table(
+            ["T", "measured regret", "Theorem-1 bound"],
+            rows,
+            title=(
+                f"Theorem 1 — regret on a convex objective "
+                f"(s_local={measurement.s_local}, s_global={measurement.s_global}, "
+                f"N={measurement.n_workers})"
+            ),
+        )
+    )
+    assert measurement.regrets[-1] < measurement.regrets[0]
+    assert all(r <= b for r, b in zip(measurement.regrets, measurement.bound_values))

@@ -1,0 +1,124 @@
+"""HetPipe reproduction: pipelined model parallelism + data parallelism
+with Wave Synchronous Parallel on (whimpy) heterogeneous GPU clusters.
+
+Reproduces Park et al., USENIX ATC 2020, on a simulated testbed.  The
+public API mirrors the system's layers:
+
+>>> from repro import paper_cluster, build_vgg19, allocate
+>>> from repro import plan_virtual_worker, measure_hetpipe, measure_horovod
+>>> cluster = paper_cluster()
+>>> model = build_vgg19()
+>>> assignment = allocate(cluster, "ED")
+>>> plans = [plan_virtual_worker(model, vw, 4, cluster.interconnect,
+...                              search_orderings=False)
+...          for vw in assignment.virtual_workers]
+>>> metrics = measure_hetpipe(cluster, model, plans, d=0, placement="local")
+>>> metrics.throughput > 0
+True
+
+See ``examples/`` for runnable walkthroughs and ``repro.experiments``
+for the paper's tables and figures.
+"""
+
+from repro.allocation import VirtualWorkerAssignment, allocate
+from repro.cluster import (
+    Cluster,
+    GPUDevice,
+    GPUSpec,
+    InterconnectSpec,
+    Node,
+    paper_cluster,
+    single_type_cluster,
+)
+from repro.errors import (
+    ConfigurationError,
+    ConvergenceError,
+    MemoryCapacityError,
+    PartitionError,
+    ReproError,
+    SimulationError,
+    StalenessViolation,
+)
+from repro.models import (
+    Calibration,
+    DEFAULT_CALIBRATION,
+    ModelGraph,
+    Profiler,
+    build_resnet101,
+    build_resnet152,
+    build_resnet50,
+    build_vgg16,
+    build_vgg19,
+)
+from repro.parallel import HorovodMetrics, measure_horovod
+from repro.partition import (
+    PartitionPlan,
+    Stage,
+    max_feasible_nm,
+    plan_virtual_worker,
+)
+from repro.pipeline import PipelineMetrics, VirtualWorkerPipeline, measure_pipeline
+from repro.training import (
+    BSPTrainer,
+    BSPTrainingConfig,
+    WSPTrainer,
+    WSPTrainingConfig,
+)
+from repro.wsp import (
+    HetPipeMetrics,
+    HetPipeRuntime,
+    admission_limit,
+    global_staleness,
+    local_staleness,
+    measure_hetpipe,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BSPTrainer",
+    "BSPTrainingConfig",
+    "Calibration",
+    "Cluster",
+    "ConfigurationError",
+    "ConvergenceError",
+    "DEFAULT_CALIBRATION",
+    "GPUDevice",
+    "GPUSpec",
+    "HetPipeMetrics",
+    "HetPipeRuntime",
+    "HorovodMetrics",
+    "InterconnectSpec",
+    "MemoryCapacityError",
+    "ModelGraph",
+    "Node",
+    "PartitionError",
+    "PartitionPlan",
+    "PipelineMetrics",
+    "Profiler",
+    "ReproError",
+    "SimulationError",
+    "Stage",
+    "StalenessViolation",
+    "VirtualWorkerAssignment",
+    "VirtualWorkerPipeline",
+    "WSPTrainer",
+    "WSPTrainingConfig",
+    "admission_limit",
+    "allocate",
+    "build_resnet101",
+    "build_resnet152",
+    "build_resnet50",
+    "build_vgg16",
+    "build_vgg19",
+    "global_staleness",
+    "local_staleness",
+    "max_feasible_nm",
+    "measure_hetpipe",
+    "measure_horovod",
+    "measure_pipeline",
+    "paper_cluster",
+    "plan_virtual_worker",
+    "single_type_cluster",
+    "__version__",
+]

@@ -1,0 +1,19 @@
+"""Resource allocation: carving a cluster into virtual workers (§8.1)."""
+
+from repro.allocation.assignment import VirtualWorkerAssignment
+from repro.allocation.policies import (
+    ALLOCATION_POLICIES,
+    allocate,
+    equal_distribution,
+    hybrid_distribution,
+    node_partition,
+)
+
+__all__ = [
+    "ALLOCATION_POLICIES",
+    "VirtualWorkerAssignment",
+    "allocate",
+    "equal_distribution",
+    "hybrid_distribution",
+    "node_partition",
+]

@@ -1,0 +1,45 @@
+"""Virtual-worker assignment data model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.gpu import GPUDevice
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class VirtualWorkerAssignment:
+    """The result of an allocation policy: GPUs grouped into VWs."""
+
+    policy: str
+    virtual_workers: tuple[tuple[GPUDevice, ...], ...]
+
+    def __post_init__(self) -> None:
+        if not self.virtual_workers:
+            raise ConfigurationError(f"{self.policy}: no virtual workers")
+        seen: set[int] = set()
+        for vw in self.virtual_workers:
+            if not vw:
+                raise ConfigurationError(f"{self.policy}: empty virtual worker")
+            for gpu in vw:
+                if gpu.gpu_id in seen:
+                    raise ConfigurationError(
+                        f"{self.policy}: gpu{gpu.gpu_id} assigned twice"
+                    )
+                seen.add(gpu.gpu_id)
+
+    @property
+    def num_virtual_workers(self) -> int:
+        return len(self.virtual_workers)
+
+    @property
+    def total_gpus(self) -> int:
+        return sum(len(vw) for vw in self.virtual_workers)
+
+    def codes(self) -> list[str]:
+        """Per-VW GPU-type fingerprints, e.g. ['VVQQ', 'VVQQ', 'RRGG', 'RRGG']."""
+        return ["".join(gpu.code for gpu in vw) for vw in self.virtual_workers]
+
+    def describe(self) -> str:
+        return f"{self.policy}: " + " | ".join(self.codes())

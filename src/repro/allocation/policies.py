@@ -1,0 +1,88 @@
+"""The three allocation policies of §8.1 (Table 3), generalized.
+
+* **NP (Node Partition)** — one virtual worker per node: homogeneous
+  GPUs, minimal intra-VW communication (all PCIe), but heterogeneous
+  performance across VWs — the straggler case.
+* **ED (Equal Distribution)** — each virtual worker takes one GPU from
+  every node: identical VWs (no stragglers), but every pipeline boundary
+  crosses the network.
+* **HD (Hybrid Distribution)** — nodes are paired fast-with-slow and
+  each pair yields two VWs of 2+2 GPUs, balancing aggregate compute and
+  memory across VWs while keeping half the boundaries on PCIe.  For the
+  paper's cluster this produces exactly Table 3: VVQQ, VVQQ, RRGG, RRGG.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.allocation.assignment import VirtualWorkerAssignment
+from repro.cluster.topology import Cluster
+from repro.errors import ConfigurationError
+
+
+def node_partition(cluster: Cluster) -> VirtualWorkerAssignment:
+    """One virtual worker per node."""
+    vws = tuple(tuple(node.gpus) for node in cluster.nodes)
+    return VirtualWorkerAssignment(policy="NP", virtual_workers=vws)
+
+
+def equal_distribution(cluster: Cluster) -> VirtualWorkerAssignment:
+    """Virtual worker ``i`` takes slot-``i`` GPU of every node.
+
+    Yields ``gpus_per_node`` identical virtual workers with one GPU per
+    node each (the paper's VRGQ x4 for the full cluster; for the Table-4
+    subsets it yields 4 VWs of 1, 2, or 3 GPUs).
+    """
+    counts = {node.gpu_count for node in cluster.nodes}
+    if len(counts) != 1:
+        raise ConfigurationError("ED requires equal GPU counts per node")
+    per_node = counts.pop()
+    vws = tuple(
+        tuple(node.gpus[slot] for node in cluster.nodes) for slot in range(per_node)
+    )
+    return VirtualWorkerAssignment(policy="ED", virtual_workers=vws)
+
+
+def hybrid_distribution(cluster: Cluster) -> VirtualWorkerAssignment:
+    """Pair fastest-with-slowest nodes; each pair yields two 2+2 VWs.
+
+    Requires an even number of nodes with (at least) 4 GPUs each.  Nodes
+    are ranked by per-GPU effective compute; the strongest node is paired
+    with the weakest, second strongest with second weakest, and so on —
+    equalizing aggregate capability across virtual workers (§8.1's goal
+    of 'similar performance ... to mitigate the straggler problem').
+    """
+    nodes = sorted(
+        cluster.nodes, key=lambda n: n.gpu_spec.effective_flops, reverse=True
+    )
+    if len(nodes) % 2 != 0:
+        raise ConfigurationError("HD requires an even number of nodes")
+    if any(node.gpu_count < 4 for node in nodes):
+        raise ConfigurationError("HD requires at least 4 GPUs per node")
+    vws: list[tuple] = []
+    for i in range(len(nodes) // 2):
+        fast, slow = nodes[i], nodes[-1 - i]
+        # two virtual workers per pair, 2 fast + 2 slow GPUs each
+        vws.append(tuple(fast.gpus[0:2]) + tuple(slow.gpus[0:2]))
+        vws.append(tuple(fast.gpus[2:4]) + tuple(slow.gpus[2:4]))
+    return VirtualWorkerAssignment(policy="HD", virtual_workers=tuple(vws))
+
+
+ALLOCATION_POLICIES: dict[str, Callable[[Cluster], VirtualWorkerAssignment]] = {
+    "NP": node_partition,
+    "ED": equal_distribution,
+    "HD": hybrid_distribution,
+}
+
+
+def allocate(cluster: Cluster, policy: str) -> VirtualWorkerAssignment:
+    """Apply a named policy ('NP', 'ED' or 'HD') to a cluster."""
+    try:
+        fn = ALLOCATION_POLICIES[policy]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown allocation policy {policy!r}; expected one of "
+            f"{sorted(ALLOCATION_POLICIES)}"
+        ) from None
+    return fn(cluster)

@@ -1,0 +1,99 @@
+"""Command-line interface: ``hetpipe <experiment> [--model ...]``.
+
+Each subcommand regenerates one paper table/figure on the simulated
+testbed and prints it side by side with the paper's numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import (
+    run_ablations,
+    run_fig3,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_sync_overhead,
+    run_table4,
+)
+from repro.experiments.report import ascii_curve
+
+
+def _add_model_arg(parser: argparse.ArgumentParser, default: str = "vgg19") -> None:
+    parser.add_argument(
+        "--model", choices=["vgg19", "resnet152"], default=default,
+        help="workload to measure",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="hetpipe",
+        description="HetPipe (ATC'20) reproduction: regenerate the paper's tables and figures",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("fig3", help="single-VW throughput/utilization vs Nm")
+    _add_model_arg(p)
+    p = sub.add_parser("fig4", help="multi-VW throughput per allocation policy")
+    _add_model_arg(p)
+    p = sub.add_parser("table4", help="throughput while adding whimpy GPUs")
+    _add_model_arg(p)
+    p = sub.add_parser("fig5", help="ResNet-152 convergence (12 vs 16 GPUs)")
+    p.add_argument("--curves", action="store_true", help="print ASCII accuracy curves")
+    p = sub.add_parser("fig6", help="VGG-19 convergence vs D")
+    p.add_argument("--curves", action="store_true", help="print ASCII accuracy curves")
+    p = sub.add_parser("sync", help="§8.4 waiting/idle time vs D")
+    _add_model_arg(p)
+    p = sub.add_parser("ablations", help="design-choice ablations")
+    _add_model_arg(p, default="resnet152")
+    sub.add_parser("all", help="run every experiment (slow)")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "fig3":
+        print(run_fig3(args.model).render())
+    elif args.command == "fig4":
+        print(run_fig4(args.model).render())
+    elif args.command == "table4":
+        print(run_table4(args.model).render())
+    elif args.command == "fig5":
+        result = run_fig5()
+        print(result.render())
+        if args.curves:
+            for label, run in result.runs.items():
+                print(ascii_curve([(t, a) for t, _, a in run.curve], label=label))
+    elif args.command == "fig6":
+        result = run_fig6()
+        print(result.render())
+        if args.curves:
+            for label, run in result.runs.items():
+                print(ascii_curve([(t, a) for t, _, a in run.curve], label=label))
+    elif args.command == "sync":
+        print(run_sync_overhead(args.model).render())
+    elif args.command == "ablations":
+        print(run_ablations(args.model).render())
+    elif args.command == "all":
+        for model in ("vgg19", "resnet152"):
+            print(run_fig3(model).render())
+            print()
+            print(run_fig4(model).render())
+            print()
+            print(run_table4(model).render())
+            print()
+        print(run_fig5().render())
+        print()
+        print(run_fig6().render())
+        print()
+        print(run_sync_overhead().render())
+        print()
+        print(run_ablations().render())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,38 @@
+"""Heterogeneous GPU cluster substrate.
+
+Static description of the hardware the paper evaluates on (Table 1 and
+§8.1): GPU device specs, nodes of four homogeneous GPUs, and the
+interconnects (PCIe 3.0 x16 within a node, 56 Gb/s InfiniBand between
+nodes).  The description is pure data — the pipeline/WSP runtimes turn it
+into simulated :class:`~repro.sim.resources.Channel` objects.
+"""
+
+from repro.cluster.gpu import GPUDevice, GPUSpec
+from repro.cluster.node import Node
+from repro.cluster.topology import Cluster, InterconnectSpec
+from repro.cluster.catalog import (
+    GPU_BY_CODE,
+    QUADRO_P4000,
+    RTX_2060,
+    TITAN_RTX,
+    TITAN_V,
+    paper_cluster,
+    paper_interconnect,
+    single_type_cluster,
+)
+
+__all__ = [
+    "Cluster",
+    "GPUDevice",
+    "GPUSpec",
+    "GPU_BY_CODE",
+    "InterconnectSpec",
+    "Node",
+    "QUADRO_P4000",
+    "RTX_2060",
+    "TITAN_RTX",
+    "TITAN_V",
+    "paper_cluster",
+    "paper_interconnect",
+    "single_type_cluster",
+]

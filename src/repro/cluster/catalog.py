@@ -1,0 +1,92 @@
+"""Catalog of the paper's hardware (Table 1) and cluster builders.
+
+The four GPU models, their one-letter codes, and the 4-node x 4-GPU
+testbed of §8.1.  ``arch_efficiency`` values are calibration constants
+(see :mod:`repro.models.calibration`) chosen so the compute-power order
+is V > R > G > Q as the paper reports.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.gpu import GPUSpec
+from repro.cluster.node import Node
+from repro.cluster.topology import Cluster, InterconnectSpec
+from repro.errors import ConfigurationError
+from repro.units import gb, gb_per_s
+
+TITAN_V = GPUSpec(
+    name="TITAN V",
+    code="V",
+    architecture="Volta",
+    cuda_cores=5120,
+    boost_clock_mhz=1455,
+    memory_bytes=gb(12),
+    memory_bandwidth=gb_per_s(653),
+    arch_efficiency=1.00,
+)
+
+TITAN_RTX = GPUSpec(
+    name="TITAN RTX",
+    code="R",
+    architecture="Turing",
+    cuda_cores=4608,
+    boost_clock_mhz=1770,
+    memory_bytes=gb(24),
+    memory_bandwidth=gb_per_s(672),
+    arch_efficiency=0.82,
+)
+
+RTX_2060 = GPUSpec(
+    name="GeForce RTX 2060",
+    code="G",
+    architecture="Turing",
+    cuda_cores=1920,
+    boost_clock_mhz=1680,
+    memory_bytes=gb(6),
+    memory_bandwidth=gb_per_s(336),
+    arch_efficiency=1.10,
+)
+
+QUADRO_P4000 = GPUSpec(
+    name="Quadro P4000",
+    code="Q",
+    architecture="Pascal",
+    cuda_cores=1792,
+    boost_clock_mhz=1480,
+    memory_bytes=gb(8),
+    memory_bandwidth=gb_per_s(243),
+    arch_efficiency=1.21,
+)
+
+GPU_BY_CODE: dict[str, GPUSpec] = {
+    spec.code: spec for spec in (TITAN_V, TITAN_RTX, RTX_2060, QUADRO_P4000)
+}
+
+
+def paper_interconnect() -> InterconnectSpec:
+    """PCIe 3.0 x16 within nodes, 56 Gb/s InfiniBand across (§8.1)."""
+    return InterconnectSpec()
+
+
+def paper_cluster(
+    node_codes: str = "VRGQ",
+    gpus_per_node: int = 4,
+    interconnect: InterconnectSpec | None = None,
+) -> Cluster:
+    """The §8.1 testbed: one node per GPU type, four GPUs per node.
+
+    ``node_codes`` selects which node types to instantiate, in order, so
+    the Table-4 scaling experiments can build the 1-, 2- and 3-node
+    subsets ("V", "VR", "VRQ", "VRQG").
+    """
+    nodes = []
+    for node_id, code in enumerate(node_codes):
+        if code not in GPU_BY_CODE:
+            raise ConfigurationError(f"unknown GPU code {code!r}; expected one of VRGQ")
+        nodes.append(Node(node_id=node_id, gpu_spec=GPU_BY_CODE[code], gpu_count=gpus_per_node))
+    return Cluster(nodes, interconnect or paper_interconnect())
+
+
+def single_type_cluster(code: str, node_count: int = 1, gpus_per_node: int = 4) -> Cluster:
+    """A homogeneous cluster of one GPU type (unit tests, ablations)."""
+    return paper_cluster(node_codes=code * node_count, gpus_per_node=gpus_per_node)

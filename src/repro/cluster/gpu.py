@@ -1,0 +1,88 @@
+"""GPU device model.
+
+A :class:`GPUSpec` captures the Table-1 hardware numbers plus one
+calibration knob (``arch_efficiency``) that converts the marketing peak
+(cores x clock x 2 FMA) into a sustainable FP32 training rate.  The paper
+orders compute power V > R > G > Q; raw cores x clock would put the TITAN
+RTX first, so per-model efficiency factors restore the measured ordering.
+Values slightly above 1.0 are legitimate: consumer dies routinely sustain
+clocks above the quoted "boost clock", so the marketing peak
+underestimates them (capped at 1.5 by validation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.units import mhz
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Static description of one GPU model.
+
+    Attributes mirror Table 1 of the paper; ``memory_bytes`` and
+    ``memory_bandwidth`` are in SI bytes and bytes/second.
+    """
+
+    name: str
+    code: str  # one-letter code used in the paper: V, R, G, Q
+    architecture: str
+    cuda_cores: int
+    boost_clock_mhz: float
+    memory_bytes: float
+    memory_bandwidth: float
+    arch_efficiency: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.cuda_cores <= 0:
+            raise ConfigurationError(f"{self.name}: cuda_cores must be positive")
+        if self.memory_bytes <= 0 or self.memory_bandwidth <= 0:
+            raise ConfigurationError(f"{self.name}: memory sizes must be positive")
+        if not 0 < self.arch_efficiency <= 1.5:
+            raise ConfigurationError(f"{self.name}: implausible arch_efficiency")
+        if len(self.code) != 1:
+            raise ConfigurationError(f"{self.name}: code must be one letter")
+
+    @property
+    def peak_flops(self) -> float:
+        """Marketing peak FP32 FLOP/s: cores x clock x 2 (FMA)."""
+        return self.cuda_cores * mhz(self.boost_clock_mhz) * 2
+
+    @property
+    def effective_flops(self) -> float:
+        """Sustainable FP32 rate used by the roofline profiler."""
+        return self.peak_flops * self.arch_efficiency
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class GPUDevice:
+    """One physical GPU instance: a spec placed in a node slot.
+
+    ``gpu_id`` is unique within a cluster; ``node_id`` identifies the
+    hosting node (GPUs on the same node talk over PCIe, otherwise over
+    the inter-node fabric).
+    """
+
+    gpu_id: int
+    node_id: int
+    spec: GPUSpec
+    slot: int = field(default=0)
+
+    @property
+    def code(self) -> str:
+        return self.spec.code
+
+    @property
+    def memory_bytes(self) -> float:
+        return self.spec.memory_bytes
+
+    def same_node(self, other: "GPUDevice") -> bool:
+        return self.node_id == other.node_id
+
+    def __str__(self) -> str:
+        return f"gpu{self.gpu_id}({self.spec.code}@node{self.node_id})"

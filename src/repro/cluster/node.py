@@ -1,0 +1,43 @@
+"""Node model: a host machine with a homogeneous set of GPUs.
+
+Matches the paper's testbed shape (§8.1): each node holds four GPUs of a
+single type behind PCIe 3.0 x16, 64 GB of host memory, and one InfiniBand
+NIC.  Heterogeneity exists *across* nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.gpu import GPUDevice, GPUSpec
+from repro.errors import ConfigurationError
+from repro.units import gib
+
+
+@dataclass
+class Node:
+    """A host with ``gpu_count`` GPUs of one spec."""
+
+    node_id: int
+    gpu_spec: GPUSpec
+    gpu_count: int = 4
+    host_memory_bytes: float = gib(64)
+    gpus: list[GPUDevice] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.gpu_count <= 0:
+            raise ConfigurationError(f"node{self.node_id}: gpu_count must be positive")
+        # GPUs are materialized by the Cluster so ids are cluster-unique;
+        # a standalone Node can also self-populate for unit tests.
+        if not self.gpus:
+            self.gpus = [
+                GPUDevice(gpu_id=-1, node_id=self.node_id, spec=self.gpu_spec, slot=s)
+                for s in range(self.gpu_count)
+            ]
+
+    @property
+    def code(self) -> str:
+        return self.gpu_spec.code
+
+    def __str__(self) -> str:
+        return f"node{self.node_id}[{self.gpu_spec.code}x{self.gpu_count}]"

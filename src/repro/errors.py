@@ -1,0 +1,50 @@
+"""Exception hierarchy for the HetPipe reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch the whole family with a single ``except`` clause while
+still being able to discriminate the common failure modes:
+
+* :class:`ConfigurationError` — an experiment or cluster description is
+  internally inconsistent (e.g. a virtual worker with zero GPUs).
+* :class:`PartitionError` — the partitioner could not produce a feasible
+  plan (most commonly: the model does not fit in the aggregate GPU memory
+  of a virtual worker for the requested number of in-flight minibatches).
+* :class:`SimulationError` — the discrete-event simulator detected an
+  impossible state (negative delays, events after the horizon, deadlock).
+* :class:`StalenessViolation` — the WSP runtime observed a weight version
+  that violates the local or global staleness bound.  This is always a bug
+  in the caller or in this library, never a recoverable condition.
+* :class:`MemoryCapacityError` — a device was asked to hold more bytes
+  than its capacity; raised by the memory accountant and by baselines
+  (e.g. Horovod on a GPU that cannot hold the full model).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError):
+    """An experiment, cluster, or model description is inconsistent."""
+
+
+class PartitionError(ReproError):
+    """No feasible partition exists for the requested constraints."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an impossible state."""
+
+
+class StalenessViolation(ReproError):
+    """A WSP staleness bound (local or global) was violated."""
+
+
+class MemoryCapacityError(ReproError):
+    """A device was asked to hold more bytes than its capacity."""
+
+
+class ConvergenceError(ReproError):
+    """A training run failed to reach its target accuracy in budget."""

@@ -1,0 +1,39 @@
+"""Experiment harness: one module per paper table/figure.
+
+===================  =======================================
+Paper result         Module
+===================  =======================================
+Figure 3             :mod:`repro.experiments.fig3_single_vw`
+Figure 4             :mod:`repro.experiments.fig4_multi_vw`
+Table 4              :mod:`repro.experiments.table4_whimpy`
+Figure 5             :mod:`repro.experiments.fig5_resnet_convergence`
+Figure 6             :mod:`repro.experiments.fig6_vgg_convergence`
+§8.4 sync overhead   :mod:`repro.experiments.sync_overhead`
+design ablations     :mod:`repro.experiments.ablations`
+===================  =======================================
+"""
+
+from repro.experiments.ablations import AblationResult, run_ablations
+from repro.experiments.fig3_single_vw import Fig3Result, run_fig3
+from repro.experiments.fig4_multi_vw import Fig4Result, run_fig4
+from repro.experiments.fig5_resnet_convergence import Fig5Result, run_fig5
+from repro.experiments.fig6_vgg_convergence import Fig6Result, run_fig6
+from repro.experiments.sync_overhead import SyncOverheadResult, run_sync_overhead
+from repro.experiments.table4_whimpy import Table4Result, run_table4
+
+__all__ = [
+    "AblationResult",
+    "Fig3Result",
+    "Fig4Result",
+    "Fig5Result",
+    "Fig6Result",
+    "SyncOverheadResult",
+    "Table4Result",
+    "run_ablations",
+    "run_fig3",
+    "run_fig4",
+    "run_fig5",
+    "run_fig6",
+    "run_sync_overhead",
+    "run_table4",
+]

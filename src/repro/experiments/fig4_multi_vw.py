@@ -1,0 +1,125 @@
+"""Figure 4: multi-virtual-worker throughput under the allocation policies.
+
+Bars: Horovod (AllReduce BSP; only 12 GPUs for ResNet-152), then HetPipe
+with NP / ED / ED-local / HD at ``D = 0``.  For each policy ``Nm`` is
+chosen to maximize performance subject to the shared-Nm constraint
+(§8.3); the chosen value is reported alongside, matching the numbers
+printed on the paper's bars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster import paper_cluster
+from repro.allocation import allocate
+from repro.errors import MemoryCapacityError
+from repro.experiments.common import build_model, choose_nm
+from repro.experiments.report import format_table
+from repro.models.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.parallel import measure_horovod
+from repro.units import mib
+from repro.wsp import measure_hetpipe
+
+#: Paper bar values (images/s), read from Figure 4 / cross-checked with
+#: Table 4 where exact numbers are given.
+PAPER_FIG4 = {
+    "vgg19": {"Horovod": 339, "ED-local": 606},
+    "resnet152": {"Horovod": 415, "ED-local": 580},
+}
+
+
+@dataclass(frozen=True)
+class Fig4Bar:
+    label: str
+    nm: int | None
+    throughput: float
+    gpus: int
+    cross_node_sync_mib_per_wave: float
+    cross_node_pipe_mib_per_minibatch: float
+
+
+@dataclass(frozen=True)
+class Fig4Result:
+    model_name: str
+    bars: list[Fig4Bar]
+    paper: dict[str, int]
+
+    def bar(self, label: str) -> Fig4Bar:
+        for bar in self.bars:
+            if bar.label == label:
+                return bar
+        raise KeyError(label)
+
+    def render(self) -> str:
+        return format_table(
+            ["policy", "Nm", "img/s", "GPUs", "sync x-node MiB/wave", "pipe x-node MiB/mb", "paper"],
+            [
+                (
+                    bar.label,
+                    bar.nm if bar.nm is not None else "-",
+                    bar.throughput,
+                    bar.gpus,
+                    bar.cross_node_sync_mib_per_wave,
+                    bar.cross_node_pipe_mib_per_minibatch,
+                    self.paper.get(bar.label, ""),
+                )
+                for bar in self.bars
+            ],
+            title=f"Figure 4 — {self.model_name}: Horovod vs HetPipe policies (D=0)",
+        )
+
+
+def run_fig4(
+    model_name: str,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+    d: int = 0,
+    measured_waves: int = 8,
+) -> Fig4Result:
+    """Measure Horovod plus the four HetPipe policy bars."""
+    model = build_model(model_name)
+    cluster = paper_cluster()
+    bars: list[Fig4Bar] = []
+
+    try:
+        horovod = measure_horovod(cluster, model, calibration)
+        bars.append(
+            Fig4Bar(
+                label="Horovod",
+                nm=None,
+                throughput=horovod.throughput,
+                gpus=horovod.num_gpus,
+                cross_node_sync_mib_per_wave=horovod.cross_node_bytes_per_minibatch / mib(1),
+                cross_node_pipe_mib_per_minibatch=0.0,
+            )
+        )
+    except MemoryCapacityError:
+        bars.append(Fig4Bar("Horovod", None, 0.0, 0, 0.0, 0.0))
+
+    configs = [("NP", "default"), ("ED", "default"), ("ED", "local"), ("HD", "default")]
+    for policy, placement in configs:
+        assignment = allocate(cluster, policy)
+        choice = choose_nm(
+            model, assignment, cluster, calibration, placement=placement, d=d
+        )
+        metrics = measure_hetpipe(
+            cluster,
+            model,
+            choice.plans,
+            d=d,
+            placement=placement,
+            calibration=calibration,
+            measured_waves=measured_waves,
+        )
+        label = f"{policy}-local" if placement == "local" else policy
+        bars.append(
+            Fig4Bar(
+                label=label,
+                nm=choice.nm,
+                throughput=metrics.throughput,
+                gpus=assignment.total_gpus,
+                cross_node_sync_mib_per_wave=metrics.sync_cross_node_bytes_per_wave / mib(1),
+                cross_node_pipe_mib_per_minibatch=metrics.pipeline_cross_node_bytes_per_minibatch / mib(1),
+            )
+        )
+    return Fig4Result(model_name=model_name, bars=bars, paper=PAPER_FIG4[model_name])

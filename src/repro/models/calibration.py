@@ -1,0 +1,99 @@
+"""Calibration constants for the performance and memory models.
+
+The paper profiles each DNN on each GPU type and fits a communication
+regression (§7); we replace measurement with a roofline model whose free
+constants live here, in one place.  The defaults are tuned (see
+``experiments/calibration`` and EXPERIMENTS.md) so that the seven
+``Nm = 1`` absolute throughputs annotated in Figure 3 are approximated
+for both VGG-19 and ResNet-152.  Everything downstream *measures* the
+simulator; nothing else is fitted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+from repro.units import mib, us
+
+
+@dataclass(frozen=True)
+class Calibration:
+    """All tunable constants of the substrate models."""
+
+    # --- compute: fraction of a GPU's effective FLOP/s each kind sustains
+    conv_efficiency: float = 0.95
+    fc_efficiency: float = 0.28
+    elementwise_efficiency: float = 0.10
+
+    # --- per-kernel launch + framework overhead (seconds per kernel)
+    kernel_overhead: float = us(85)
+    bwd_kernel_factor: float = 1.7  # backward launches ~1.7x the kernels
+    #: measured backward FLOP cost relative to the 2x-forward estimate
+    bwd_flops_factor: float = 0.70
+
+    # --- memory-traffic multipliers for the roofline memory term
+    fwd_traffic_factor: float = 1.0
+    bwd_traffic_factor: float = 1.8
+    #: short element-wise kernels (BN/ReLU/add/pool) achieve only a small
+    #: fraction of peak DRAM bandwidth; divide peak by this for such kinds
+    elementwise_bw_derate: float = 6.0
+
+    # --- device memory model
+    usable_memory_fraction: float = 0.94
+    framework_overhead_bytes: float = mib(500)  # CUDA ctx + TF runtime
+    #: weights + gradient accumulation buffers, as a multiple of param bytes
+    weight_state_multiplier: float = 2.0
+    #: fraction of the analytic activation stash actually resident
+    #: (frameworks free/fuse part of the per-layer buffers)
+    activation_stash_factor: float = 0.75
+    #: extra stashed weight versions per additional in-flight minibatch
+    #: (w_p is kept until minibatch p's backward pass, §4)
+    weight_version_factor: float = 1.0
+
+    # --- GPipe-style activation recomputation (§2.3: HetPipe does not
+    # use it, "though there are no fundamental reasons forbidding it")
+    #: when True, stages keep only ~recompute_stash_fraction of their
+    #: activations and re-run the forward pass during backward
+    activation_recompute: bool = False
+    recompute_stash_fraction: float = 0.2
+
+    # --- parameter-server costs
+    #: server-side apply/serialize throughput (bytes/s per shard host);
+    #: multi-threaded CPU-side SGD apply — pushes from different virtual
+    #: workers serialize per shard, which is the PS contention §3
+    #: motivates mitigating with global staleness
+    ps_apply_bandwidth: float = 10e9
+    #: fixed per-push/pull software latency (seconds)
+    ps_latency: float = us(150)
+
+    # --- Horovod baseline: achieved ring-allreduce bandwidths, fitted to
+    # the paper's own Table-4 Horovod rows (see EXPERIMENTS.md)
+    horovod_pcie_ring_bandwidth: float = 1.7e9
+    horovod_ib_ring_bandwidth: float = 1.15e9
+
+    def __post_init__(self) -> None:
+        for name in ("conv_efficiency", "fc_efficiency", "elementwise_efficiency"):
+            value = getattr(self, name)
+            if not 0 < value <= 1:
+                raise ConfigurationError(f"{name} must be in (0, 1], got {value}")
+        if self.kernel_overhead < 0 or self.ps_latency < 0:
+            raise ConfigurationError("overheads must be non-negative")
+        if not 0 < self.usable_memory_fraction <= 1:
+            raise ConfigurationError("usable_memory_fraction must be in (0, 1]")
+
+    def kind_efficiency(self, kind: str) -> float:
+        """Sustained fraction of effective FLOP/s for a layer kind."""
+        if kind in ("conv", "block", "stem"):
+            return self.conv_efficiency
+        if kind == "fc":
+            return self.fc_efficiency
+        return self.elementwise_efficiency
+
+    def with_overrides(self, **kwargs: float) -> "Calibration":
+        """A copy with some constants replaced (used by ablation benches)."""
+        return replace(self, **kwargs)
+
+
+#: The calibration used by every experiment unless overridden.
+DEFAULT_CALIBRATION = Calibration()

@@ -1,0 +1,97 @@
+"""Per-stage GPU memory model.
+
+§4 of the paper: the memory a pipeline stage needs depends on where it
+sits — GPU1 "needs to hold on to the results of the forward pass for all
+stages of the pipeline" while the last GPU is immediately done with each
+minibatch.  We model the worst-case number of in-flight minibatches at
+stage ``s`` (0-indexed) as ``max(1, Nm - s)``: the first stage can have
+all ``Nm`` admitted minibatches stashed, each later stage one fewer.
+The pipeline simulator measures the true peak and the test suite asserts
+the analytic bound dominates it.
+
+A stage's requirement for ``m`` in-flight minibatches:
+
+* weights + gradient buffers: ``param_bytes * weight_state_multiplier``
+* stashed weight versions (w_p is kept until p's backward pass, §4):
+  ``param_bytes * weight_version_factor * (m - 1)``
+* stashed activations: ``stash_bytes * m``
+* workspace: max over layers.
+
+Feasibility compares against the device capacity minus framework
+overhead, scaled by ``usable_memory_fraction``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.cluster.gpu import GPUSpec
+from repro.models.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.models.layers import LayerSpec
+
+
+def in_flight_at_stage(nm: int, stage_index: int) -> int:
+    """Worst-case concurrent minibatches held at a (0-indexed) stage."""
+    return max(1, nm - stage_index)
+
+
+def stage_memory_bytes(
+    layers: Sequence[LayerSpec],
+    in_flight: int,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+) -> float:
+    """Memory needed by a stage holding ``in_flight`` minibatches."""
+    params = sum(layer.param_bytes for layer in layers)
+    stash = sum(layer.stash_bytes for layer in layers) * calibration.activation_stash_factor
+    if calibration.activation_recompute:
+        # GPipe-style: keep only boundary activations, recompute the rest
+        stash *= calibration.recompute_stash_fraction
+    workspace = max((layer.workspace_bytes for layer in layers), default=0.0)
+    weight_state = params * calibration.weight_state_multiplier
+    weight_versions = params * calibration.weight_version_factor * max(0, in_flight - 1)
+    return weight_state + weight_versions + stash * in_flight + workspace
+
+
+def gpu_usable_bytes(gpu: GPUSpec, calibration: Calibration = DEFAULT_CALIBRATION) -> float:
+    """Bytes of device memory available to the training job."""
+    return gpu.memory_bytes * calibration.usable_memory_fraction - calibration.framework_overhead_bytes
+
+
+def stage_fits(
+    layers: Sequence[LayerSpec],
+    in_flight: int,
+    gpu: GPUSpec,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+) -> bool:
+    """True if the stage fits the device at the given concurrency."""
+    return stage_memory_bytes(layers, in_flight, calibration) <= gpu_usable_bytes(gpu, calibration)
+
+
+def max_in_flight(
+    layers: Sequence[LayerSpec],
+    gpu: GPUSpec,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+    limit: int = 32,
+) -> int:
+    """Largest ``m`` such that the stage fits with ``m`` minibatches.
+
+    Returns 0 when even ``m = 1`` does not fit (the device cannot host
+    this stage at all) — that is what disqualifies the RTX 2060 from
+    running whole-model ResNet-152 in the Horovod baseline.
+    """
+    fits = 0
+    for m in range(1, limit + 1):
+        if stage_fits(layers, m, gpu, calibration):
+            fits = m
+        else:
+            break
+    return fits
+
+
+def model_fits_single_gpu(
+    layers: Sequence[LayerSpec],
+    gpu: GPUSpec,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+) -> bool:
+    """Whole-model DP feasibility check (one minibatch in flight)."""
+    return stage_fits(layers, 1, gpu, calibration)

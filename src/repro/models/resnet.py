@@ -1,0 +1,141 @@
+"""ResNet model builders (He et al.).
+
+``build_resnet152`` is the paper's deep workload: 60.19M parameters =
+230 MiB fp32 (the paper's "230MB").  Each bottleneck residual block is a
+*composite* chain unit (1x1 -> 3x3 -> 1x1 convs with BN/ReLU, optional
+downsample projection, and the element-wise skip-add), so the skip
+connection never crosses a partition boundary and the model remains a
+chain for the partitioner — mirroring how HetPipe treats the model as a
+layer sequence.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.models.graph import ModelGraph, validate_chain
+from repro.models.layers import LayerSpec, composite, conv_unit, fc_unit, pool_unit
+from repro.units import BYTES_PER_PARAM
+
+#: Bottleneck blocks per stage.
+_RESNET_STAGES: dict[str, tuple[int, int, int, int]] = {
+    "resnet50": (3, 4, 6, 3),
+    "resnet101": (3, 4, 23, 3),
+    "resnet152": (3, 8, 36, 3),
+}
+
+_INPUT_SIZE = 224
+_NUM_CLASSES = 1000
+
+
+def _bottleneck(
+    name: str,
+    batch: int,
+    cin: int,
+    mid: int,
+    cout: int,
+    out_size: int,
+    *,
+    stride: int,
+) -> LayerSpec:
+    """One bottleneck residual block as a composite unit."""
+    in_size = out_size * stride
+    parts = [
+        conv_unit(
+            f"{name}/conv1",
+            batch, cin, mid, 1, in_size, in_size,
+            with_bn=True, bias=False,
+        ),
+        conv_unit(
+            f"{name}/conv2",
+            batch, mid, mid, 3, out_size, out_size,
+            in_h=in_size, in_w=in_size,
+            with_bn=True, bias=False,
+        ),
+        conv_unit(
+            f"{name}/conv3",
+            batch, mid, cout, 1, out_size, out_size,
+            with_bn=True, with_relu=False, bias=False,
+        ),
+    ]
+    if stride != 1 or cin != cout:
+        parts.append(
+            conv_unit(
+                f"{name}/downsample",
+                batch, cin, cout, 1, out_size, out_size,
+                in_h=in_size, in_w=in_size,
+                with_bn=True, with_relu=False, bias=False,
+            )
+        )
+    # Element-wise skip-add + final ReLU: pure memory traffic, 2 kernels.
+    out_elems = float(batch) * cout * out_size * out_size
+    parts.append(
+        LayerSpec(
+            name=f"{name}/add_relu",
+            kind="elementwise",
+            flops_fwd=2.0 * out_elems,
+            flops_bwd=2.0 * out_elems,
+            param_bytes=0.0,
+            output_bytes=out_elems * BYTES_PER_PARAM,
+            stash_bytes=out_elems * BYTES_PER_PARAM,
+            kernel_count=2,
+        )
+    )
+    return composite(name, "block", parts)
+
+
+def _build_resnet(variant: str, batch_size: int) -> ModelGraph:
+    if variant not in _RESNET_STAGES:
+        raise ConfigurationError(f"unknown ResNet variant {variant!r}")
+    blocks = _RESNET_STAGES[variant]
+    layers: list[LayerSpec] = []
+
+    # Stem: 7x7/2 conv + BN + ReLU (112x112), then 3x3/2 max-pool (56x56).
+    stem_conv = conv_unit(
+        "stem/conv", batch_size, 3, 64, 7, 112, 112,
+        in_h=_INPUT_SIZE, in_w=_INPUT_SIZE, with_bn=True, bias=False,
+    )
+    stem_pool = pool_unit("stem/pool", batch_size, 64, 56, 56, kernel=3)
+    layers.append(composite("stem", "stem", [stem_conv, stem_pool]))
+
+    cin = 64
+    size = 56
+    for stage_idx, (count, mid) in enumerate(zip(blocks, (64, 128, 256, 512)), start=2):
+        cout = mid * 4
+        for block_idx in range(1, count + 1):
+            stride = 2 if (block_idx == 1 and stage_idx > 2) else 1
+            if stride == 2:
+                size //= 2
+            layers.append(
+                _bottleneck(
+                    f"conv{stage_idx}_{block_idx}",
+                    batch_size, cin, mid, cout, size,
+                    stride=stride,
+                )
+            )
+            cin = cout
+
+    # Global average pool + classifier.
+    layers.append(pool_unit("avgpool", batch_size, cin, 1, 1, kernel=size, kind="pool"))
+    layers.append(fc_unit("fc", batch_size, cin, _NUM_CLASSES))
+    validate_chain(layers)
+    return ModelGraph(
+        name=variant,
+        batch_size=batch_size,
+        input_bytes=float(batch_size) * 3 * _INPUT_SIZE * _INPUT_SIZE * BYTES_PER_PARAM,
+        layers=tuple(layers),
+    )
+
+
+def build_resnet152(batch_size: int = 32) -> ModelGraph:
+    """ResNet-152 at ImageNet resolution — the paper's 230 MiB model."""
+    return _build_resnet("resnet152", batch_size)
+
+
+def build_resnet101(batch_size: int = 32) -> ModelGraph:
+    """ResNet-101 — extra coverage variant."""
+    return _build_resnet("resnet101", batch_size)
+
+
+def build_resnet50(batch_size: int = 32) -> ModelGraph:
+    """ResNet-50 — extra coverage variant."""
+    return _build_resnet("resnet50", batch_size)

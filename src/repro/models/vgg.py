@@ -1,0 +1,70 @@
+"""VGG model builders (Simonyan & Zisserman).
+
+``build_vgg19`` is the paper's large-parameter workload: 143.67M
+parameters = 548 MiB fp32, which is exactly the "548MB" the paper quotes
+(it reports MiB).  All 3x3 convolutions, five max-pool stages, three FC
+layers; at 224x224 input the forward pass is ~19.6 GMACs/image.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.models.graph import ModelGraph, validate_chain
+from repro.models.layers import LayerSpec, conv_unit, fc_unit, pool_unit
+from repro.units import BYTES_PER_PARAM
+
+#: Convs per stage for each variant (all stages end with a 2x2 max-pool).
+_VGG_STAGES: dict[str, tuple[int, ...]] = {
+    "vgg16": (2, 2, 3, 3, 3),
+    "vgg19": (2, 2, 4, 4, 4),
+}
+
+_STAGE_CHANNELS = (64, 128, 256, 512, 512)
+_INPUT_SIZE = 224
+_NUM_CLASSES = 1000
+
+
+def _build_vgg(variant: str, batch_size: int) -> ModelGraph:
+    if variant not in _VGG_STAGES:
+        raise ConfigurationError(f"unknown VGG variant {variant!r}")
+    layers: list[LayerSpec] = []
+    size = _INPUT_SIZE
+    cin = 3
+    for stage, (convs, cout) in enumerate(zip(_VGG_STAGES[variant], _STAGE_CHANNELS), start=1):
+        for i in range(1, convs + 1):
+            layers.append(
+                conv_unit(
+                    f"conv{stage}_{i}",
+                    batch=batch_size,
+                    cin=cin,
+                    cout=cout,
+                    kernel=3,
+                    out_h=size,
+                    out_w=size,
+                    with_relu=True,
+                )
+            )
+            cin = cout
+        size //= 2
+        layers.append(pool_unit(f"pool{stage}", batch_size, cout, size, size))
+    flat = cin * size * size  # 512 * 7 * 7 = 25088
+    layers.append(fc_unit("fc6", batch_size, flat, 4096, with_relu=True, with_dropout=True))
+    layers.append(fc_unit("fc7", batch_size, 4096, 4096, with_relu=True, with_dropout=True))
+    layers.append(fc_unit("fc8", batch_size, 4096, _NUM_CLASSES))
+    validate_chain(layers)
+    return ModelGraph(
+        name=variant,
+        batch_size=batch_size,
+        input_bytes=float(batch_size) * 3 * _INPUT_SIZE * _INPUT_SIZE * BYTES_PER_PARAM,
+        layers=tuple(layers),
+    )
+
+
+def build_vgg19(batch_size: int = 32) -> ModelGraph:
+    """VGG-19 at ImageNet resolution — the paper's 548 MiB model."""
+    return _build_vgg("vgg19", batch_size)
+
+
+def build_vgg16(batch_size: int = 32) -> ModelGraph:
+    """VGG-16 — smaller sibling used for extra test/bench coverage."""
+    return _build_vgg("vgg16", batch_size)

@@ -1,0 +1,25 @@
+"""Data-parallel baselines: Horovod-style AllReduce BSP and PS models."""
+
+from repro.parallel.allreduce import (
+    cross_node_allreduce_bytes,
+    ring_allreduce_time,
+    ring_bandwidth,
+)
+from repro.parallel.horovod import HorovodMetrics, feasible_gpus, measure_horovod
+from repro.parallel.sync_models import (
+    asp_iteration_times,
+    bsp_iteration_time,
+    ssp_iteration_times,
+)
+
+__all__ = [
+    "HorovodMetrics",
+    "asp_iteration_times",
+    "bsp_iteration_time",
+    "cross_node_allreduce_bytes",
+    "feasible_gpus",
+    "measure_horovod",
+    "ring_allreduce_time",
+    "ring_bandwidth",
+    "ssp_iteration_times",
+]

@@ -1,0 +1,58 @@
+"""Ring AllReduce cost model (Patarasuk & Yuan; what Horovod implements).
+
+A ring allreduce of ``S`` bytes over ``N`` workers sends
+``2 * S * (N - 1) / N`` bytes over every ring link in ``2(N - 1)``
+steps; the completion time is governed by the slowest link.  On the
+paper's testbed rings either stay inside one node (PCIe) or cross nodes
+(InfiniBand); the *achieved* ring bandwidths are calibration constants
+fitted to the paper's own Horovod rows in Table 4 (the fit reproduces
+all eight entries within ~12%; see EXPERIMENTS.md):
+
+* PCIe ring (one node, 4 GPUs through one switch): ~1.7 GB/s
+* InfiniBand ring (multi-node, gRPC-staged): ~1.15 GB/s
+
+The *cross-node traffic* metric matches the paper's arithmetic in §8.3:
+``S * (N - 1) / N`` (548 MiB * 15/16 = the quoted 515 MB for VGG-19,
+230 MiB * 11/12 = the quoted 211 MB for ResNet-152 on 12 GPUs).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.cluster.gpu import GPUDevice
+from repro.errors import ConfigurationError
+from repro.models.calibration import Calibration, DEFAULT_CALIBRATION
+
+
+def ring_bandwidth(gpus: Sequence[GPUDevice], calibration: Calibration = DEFAULT_CALIBRATION) -> float:
+    """Achieved bandwidth of the slowest link in the ring over ``gpus``."""
+    if len(gpus) < 2:
+        raise ConfigurationError("a ring needs at least two GPUs")
+    nodes = {gpu.node_id for gpu in gpus}
+    if len(nodes) == 1:
+        return calibration.horovod_pcie_ring_bandwidth
+    return calibration.horovod_ib_ring_bandwidth
+
+
+def ring_allreduce_time(
+    nbytes: float,
+    gpus: Sequence[GPUDevice],
+    calibration: Calibration = DEFAULT_CALIBRATION,
+    step_latency: float = 25e-6,
+) -> float:
+    """Time for one ring allreduce of ``nbytes`` over ``gpus``."""
+    n = len(gpus)
+    if n == 1:
+        return 0.0
+    per_link = 2.0 * nbytes * (n - 1) / n
+    return per_link / ring_bandwidth(gpus, calibration) + 2 * (n - 1) * step_latency
+
+
+def cross_node_allreduce_bytes(nbytes: float, n_workers: int) -> float:
+    """The paper's §8.3 cross-node traffic metric: ``S * (N-1) / N``."""
+    if n_workers < 1:
+        raise ConfigurationError("n_workers must be >= 1")
+    if n_workers == 1:
+        return 0.0
+    return nbytes * (n_workers - 1) / n_workers

@@ -1,0 +1,67 @@
+"""Parameter-server synchronization models: BSP / ASP / SSP (§2.2).
+
+Iteration-time models for plain (non-pipelined) data parallelism through
+a parameter server, used by the numeric trainers and by comparison
+benches.  Each worker ``i`` has a compute time ``c_i`` per minibatch and
+pays ``sync`` seconds to push+pull:
+
+* **BSP** — lockstep: every iteration lasts ``max(c_i) + sync``.
+* **ASP** — free-running: worker ``i`` iterates every ``c_i + sync``
+  seconds, no convergence guarantee.
+* **SSP** — free-running until the staleness threshold ``s`` forces the
+  fastest worker to wait for the slowest: the fastest worker's *average*
+  period is bounded below by ``max(c_i) * (t - s) / t`` over a window of
+  ``t`` iterations; we return effective per-worker periods under that
+  bound.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+
+
+def bsp_iteration_time(compute_times: Sequence[float], sync_time: float = 0.0) -> float:
+    """Lockstep BSP: everyone waits for the slowest worker."""
+    if not compute_times:
+        raise ConfigurationError("no workers")
+    return max(compute_times) + sync_time
+
+
+def asp_iteration_times(compute_times: Sequence[float], sync_time: float = 0.0) -> list[float]:
+    """ASP: every worker free-runs at its own pace."""
+    if not compute_times:
+        raise ConfigurationError("no workers")
+    return [c + sync_time for c in compute_times]
+
+
+def ssp_iteration_times(
+    compute_times: Sequence[float],
+    staleness: int,
+    sync_time: float = 0.0,
+    window: int = 1000,
+) -> list[float]:
+    """SSP: fast workers are throttled to stay within ``staleness`` clocks.
+
+    Over ``window`` iterations the slowest worker completes
+    ``window * max_c / c_i``... more precisely a worker may be at most
+    ``staleness`` iterations ahead, so over a long horizon every worker's
+    average period converges to the slowest worker's period; during any
+    window the fast worker completes at most ``slow_iterations +
+    staleness`` iterations.  The returned effective periods reflect that
+    long-run bound.
+    """
+    if staleness < 0:
+        raise ConfigurationError("staleness must be >= 0")
+    if not compute_times:
+        raise ConfigurationError("no workers")
+    slowest = max(compute_times) + sync_time
+    out = []
+    for c in compute_times:
+        own = c + sync_time
+        # over `window` slow iterations the fast worker may run
+        # window + staleness iterations: average period bounded below.
+        bound = slowest * window / (window + staleness)
+        out.append(max(own, bound))
+    return out

@@ -1,0 +1,26 @@
+"""Model partitioner — the paper's §7 algorithm.
+
+Divides a model chain into ``k`` contiguous stages, one per GPU of a
+virtual worker, minimizing the maximum stage execution time (compute +
+time to receive activations forward and gradients backward) subject to
+each stage fitting its GPU's memory with the pipeline's in-flight
+minibatch counts.  The paper solves this with CPLEX; we provide an exact
+dynamic-programming solver plus a branch-and-bound cross-check, and a
+search over GPU orderings within the virtual worker.
+"""
+
+from repro.partition.spec import PartitionPlan, Stage
+from repro.partition.dp_solver import solve_boundaries
+from repro.partition.bnb import solve_bnb
+from repro.partition.ordering import candidate_orderings
+from repro.partition.planner import max_feasible_nm, plan_virtual_worker
+
+__all__ = [
+    "PartitionPlan",
+    "Stage",
+    "candidate_orderings",
+    "max_feasible_nm",
+    "plan_virtual_worker",
+    "solve_bnb",
+    "solve_boundaries",
+]

@@ -1,0 +1,53 @@
+"""Branch-and-bound partitioner — exhaustive cross-check for the DP.
+
+This solver plays the role CPLEX plays in the paper: an independent
+exact optimizer for the same min-max objective and memory constraints.
+It enumerates stage boundaries depth-first, pruning any prefix whose
+running maximum already meets or exceeds the best complete solution.
+It is exponential in the worst case but fine at our model sizes, and the
+test suite uses it to verify the DP's optimality on both real models and
+hypothesis-generated random chains.
+"""
+
+from __future__ import annotations
+
+from repro.partition.dp_solver import StageEvaluator
+
+_INF = float("inf")
+
+
+def solve_bnb(evaluator: StageEvaluator) -> tuple[list[int] | None, float]:
+    """Returns ``(boundaries, best_max_period)``; boundaries None if infeasible."""
+    k = evaluator.k
+    length = evaluator.num_layers
+    if length < k:
+        return None, _INF
+
+    best_bound = _INF
+    best_boundaries: list[int] | None = None
+
+    def descend(stage: int, start: int, prefix: list[int], running_max: float) -> None:
+        nonlocal best_bound, best_boundaries
+        if running_max >= best_bound:
+            return
+        if stage == k - 1:
+            ev = evaluator.evaluate(start, length, stage)
+            if not ev.feasible:
+                return
+            total = max(running_max, ev.period)
+            if total < best_bound:
+                best_bound = total
+                best_boundaries = prefix + [length]
+            return
+        remaining_stages = k - 1 - stage
+        for stop in range(start + 1, length - remaining_stages + 1):
+            ev = evaluator.evaluate(start, stop, stage)
+            if not ev.feasible:
+                continue
+            new_max = max(running_max, ev.period)
+            if new_max >= best_bound:
+                continue
+            descend(stage + 1, stop, prefix + [stop], new_max)
+
+    descend(0, 0, [0], 0.0)
+    return best_boundaries, best_bound

@@ -1,0 +1,162 @@
+"""Exact min-max chain partitioning by dynamic programming.
+
+For a fixed GPU ordering ``g_0 .. g_{k-1}`` and pipeline depth ``Nm``,
+find boundaries ``0 = b_0 < b_1 < ... < b_k = L`` minimizing the maximum
+stage *period* (fwd + bwd compute plus the §7 communication terms:
+receiving the activation forward and the gradient backward), subject to
+every stage fitting its GPU's memory at that stage's worst-case in-flight
+minibatch count.
+
+``dp[s][j]`` = best achievable (max period, total period) over the first
+``s + 1`` stages covering layers ``[0, j)``; lexicographic minimization
+makes the result deterministic and secondarily optimizes pipe latency.
+Complexity O(k * L^2) with O(1) stage evaluation via profile prefix sums
+— L <= ~60 units for our models, so this is instant and provably optimal
+(the branch-and-bound in :mod:`repro.partition.bnb` cross-checks it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.cluster.gpu import GPUDevice
+from repro.cluster.topology import InterconnectSpec
+from repro.models.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.models.graph import ModelGraph
+from repro.models.memory import gpu_usable_bytes, in_flight_at_stage, stage_memory_bytes
+from repro.models.profiler import ModelProfile, Profiler
+
+_INF = float("inf")
+
+
+@dataclass(frozen=True)
+class StageEval:
+    """Evaluation of one candidate stage (layers [start, stop) on gpu)."""
+
+    fwd_compute: float
+    bwd_compute: float
+    fwd_comm_in: float
+    bwd_comm_in: float
+    memory_bytes: float
+    feasible: bool
+
+    @property
+    def period(self) -> float:
+        return self.fwd_compute + self.bwd_compute + self.fwd_comm_in + self.bwd_comm_in
+
+
+class StageEvaluator:
+    """Costs a candidate stage in O(1) using per-GPU-type prefix sums."""
+
+    def __init__(
+        self,
+        model: ModelGraph,
+        gpus: Sequence[GPUDevice],
+        nm: int,
+        interconnect: InterconnectSpec,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+        profiler: Profiler | None = None,
+    ) -> None:
+        self.model = model
+        self.gpus = list(gpus)
+        self.nm = nm
+        self.interconnect = interconnect
+        self.calibration = calibration
+        profiler = profiler or Profiler(calibration)
+        self._profiles: list[ModelProfile] = [
+            profiler.profile(model, gpu.spec) for gpu in self.gpus
+        ]
+        self._usable = [gpu_usable_bytes(gpu.spec, calibration) for gpu in self.gpus]
+
+    @property
+    def k(self) -> int:
+        return len(self.gpus)
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.model)
+
+    def in_flight(self, stage_index: int) -> int:
+        return in_flight_at_stage(self.nm, stage_index)
+
+    def evaluate(self, start: int, stop: int, stage_index: int) -> StageEval:
+        """Evaluate layers ``[start, stop)`` as stage ``stage_index``."""
+        profile = self._profiles[stage_index]
+        gpu = self.gpus[stage_index]
+        fwd = profile.stage_fwd(start, stop)
+        bwd = profile.stage_bwd(start, stop)
+
+        fwd_comm = 0.0
+        if stage_index > 0:
+            fwd_comm = self.interconnect.transfer_time(
+                self.model.boundary_bytes(start - 1), self.gpus[stage_index - 1], gpu
+            )
+        bwd_comm = 0.0
+        if stage_index < self.k - 1:
+            bwd_comm = self.interconnect.transfer_time(
+                self.model.boundary_bytes(stop - 1), self.gpus[stage_index + 1], gpu
+            )
+
+        memory = stage_memory_bytes(
+            self.model.layers[start:stop], self.in_flight(stage_index), self.calibration
+        )
+        feasible = memory <= self._usable[stage_index]
+        return StageEval(
+            fwd_compute=fwd,
+            bwd_compute=bwd,
+            fwd_comm_in=fwd_comm,
+            bwd_comm_in=bwd_comm,
+            memory_bytes=memory,
+            feasible=feasible,
+        )
+
+
+def solve_boundaries(evaluator: StageEvaluator) -> list[int] | None:
+    """Optimal boundaries ``[b_0 .. b_k]`` or None when infeasible."""
+    k = evaluator.k
+    length = evaluator.num_layers
+    if length < k:
+        return None
+
+    # dp[s][j]: best (max_period, total_period) for stages 0..s covering [0, j)
+    dp = [[(_INF, _INF)] * (length + 1) for _ in range(k)]
+    choice = [[-1] * (length + 1) for _ in range(k)]
+
+    for j in range(1, length - k + 2):
+        ev = evaluator.evaluate(0, j, 0)
+        if ev.feasible:
+            dp[0][j] = (ev.period, ev.period)
+            choice[0][j] = 0
+
+    for s in range(1, k):
+        # stage s must leave at least (k - 1 - s) layers for later stages
+        # and earlier stages need at least s layers.
+        for j in range(s + 1, length - (k - 1 - s) + 1):
+            best = (_INF, _INF)
+            best_i = -1
+            for i in range(s, j):
+                prev = dp[s - 1][i]
+                if prev[0] == _INF:
+                    continue
+                ev = evaluator.evaluate(i, j, s)
+                if not ev.feasible:
+                    continue
+                cand = (max(prev[0], ev.period), prev[1] + ev.period)
+                if cand < best:
+                    best = cand
+                    best_i = i
+            dp[s][j] = best
+            choice[s][j] = best_i
+
+    if dp[k - 1][length][0] == _INF:
+        return None
+
+    boundaries = [length]
+    j = length
+    for s in range(k - 1, -1, -1):
+        i = choice[s][j]
+        boundaries.append(i)
+        j = i
+    boundaries.reverse()
+    return boundaries

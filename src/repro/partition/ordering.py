@@ -1,0 +1,45 @@
+"""GPU ordering search within a virtual worker.
+
+With heterogeneous GPUs, *which* GPU takes which pipeline position
+matters twice over: memory-rich devices suit early stages (which stash
+activations for up to ``Nm`` in-flight minibatches, §4) and link locality
+decides whether a boundary crosses PCIe or InfiniBand.  We enumerate the
+distinct orderings of the virtual worker's devices, deduplicating by the
+``(spec code, node)`` signature — two TITAN Vs in the same node are
+interchangeable, so VVQQ yields 6 distinct orderings, not 24.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import Iterator, Sequence
+
+from repro.cluster.gpu import GPUDevice
+
+
+def ordering_signature(gpus: Sequence[GPUDevice]) -> tuple[tuple[str, int], ...]:
+    """The equivalence key of an ordering: spec + node per position."""
+    return tuple((gpu.code, gpu.node_id) for gpu in gpus)
+
+
+def candidate_orderings(
+    gpus: Sequence[GPUDevice],
+    max_orderings: int = 5040,
+) -> Iterator[tuple[GPUDevice, ...]]:
+    """Distinct orderings of the virtual worker's GPUs.
+
+    ``max_orderings`` bounds the enumeration for pathological inputs
+    (7! = 5040 caps a fully-heterogeneous 7-GPU worker; homogeneous
+    workers yield exactly one ordering).
+    """
+    seen: set[tuple[tuple[str, int], ...]] = set()
+    emitted = 0
+    for perm in permutations(gpus):
+        signature = ordering_signature(perm)
+        if signature in seen:
+            continue
+        seen.add(signature)
+        yield perm
+        emitted += 1
+        if emitted >= max_orderings:
+            return

@@ -1,0 +1,119 @@
+"""High-level partition planner.
+
+Glues the pieces together: for a virtual worker's GPU set and a pipeline
+depth ``Nm``, search GPU orderings, solve each with the exact DP, and
+return the :class:`~repro.partition.spec.PartitionPlan` with the smallest
+bottleneck period (ties broken by serial latency, then by ordering
+signature for determinism).  Also computes ``Maxm``, the largest
+memory-feasible ``Nm`` for a virtual worker (§4).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.cluster.gpu import GPUDevice
+from repro.cluster.topology import InterconnectSpec
+from repro.errors import PartitionError
+from repro.models.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.models.graph import ModelGraph
+from repro.models.profiler import Profiler
+from repro.partition.dp_solver import StageEvaluator, solve_boundaries
+from repro.partition.ordering import candidate_orderings, ordering_signature
+from repro.partition.spec import PartitionPlan, Stage
+
+
+def _plan_from_boundaries(
+    evaluator: StageEvaluator, boundaries: list[int], nm: int, model: ModelGraph
+) -> PartitionPlan:
+    stages = []
+    for s in range(evaluator.k):
+        start, stop = boundaries[s], boundaries[s + 1]
+        ev = evaluator.evaluate(start, stop, s)
+        stages.append(
+            Stage(
+                index=s,
+                start=start,
+                stop=stop,
+                gpu=evaluator.gpus[s],
+                fwd_compute=ev.fwd_compute,
+                bwd_compute=ev.bwd_compute,
+                fwd_comm_in=ev.fwd_comm_in,
+                bwd_comm_in=ev.bwd_comm_in,
+                memory_bytes=ev.memory_bytes,
+                in_flight=evaluator.in_flight(s),
+                param_bytes=model.slice_params(start, stop),
+                activation_in_bytes=model.boundary_bytes(start - 1) if s > 0 else model.input_bytes,
+            )
+        )
+    return PartitionPlan(model_name=model.name, nm=nm, stages=tuple(stages))
+
+
+def plan_virtual_worker(
+    model: ModelGraph,
+    gpus: Sequence[GPUDevice],
+    nm: int,
+    interconnect: InterconnectSpec,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+    profiler: Profiler | None = None,
+    search_orderings: bool = True,
+) -> PartitionPlan:
+    """Best partition plan for one virtual worker at pipeline depth ``nm``.
+
+    Raises :class:`PartitionError` when no ordering admits a feasible
+    plan (the model cannot be trained on this virtual worker at ``nm``).
+    """
+    if not gpus:
+        raise PartitionError("virtual worker has no GPUs")
+    profiler = profiler or Profiler(calibration)
+
+    orderings = candidate_orderings(gpus) if search_orderings else iter([tuple(gpus)])
+    best: tuple[float, float, tuple, PartitionPlan] | None = None
+    for ordering in orderings:
+        evaluator = StageEvaluator(
+            model, ordering, nm, interconnect, calibration, profiler
+        )
+        boundaries = solve_boundaries(evaluator)
+        if boundaries is None:
+            continue
+        plan = _plan_from_boundaries(evaluator, boundaries, nm, model)
+        key = (plan.bottleneck_period, plan.serial_latency, ordering_signature(ordering))
+        if best is None or key < best[:3]:
+            best = (*key, plan)
+    if best is None:
+        raise PartitionError(
+            f"no feasible partition of {model.name} across "
+            f"[{', '.join(str(g) for g in gpus)}] at Nm={nm}"
+        )
+    return best[3]
+
+
+def max_feasible_nm(
+    model: ModelGraph,
+    gpus: Sequence[GPUDevice],
+    interconnect: InterconnectSpec,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+    profiler: Profiler | None = None,
+    limit: int = 8,
+    search_orderings: bool = True,
+) -> int:
+    """``Maxm`` (§4): the largest pipeline depth with a feasible plan.
+
+    Returns 0 when the model does not fit the virtual worker at all.
+    Feasibility is monotone in ``Nm`` (more in-flight minibatches only
+    add memory), so a linear scan with early exit is exact.  Pass the
+    same ``search_orderings`` the subsequent planning will use —
+    feasibility depends on the GPU order.
+    """
+    profiler = profiler or Profiler(calibration)
+    feasible = 0
+    for nm in range(1, limit + 1):
+        try:
+            plan_virtual_worker(
+                model, gpus, nm, interconnect, calibration, profiler,
+                search_orderings=search_orderings,
+            )
+        except PartitionError:
+            break
+        feasible = nm
+    return feasible

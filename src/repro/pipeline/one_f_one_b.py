@@ -1,0 +1,182 @@
+"""PipeDream-style one-forward-one-backward (1F1B) scheduling.
+
+HetPipe schedules each GPU's ready tasks FIFO (§4 condition 3);
+PipeDream instead *alternates* forward and backward work in steady
+state, which bounds the number of stashed activations per stage without
+an explicit admission cap.  The paper cites this scheduler (§2.3, §9:
+"PipeDream employs the one-forward-one-backward scheduling algorithm")
+— this module implements it as a drop-in scheduling variant so the
+ablation bench can compare the two disciplines on identical partitions.
+
+Implementation: instead of submitting tasks to the FIFO processor the
+moment they become ready, each stage keeps explicit forward/backward
+ready-queues and, whenever its GPU goes idle, dispatches a backward
+task if one is ready (draining work out of the pipe first), otherwise a
+forward task.  Conditions 1–2 (per-type minibatch order) still hold
+because the queues are popped in order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.cluster.topology import InterconnectSpec
+from repro.errors import SimulationError
+from repro.partition.spec import PartitionPlan
+from repro.sim.engine import Simulator
+from repro.sim.resources import Channel, Processor
+
+
+@dataclass
+class _Stage1F1B:
+    processor: Processor
+    to_next: Channel | None
+    to_prev: Channel | None
+    fwd_queue: list[int] = field(default_factory=list)
+    bwd_queue: list[int] = field(default_factory=list)
+    next_fwd: int = 1
+    next_bwd: int = 1
+    dispatching: bool = False
+
+
+class OneFOneBPipeline:
+    """A virtual-worker pipeline under 1F1B dispatch.
+
+    Mirrors :class:`~repro.pipeline.virtual_worker.VirtualWorkerPipeline`
+    closely enough for the metrics layer: ``completed``, ``done_times``
+    and per-stage processors are exposed.  Admission keeps ``nm``
+    minibatches in flight, as HetPipe does, so the comparison isolates
+    the *dispatch discipline*.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        plan: PartitionPlan,
+        interconnect: InterconnectSpec,
+        limit: int,
+        name: str = "1f1b",
+    ) -> None:
+        self.sim = sim
+        self.plan = plan
+        self.limit = limit
+        self.name = name
+        self.stages: list[_Stage1F1B] = []
+        for stage in plan.stages:
+            to_next = None
+            to_prev = None
+            if stage.index < plan.k - 1:
+                nxt = plan.stages[stage.index + 1]
+                bw, lat = interconnect.link_between(stage.gpu, nxt.gpu)
+                to_next = Channel(sim, bw, lat, f"{name}.act{stage.index}")
+            if stage.index > 0:
+                prev = plan.stages[stage.index - 1]
+                bw, lat = interconnect.link_between(stage.gpu, prev.gpu)
+                to_prev = Channel(sim, bw, lat, f"{name}.grad{stage.index}")
+            self.stages.append(
+                _Stage1F1B(
+                    processor=Processor(sim, f"{name}.gpu{stage.index}"),
+                    to_next=to_next,
+                    to_prev=to_prev,
+                )
+            )
+        self.next_minibatch = 1
+        self.active = 0
+        self.completed = 0
+        self.done_times: dict[int, float] = {}
+        self._started = False
+
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        if self._started:
+            raise SimulationError(f"{self.name}: already started")
+        self._started = True
+        self._admit()
+
+    def _admit(self) -> None:
+        while self.active < self.plan.nm and self.next_minibatch <= self.limit:
+            p = self.next_minibatch
+            self.next_minibatch += 1
+            self.active += 1
+            self._enqueue_fwd(0, p)
+
+    def _enqueue_fwd(self, s: int, p: int) -> None:
+        self.stages[s].fwd_queue.append(p)
+        self._dispatch(s)
+
+    def _enqueue_bwd(self, s: int, p: int) -> None:
+        self.stages[s].bwd_queue.append(p)
+        self._dispatch(s)
+
+    def _dispatch(self, s: int) -> None:
+        """1F1B: when the GPU frees up, prefer backward work."""
+        state = self.stages[s]
+        if state.processor.busy or state.dispatching:
+            return
+        stage = self.plan.stages[s]
+        last = s == self.plan.k - 1
+        if state.bwd_queue and state.bwd_queue[0] == state.next_bwd:
+            p = state.bwd_queue.pop(0)
+            state.next_bwd += 1
+            state.processor.submit(
+                stage.bwd_compute, (lambda s=s, p=p: self._bwd_done(s, p)), tag=("B", p)
+            )
+        elif state.fwd_queue and state.fwd_queue[0] == state.next_fwd:
+            p = state.fwd_queue.pop(0)
+            state.next_fwd += 1
+            if last:
+                state.processor.submit(
+                    stage.fwd_compute + stage.bwd_compute,
+                    (lambda s=s, p=p: self._bwd_done(s, p)),
+                    tag=("FB", p),
+                )
+            else:
+                state.processor.submit(
+                    stage.fwd_compute, (lambda s=s, p=p: self._fwd_done(s, p)), tag=("F", p)
+                )
+
+    def _fwd_done(self, s: int, p: int) -> None:
+        state = self.stages[s]
+        nbytes = self.plan.stages[s + 1].activation_in_bytes
+        assert state.to_next is not None
+        state.to_next.transfer(nbytes, lambda: self._enqueue_fwd(s + 1, p))
+        self._dispatch(s)
+
+    def _bwd_done(self, s: int, p: int) -> None:
+        state = self.stages[s]
+        if s > 0:
+            nbytes = self.plan.stages[s].activation_in_bytes
+            assert state.to_prev is not None
+            state.to_prev.transfer(nbytes, lambda: self._enqueue_bwd(s - 1, p))
+        else:
+            self.completed += 1
+            self.active -= 1
+            self.done_times[p] = self.sim.now
+            self._admit()
+        self._dispatch(s)
+
+
+def measure_1f1b_pipeline(
+    plan: PartitionPlan,
+    interconnect: InterconnectSpec,
+    batch_size: int,
+    warmup_minibatches: int | None = None,
+    measured_minibatches: int = 60,
+) -> float:
+    """Throughput (images/s) of ``plan`` under 1F1B dispatch."""
+    if warmup_minibatches is None:
+        warmup_minibatches = 4 * plan.nm + 2 * plan.k
+    total = warmup_minibatches + measured_minibatches
+    sim = Simulator()
+    pipeline = OneFOneBPipeline(sim, plan, interconnect, limit=total)
+    pipeline.start()
+    sim.run_until_idle()
+    if pipeline.completed != total:
+        raise SimulationError(
+            f"1F1B pipeline stalled at {pipeline.completed}/{total} minibatches"
+        )
+    t0 = pipeline.done_times[warmup_minibatches]
+    t1 = pipeline.done_times[total]
+    return measured_minibatches * batch_size / (t1 - t0)

@@ -1,0 +1,83 @@
+"""ASCII Gantt timeline of a pipeline execution — Figure 1, live.
+
+Renders the trace of a :class:`VirtualWorkerPipeline` run the way the
+paper draws its Figure 1: one row per GPU, forward work as the
+minibatch digit, backward work as a letter, idle as dots.  Useful for
+eyeballing bubbles, wave boundaries and the fused last-stage tasks.
+
+>>> # trace must be recorded with enabled=True
+>>> # print(render_timeline(trace, plan, width=100))
+"""
+
+from __future__ import annotations
+
+from repro.partition.spec import PartitionPlan
+from repro.sim.trace import Trace
+
+_FWD_GLYPHS = "0123456789"
+_BWD_GLYPHS = "abcdefghij"
+
+
+def _intervals(trace: Trace, actor: str):
+    """Yield (start, end, kind, minibatch) task intervals for one stage."""
+    pending: dict[tuple[str, int], float] = {}
+    for record in trace:
+        if record.actor != actor:
+            continue
+        minibatch = record.detail.get("minibatch")
+        if record.category in ("f_start", "b_start", "fb_start"):
+            pending[(record.category[0], minibatch)] = record.time
+        elif record.category in ("f_done", "b_done", "fb_done"):
+            key = (record.category[0], minibatch)
+            start = pending.pop(key, None)
+            if start is not None:
+                kind = "F" if record.category == "f_done" else "B"
+                if record.category == "fb_done":
+                    kind = "X"  # fused forward+backward
+                yield start, record.time, kind, minibatch
+
+
+def render_timeline(
+    trace: Trace,
+    plan: PartitionPlan,
+    vw_name: str = "vw0",
+    width: int = 100,
+    until: float | None = None,
+) -> str:
+    """Render the run as one character row per pipeline stage.
+
+    Forward slots show the minibatch's last digit; backward slots show
+    the corresponding letter (a=1 ... j=10, cycling); the fused
+    last-stage task shows uppercase at forward glyphs for its whole
+    span; '.' is idle.
+    """
+    records = trace.records
+    if not records:
+        return "(empty trace)"
+    horizon = until if until is not None else max(r.time for r in records)
+    if horizon <= 0:
+        return "(nothing executed)"
+    scale = width / horizon
+
+    lines = [
+        f"timeline of {vw_name} ({plan.model_name}, Nm={plan.nm}) — "
+        f"{horizon * 1e3:.0f} ms across {width} cols; digits=fwd, letters=bwd, X=fused"
+    ]
+    for s in range(plan.k):
+        row = ["."] * width
+        for start, end, kind, minibatch in _intervals(trace, f"{vw_name}.s{s}"):
+            if start >= horizon:
+                continue
+            lo = min(width - 1, int(start * scale))
+            hi = min(width - 1, max(lo, int(end * scale) - 1))
+            if kind == "F":
+                glyph = _FWD_GLYPHS[minibatch % 10]
+            elif kind == "B":
+                glyph = _BWD_GLYPHS[minibatch % 10]
+            else:
+                glyph = "X"
+            for col in range(lo, hi + 1):
+                row[col] = glyph
+        gpu = plan.stages[s].gpu
+        lines.append(f"GPU{s} ({gpu.code}) |{''.join(row)}|")
+    return "\n".join(lines)

@@ -1,0 +1,81 @@
+"""Pipeline scheduling variants — the ablations of Table 2.
+
+* :class:`GPipeFlushGate` reproduces GPipe's behaviour: all minibatches
+  of a wave use the same weights, and the pipeline *flushes* between
+  waves (no minibatch of wave ``w`` starts until every minibatch of
+  earlier waves has drained).  The flush bubbles are the "frequent
+  pipeline flushes, possibly resulting in low GPU utilization" the paper
+  quotes against GPipe (§2.3).
+* :func:`measure_flush_pipeline` measures a plan under that gate so the
+  ablation bench can quantify the flush penalty against HetPipe's
+  continuous pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.cluster.topology import InterconnectSpec
+from repro.errors import SimulationError
+from repro.partition.spec import PartitionPlan
+from repro.pipeline.tasks import wave_of
+from repro.pipeline.virtual_worker import VirtualWorkerPipeline
+from repro.sim.engine import Simulator
+
+
+@dataclass
+class GPipeFlushGate:
+    """Admit wave ``w`` only after all earlier waves fully completed."""
+
+    nm: int
+    limit: int  # total minibatches to admit (bounded measurement runs)
+    completed: int = 0
+    _wake: Callable[[], None] | None = None
+
+    def may_start(self, minibatch: int) -> bool:
+        if minibatch > self.limit:
+            return False
+        wave = wave_of(minibatch, self.nm)
+        return self.completed >= wave * self.nm
+
+    def subscribe(self, wake: Callable[[], None]) -> None:
+        self._wake = wake
+
+    def on_done(self) -> None:
+        self.completed += 1
+        if self._wake is not None:
+            self._wake()
+
+
+def measure_flush_pipeline(
+    plan: PartitionPlan,
+    interconnect: InterconnectSpec,
+    batch_size: int,
+    warmup_minibatches: int | None = None,
+    measured_minibatches: int = 60,
+) -> float:
+    """GPipe-style throughput (images/s) of ``plan`` — flush every wave."""
+    if warmup_minibatches is None:
+        warmup_minibatches = 4 * plan.nm + 2 * plan.k
+    total = warmup_minibatches + measured_minibatches
+    sim = Simulator()
+    gate = GPipeFlushGate(nm=plan.nm, limit=total)
+    marks: dict[str, float] = {}
+
+    def on_done(p: int, now: float) -> None:
+        gate.on_done()
+        if gate.completed == warmup_minibatches:
+            marks["start"] = now
+        elif gate.completed == total:
+            marks["end"] = now
+
+    pipeline = VirtualWorkerPipeline(
+        sim, plan, interconnect, name=f"gpipe.{plan.model_name}", gate=gate, on_minibatch_done=on_done
+    )
+    pipeline.start()
+    sim.run_until_idle()
+    if "start" not in marks or "end" not in marks:
+        raise SimulationError("flush pipeline did not finish its measurement window")
+    window = marks["end"] - marks["start"]
+    return measured_minibatches * batch_size / window

@@ -1,0 +1,281 @@
+"""The virtual-worker pipeline simulator.
+
+One instance drives one virtual worker: ``k`` stage processors (GPUs),
+directional channels between adjacent stages, admission of up to ``Nm``
+concurrent minibatches, and the §4 scheduling conditions.  It reports
+minibatch completions to a listener (the WSP runtime aggregates them
+into waves) and exposes the counters the metrics layer and the test
+suite read: per-stage busy time, peak in-flight stash, per-minibatch
+injection/completion times, and the local-staleness ledger.
+
+Local staleness accounting: when minibatch ``p`` is injected, the number
+of already-completed minibatches is recorded.  §4 requires that for
+``p > slocal + 1`` the weights reflect at least all updates from
+minibatches ``1 .. p - (slocal + 1)``; with admission bounded by ``Nm``
+this holds by construction, and the recorded ledger lets tests assert it
+rather than trust it.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.cluster.topology import InterconnectSpec
+from repro.errors import SimulationError, StalenessViolation
+from repro.partition.spec import PartitionPlan
+from repro.pipeline.tasks import AdmissionGate, OpenGate
+from repro.sim.engine import Simulator
+from repro.sim.resources import Channel, Processor
+from repro.sim.trace import Trace
+
+
+@dataclass
+class _StageState:
+    """Mutable runtime state of one pipeline stage."""
+
+    processor: Processor
+    to_next: Channel | None  # activations forward
+    to_prev: Channel | None  # gradients backward
+    next_fwd: int = 1  # next minibatch id whose forward may run (cond. 1)
+    next_bwd: int = 1  # next minibatch id whose backward may run (cond. 2)
+    fwd_ready: set[int] = field(default_factory=set)
+    bwd_ready: set[int] = field(default_factory=set)
+    in_flight: int = 0  # activations stashed: F started, B not finished
+    peak_in_flight: int = 0
+
+
+class VirtualWorkerPipeline:
+    """Simulates pipelined model parallelism for one virtual worker."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        plan: PartitionPlan,
+        interconnect: InterconnectSpec,
+        name: str = "vw0",
+        gate: AdmissionGate | None = None,
+        on_minibatch_done: Callable[[int, float], None] | None = None,
+        trace: Trace | None = None,
+        slocal: int | None = None,
+        jitter: float = 0.0,
+    ) -> None:
+        self.sim = sim
+        self.plan = plan
+        self.name = name
+        self.gate = gate if gate is not None else OpenGate()
+        self.gate.subscribe(self._try_inject)
+        self.on_minibatch_done = on_minibatch_done
+        self.trace = trace if trace is not None else Trace(enabled=False)
+        #: local staleness threshold; Nm - 1 unless overridden for tests
+        self.slocal = plan.nm - 1 if slocal is None else slocal
+        #: multiplicative task-duration noise (real-cluster variance);
+        #: deterministic per pipeline name
+        self.jitter = jitter
+        self._jitter_rng = random.Random(zlib.crc32(name.encode()) & 0x7FFFFFFF)
+
+        self.stages: list[_StageState] = []
+        for stage in plan.stages:
+            to_next = None
+            to_prev = None
+            if stage.index < plan.k - 1:
+                nxt = plan.stages[stage.index + 1]
+                bandwidth, latency = interconnect.link_between(stage.gpu, nxt.gpu)
+                to_next = Channel(sim, bandwidth, latency, f"{name}.act{stage.index}->{stage.index + 1}")
+            if stage.index > 0:
+                prev = plan.stages[stage.index - 1]
+                bandwidth, latency = interconnect.link_between(stage.gpu, prev.gpu)
+                to_prev = Channel(sim, bandwidth, latency, f"{name}.grad{stage.index}->{stage.index - 1}")
+            self.stages.append(
+                _StageState(
+                    processor=Processor(sim, f"{name}.gpu{stage.index}"),
+                    to_next=to_next,
+                    to_prev=to_prev,
+                )
+            )
+
+        # Admission / completion bookkeeping (minibatch ids are 1-based).
+        self.next_minibatch = 1
+        self.active = 0  # admitted but not completed
+        self.completed = 0
+        self.inject_times: dict[int, float] = {}
+        self.done_times: dict[int, float] = {}
+        #: completed count observed at each minibatch's injection
+        self.staleness_ledger: dict[int, int] = {}
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin injecting minibatches (call once, before ``sim.run``)."""
+        if self._running:
+            raise SimulationError(f"{self.name}: already started")
+        self._running = True
+        self._try_inject()
+
+    def stop(self) -> None:
+        """Stop admitting new minibatches; in-flight ones drain."""
+        self._running = False
+
+    def _try_inject(self) -> None:
+        if not self._running:
+            return
+        while self.active < self.plan.nm and self.gate.may_start(self.next_minibatch):
+            self._inject(self.next_minibatch)
+            self.next_minibatch += 1
+
+    def _inject(self, p: int) -> None:
+        # Local staleness check (§4): weights for p must include updates
+        # from minibatches 1 .. p - (slocal + 1).
+        if self.completed < p - 1 - self.slocal:
+            raise StalenessViolation(
+                f"{self.name}: minibatch {p} injected with only "
+                f"{self.completed} local updates (slocal={self.slocal})"
+            )
+        self.active += 1
+        self.inject_times[p] = self.sim.now
+        self.staleness_ledger[p] = self.completed
+        self.trace.emit(self.sim.now, "inject", self.name, minibatch=p)
+        self._forward_arrived(0, p)
+
+    # ------------------------------------------------------------------
+    # forward path
+    # ------------------------------------------------------------------
+
+    def _forward_arrived(self, s: int, p: int) -> None:
+        """Input activation of minibatch ``p`` is now on stage ``s``."""
+        state = self.stages[s]
+        state.fwd_ready.add(p)
+        self._schedule_forward(s)
+
+    def _schedule_forward(self, s: int) -> None:
+        state = self.stages[s]
+        # Condition 1: forwards run in minibatch order on each GPU.
+        while state.next_fwd in state.fwd_ready:
+            p = state.next_fwd
+            state.fwd_ready.remove(p)
+            state.next_fwd += 1
+            self._start_forward(s, p)
+
+    def _jittered(self, duration: float) -> float:
+        if self.jitter <= 0:
+            return duration
+        return duration * (1.0 + self.jitter * self._jitter_rng.uniform(-1.0, 1.0))
+
+    def _start_forward(self, s: int, p: int) -> None:
+        state = self.stages[s]
+        stage = self.plan.stages[s]
+        state.in_flight += 1
+        state.peak_in_flight = max(state.peak_in_flight, state.in_flight)
+        last = s == self.plan.k - 1
+        if last:
+            # Condition 4: last partition runs fwd+bwd as one task.
+            duration = self._jittered(stage.fwd_compute + stage.bwd_compute)
+            self.trace.emit(self.sim.now, "fb_enqueue", f"{self.name}.s{s}", minibatch=p)
+            state.processor.submit(
+                duration,
+                lambda: self._forward_backward_done(s, p),
+                tag=("FB", p),
+                on_start=(lambda s=s, p=p: self.trace.emit(self.sim.now, "fb_start", f"{self.name}.s{s}", minibatch=p)),
+            )
+        else:
+            self.trace.emit(self.sim.now, "f_enqueue", f"{self.name}.s{s}", minibatch=p)
+            state.processor.submit(
+                self._jittered(stage.fwd_compute),
+                lambda: self._forward_done(s, p),
+                tag=("F", p),
+                on_start=(lambda s=s, p=p: self.trace.emit(self.sim.now, "f_start", f"{self.name}.s{s}", minibatch=p)),
+            )
+
+    def _forward_done(self, s: int, p: int) -> None:
+        self.trace.emit(self.sim.now, "f_done", f"{self.name}.s{s}", minibatch=p)
+        state = self.stages[s]
+        nbytes = self.plan.stages[s + 1].activation_in_bytes
+        assert state.to_next is not None
+        state.to_next.transfer(nbytes, lambda: self._forward_arrived(s + 1, p))
+
+    # ------------------------------------------------------------------
+    # backward path
+    # ------------------------------------------------------------------
+
+    def _forward_backward_done(self, s: int, p: int) -> None:
+        """Fused task on the last stage finished; emit gradient."""
+        self.trace.emit(self.sim.now, "fb_done", f"{self.name}.s{s}", minibatch=p)
+        self._backward_finished(s, p)
+
+    def _gradient_arrived(self, s: int, p: int) -> None:
+        state = self.stages[s]
+        state.bwd_ready.add(p)
+        self._schedule_backward(s)
+
+    def _schedule_backward(self, s: int) -> None:
+        state = self.stages[s]
+        # Condition 2: backwards run in minibatch order on each GPU.
+        while state.next_bwd in state.bwd_ready:
+            p = state.next_bwd
+            state.bwd_ready.remove(p)
+            state.next_bwd += 1
+            stage = self.plan.stages[s]
+            self.trace.emit(self.sim.now, "b_enqueue", f"{self.name}.s{s}", minibatch=p)
+            state.processor.submit(
+                self._jittered(stage.bwd_compute),
+                (lambda s=s, p=p: self._backward_done(s, p)),
+                tag=("B", p),
+                on_start=(lambda s=s, p=p: self.trace.emit(self.sim.now, "b_start", f"{self.name}.s{s}", minibatch=p)),
+            )
+
+    def _backward_done(self, s: int, p: int) -> None:
+        self.trace.emit(self.sim.now, "b_done", f"{self.name}.s{s}", minibatch=p)
+        self._backward_finished(s, p)
+
+    def _backward_finished(self, s: int, p: int) -> None:
+        """Common tail of backward completion on any stage."""
+        state = self.stages[s]
+        state.in_flight -= 1
+        if s > 0:
+            nbytes = self.plan.stages[s].activation_in_bytes
+            assert state.to_prev is not None
+            state.to_prev.transfer(nbytes, lambda: self._gradient_arrived(s - 1, p))
+        else:
+            self._minibatch_done(p)
+
+    def _minibatch_done(self, p: int) -> None:
+        # The last-stage bookkeeping treats the fused FB as both passes;
+        # here stage 0's backward completed, so p has fully drained and
+        # its local update is applied to w_local (§4).
+        self.completed += 1
+        self.active -= 1
+        self.done_times[p] = self.sim.now
+        self.trace.emit(self.sim.now, "minibatch_done", self.name, minibatch=p)
+        if self.on_minibatch_done is not None:
+            self.on_minibatch_done(p, self.sim.now)
+        self._try_inject()
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+
+    def utilizations(self, window: float | None = None) -> list[float]:
+        """Per-stage GPU utilization over ``window`` (defaults to now)."""
+        return [s.processor.utilization(window) for s in self.stages]
+
+    def peak_in_flight(self) -> list[int]:
+        return [s.peak_in_flight for s in self.stages]
+
+    def cross_node_bytes(self) -> float:
+        """Activation/gradient bytes moved between nodes so far."""
+        total = 0.0
+        for s, state in enumerate(self.stages):
+            if state.to_next is not None:
+                a, b = self.plan.stages[s].gpu, self.plan.stages[s + 1].gpu
+                if not a.same_node(b):
+                    total += state.to_next.bytes_moved
+            if state.to_prev is not None:
+                a, b = self.plan.stages[s].gpu, self.plan.stages[s - 1].gpu
+                if not a.same_node(b):
+                    total += state.to_prev.bytes_moved
+        return total

@@ -1,0 +1,171 @@
+"""Simulated resources: serially-executing processors and FIFO links.
+
+Both resources follow the same discipline: work items are served one at a
+time in submission order, and the resource keeps aggregate accounting
+(busy seconds, bytes moved) that the metrics layer turns into the
+utilization and traffic numbers the paper reports.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+
+Callback = Callable[[], None]
+
+
+@dataclass
+class _Job:
+    duration: float
+    on_complete: Callback | None
+    tag: Any
+    on_start: Callback | None = None
+
+
+class Processor:
+    """A resource that executes jobs one at a time, FIFO.
+
+    Models a GPU compute engine: the pipeline scheduler submits forward /
+    backward tasks with precomputed durations and the processor serializes
+    them.  ``busy_time`` accumulates exact service time, which is what GPU
+    utilization is measured from.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "proc") -> None:
+        self.sim = sim
+        self.name = name
+        self.busy_time = 0.0
+        self.jobs_completed = 0
+        self._queue: deque[_Job] = deque()
+        self._busy = False
+        self._busy_since: float | None = None
+        #: optional observer called with True/False on busy transitions;
+        #: the WSP runtime uses it to account virtual-worker idle time
+        self.on_state_change: Callable[[bool], None] | None = None
+        self._notified_busy = False
+
+    @property
+    def busy(self) -> bool:
+        return self._busy
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    def submit(
+        self,
+        duration: float,
+        on_complete: Callback | None = None,
+        tag: Any = None,
+        on_start: Callback | None = None,
+    ) -> None:
+        """Enqueue a job of ``duration`` seconds; run it when the engine is free."""
+        if duration < 0:
+            raise SimulationError(f"{self.name}: negative job duration {duration}")
+        self._queue.append(_Job(duration, on_complete, tag, on_start))
+        if not self._busy:
+            self._start_next()
+
+    def _notify(self) -> None:
+        """Report busy/idle only on *net* transitions (back-to-back jobs
+        do not toggle the observer)."""
+        if self.on_state_change is not None and self._busy != self._notified_busy:
+            self._notified_busy = self._busy
+            self.on_state_change(self._busy)
+
+    def _start_next(self) -> None:
+        if not self._queue:
+            return
+        job = self._queue.popleft()
+        self._busy = True
+        self._busy_since = self.sim.now
+        self._notify()
+        if job.on_start is not None:
+            job.on_start()
+        self.sim.schedule(job.duration, self._finish, job)
+
+    def _finish(self, job: _Job) -> None:
+        assert self._busy_since is not None
+        self.busy_time += self.sim.now - self._busy_since
+        self._busy = False
+        self._busy_since = None
+        self.jobs_completed += 1
+        # Start the next job before the completion callback so that work
+        # submitted from the callback queues behind already-waiting jobs,
+        # matching FIFO semantics.
+        self._start_next()
+        self._notify()
+        if job.on_complete is not None:
+            job.on_complete()
+
+    def utilization(self, elapsed: float | None = None) -> float:
+        """Fraction of time busy.  ``elapsed`` defaults to ``sim.now``."""
+        window = self.sim.now if elapsed is None else elapsed
+        if window <= 0:
+            return 0.0
+        busy = self.busy_time
+        if self._busy and self._busy_since is not None:
+            busy += self.sim.now - self._busy_since
+        return min(1.0, busy / window)
+
+
+class Channel:
+    """A FIFO link with latency and bandwidth.
+
+    A transfer of ``nbytes`` occupies the link for ``nbytes / bandwidth``
+    seconds after waiting for earlier transfers, then completes ``latency``
+    seconds later (latency models propagation + software stack and does
+    not occupy the link, so back-to-back messages pipeline as on real
+    NICs).  ``bytes_moved`` feeds the cross-node traffic accounting used
+    to check the paper's 103 MB vs 515 MB claim.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bandwidth: float,
+        latency: float = 0.0,
+        name: str = "link",
+    ) -> None:
+        if bandwidth <= 0:
+            raise SimulationError(f"{name}: bandwidth must be positive, got {bandwidth}")
+        if latency < 0:
+            raise SimulationError(f"{name}: latency must be non-negative, got {latency}")
+        self.sim = sim
+        self.name = name
+        self.bandwidth = bandwidth
+        self.latency = latency
+        self.bytes_moved = 0.0
+        self.transfers_completed = 0
+        self.busy_time = 0.0
+        self._free_at = 0.0
+
+    def transfer_time(self, nbytes: float) -> float:
+        """Unloaded service time for ``nbytes`` (no queueing)."""
+        return self.latency + nbytes / self.bandwidth
+
+    def transfer(self, nbytes: float, on_complete: Callback | None = None) -> float:
+        """Start a transfer; returns its (absolute) completion time."""
+        if nbytes < 0:
+            raise SimulationError(f"{self.name}: negative transfer size {nbytes}")
+        start = max(self.sim.now, self._free_at)
+        occupy = nbytes / self.bandwidth
+        self._free_at = start + occupy
+        done = self._free_at + self.latency
+        self.busy_time += occupy
+        self.bytes_moved += nbytes
+        self.transfers_completed += 1
+        if on_complete is not None:
+            self.sim.schedule_at(done, on_complete)
+        return done
+
+    def utilization(self, elapsed: float | None = None) -> float:
+        """Fraction of time the link was occupied by payload bytes."""
+        window = self.sim.now if elapsed is None else elapsed
+        if window <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / window)

@@ -1,0 +1,47 @@
+"""Numeric training substrate: real SGD under HetPipe's semantics.
+
+The performance layer (sim/pipeline/wsp) answers *how fast* minibatches
+flow; this package answers *what the staleness does to learning*, with
+actual numpy gradient descent replayed in virtual time:
+
+* :mod:`repro.training.nn` — from-scratch networks, losses, SGD, data.
+* :mod:`repro.training.wsp_trainer` — WSP semantics (snapshots, waves,
+  D-gated pulls) around real gradients.
+* :mod:`repro.training.bsp_trainer` — the Horovod lockstep baseline.
+* :mod:`repro.training.convergence` — time-to-accuracy measurement.
+* :mod:`repro.training.theory` — Theorem 1 / Lemma 1 bounds and the
+  empirical regret experiment.
+"""
+
+from repro.training.bsp_trainer import BSPTrainer, BSPTrainingConfig
+from repro.training.convergence import (
+    ConvergenceResult,
+    smooth_curve,
+    summarize,
+    time_to_accuracy,
+)
+from repro.training.theory import (
+    RegretMeasurement,
+    lemma1_cardinality_bound,
+    measure_regret,
+    regret_bound,
+    theoretical_sigma,
+)
+from repro.training.wsp_trainer import TrainerStats, WSPTrainer, WSPTrainingConfig
+
+__all__ = [
+    "BSPTrainer",
+    "BSPTrainingConfig",
+    "ConvergenceResult",
+    "RegretMeasurement",
+    "TrainerStats",
+    "WSPTrainer",
+    "WSPTrainingConfig",
+    "lemma1_cardinality_bound",
+    "measure_regret",
+    "regret_bound",
+    "smooth_curve",
+    "summarize",
+    "theoretical_sigma",
+    "time_to_accuracy",
+]

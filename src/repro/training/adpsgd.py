@@ -1,0 +1,142 @@
+"""AD-PSGD-style decentralized training (Lian et al., cited in §9).
+
+The paper positions asynchronous decentralized SGD as orthogonal
+related work: "once a mini-batch is processed, a worker updates the
+parameters by averaging them with only one neighbor which is randomly
+selected ... done asynchronously, allowing faster workers to continue".
+This module implements that baseline over the same virtual-time
+machinery as the WSP trainer, so decentralized averaging can be
+compared against parameter-server WSP on identical tasks — the
+comparison HetPipe's §9 sketches but does not run.
+
+Semantics per completed minibatch of worker ``i``:
+
+1. gradient is computed at worker ``i``'s current parameters;
+2. a neighbor ``j`` is chosen uniformly at random;
+3. both move to the average: ``w_i = w_j = (w_i + w_j) / 2``;
+4. worker ``i`` then applies its update: ``w_i -= lr * g_i``.
+
+There is no global clock and no staleness bound — fast workers simply
+iterate more often (the ASP-like regime).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.training.nn.data import SyntheticDataset
+from repro.training.nn.network import MLP
+
+
+@dataclass(frozen=True)
+class ADPSGDConfig:
+    """Static description of one decentralized run."""
+
+    num_workers: int
+    batch_size: int = 32
+    lr: float = 0.04
+    minibatch_interval: tuple[float, ...] = ()
+    jitter: float = 0.0
+    seed: int = 1234
+
+    def __post_init__(self) -> None:
+        if self.num_workers < 2:
+            raise ConfigurationError("AD-PSGD needs at least two workers")
+        if self.minibatch_interval and len(self.minibatch_interval) != self.num_workers:
+            raise ConfigurationError("one interval per worker required")
+
+    def intervals(self) -> tuple[float, ...]:
+        if self.minibatch_interval:
+            return self.minibatch_interval
+        return tuple(1.0 for _ in range(self.num_workers))
+
+
+class ADPSGDTrainer:
+    """Asynchronous decentralized SGD with pairwise averaging."""
+
+    def __init__(
+        self,
+        config: ADPSGDConfig,
+        dataset: SyntheticDataset,
+        model_dims: list[int],
+    ) -> None:
+        self.config = config
+        self.dataset = dataset
+        self.model = MLP(model_dims, seed=config.seed)
+        start = self.model.get_params()
+        self.weights = [start.copy() for _ in range(config.num_workers)]
+        self.rng = np.random.default_rng(config.seed)
+        self._pair_rng = np.random.default_rng(config.seed + 7)
+        self._jitter_rng = np.random.default_rng(config.seed + 13)
+        self._events: list[tuple[float, int, int]] = []
+        self._seq = itertools.count()
+        self._intervals = config.intervals()
+        self.now = 0.0
+        self.global_minibatches = 0
+        self.per_worker_minibatches = [0] * config.num_workers
+        self.averaging_ops = 0
+        self._curve: list[tuple[float, int, float]] = []
+
+    def _interval(self, worker: int) -> float:
+        base = self._intervals[worker]
+        if self.config.jitter > 0:
+            base *= 1.0 + self.config.jitter * self._jitter_rng.uniform(-1.0, 1.0)
+        return base
+
+    def _schedule(self, worker: int) -> None:
+        heapq.heappush(
+            self._events, (self.now + self._interval(worker), next(self._seq), worker)
+        )
+
+    def _step(self, worker: int) -> None:
+        cfg = self.config
+        x, y = self.dataset.minibatch(self.rng, cfg.batch_size)
+        grad = self.model.gradient_at(self.weights[worker], x, y)
+        # pairwise average with a random other worker (gossip step)
+        others = [i for i in range(cfg.num_workers) if i != worker]
+        neighbor = int(self._pair_rng.choice(others))
+        mean = 0.5 * (self.weights[worker] + self.weights[neighbor])
+        self.weights[neighbor] = mean
+        self.weights[worker] = mean - cfg.lr * grad
+        self.averaging_ops += 1
+        self.per_worker_minibatches[worker] += 1
+        self.global_minibatches += 1
+
+    def consensus(self) -> np.ndarray:
+        """The average model — what one would checkpoint."""
+        return np.mean(self.weights, axis=0)
+
+    def train(
+        self,
+        max_minibatches: int,
+        eval_every: int = 200,
+        eval_fn: Callable[[np.ndarray], float] | None = None,
+    ) -> list[tuple[float, int, float]]:
+        """Run to ``max_minibatches``; returns [(time, minibatches, acc)]."""
+        if eval_fn is None:
+            eval_fn = self._test_accuracy
+        for worker in range(self.config.num_workers):
+            self._schedule(worker)
+        next_eval = eval_every
+        while self._events and self.global_minibatches < max_minibatches:
+            time, _, worker = heapq.heappop(self._events)
+            self.now = time
+            self._step(worker)
+            self._schedule(worker)
+            if self.global_minibatches >= next_eval:
+                self._curve.append(
+                    (self.now, self.global_minibatches, eval_fn(self.consensus()))
+                )
+                next_eval += eval_every
+        self._curve.append((self.now, self.global_minibatches, eval_fn(self.consensus())))
+        return self._curve
+
+    def _test_accuracy(self, params: np.ndarray) -> float:
+        self.model.set_params(params)
+        return self.model.evaluate(self.dataset.test_x, self.dataset.test_y)

@@ -1,0 +1,90 @@
+"""Numeric BSP data-parallel training — the Horovod baseline's semantics.
+
+Lockstep rounds: every worker computes a gradient at the *same* weights
+on its own minibatch; the averaged gradient updates the weights once per
+round; the round costs ``iteration_time`` seconds of virtual time (from
+the Horovod performance model).  No staleness of any kind — the
+reference behaviour the paper compares WSP against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.training.nn.data import SyntheticDataset
+from repro.training.nn.network import MLP
+
+
+@dataclass(frozen=True)
+class BSPTrainingConfig:
+    """Static description of one BSP run."""
+
+    num_workers: int
+    iteration_time: float
+    batch_size: int = 32
+    lr: float = 0.04
+    seed: int = 1234
+
+    def __post_init__(self) -> None:
+        if self.num_workers < 1:
+            raise ConfigurationError("need at least one worker")
+        if self.iteration_time <= 0:
+            raise ConfigurationError("iteration_time must be positive")
+
+
+class BSPTrainer:
+    """Synchronous data parallelism with gradient averaging."""
+
+    def __init__(
+        self,
+        config: BSPTrainingConfig,
+        dataset: SyntheticDataset,
+        model_dims: Sequence[int],
+    ) -> None:
+        self.config = config
+        self.dataset = dataset
+        self.model = MLP(list(model_dims), seed=config.seed)
+        self.w = self.model.get_params()
+        self.rng = np.random.default_rng(config.seed)
+        self.now = 0.0
+        self.global_minibatches = 0
+        self._curve: list[tuple[float, int, float]] = []
+
+    def _round(self) -> None:
+        # Summed updates: each minibatch contributes -lr * grad, exactly
+        # one SGD step's worth — the same per-minibatch semantics the WSP
+        # trainer uses, so time-to-accuracy differences come from the
+        # synchronization scheme, not from a hidden step-size change.
+        grads = np.zeros_like(self.w)
+        for _ in range(self.config.num_workers):
+            x, y = self.dataset.minibatch(self.rng, self.config.batch_size)
+            grads += self.model.gradient_at(self.w, x, y)
+        self.w = self.w - self.config.lr * grads
+        self.now += self.config.iteration_time
+        self.global_minibatches += self.config.num_workers
+
+    def train(
+        self,
+        max_minibatches: int,
+        eval_every: int = 200,
+        eval_fn: Callable[[np.ndarray], float] | None = None,
+    ) -> list[tuple[float, int, float]]:
+        """Run rounds until ``max_minibatches``; [(time, minibatches, acc)]."""
+        if eval_fn is None:
+            eval_fn = self._test_accuracy
+        next_eval = eval_every
+        while self.global_minibatches < max_minibatches:
+            self._round()
+            if self.global_minibatches >= next_eval:
+                self._curve.append((self.now, self.global_minibatches, eval_fn(self.w)))
+                next_eval += eval_every
+        self._curve.append((self.now, self.global_minibatches, eval_fn(self.w)))
+        return self._curve
+
+    def _test_accuracy(self, params: np.ndarray) -> float:
+        self.model.set_params(params)
+        return self.model.evaluate(self.dataset.test_x, self.dataset.test_y)

@@ -1,0 +1,76 @@
+"""Time-to-accuracy measurement (Figures 5 and 6).
+
+Thin utilities over the numeric trainers: run a configuration, collect
+its accuracy-vs-virtual-time curve, and find when it first reaches a
+target accuracy — the paper's convergence metric ("49% faster to the
+desired accuracy").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConvergenceError
+
+Curve = list[tuple[float, int, float]]  # (virtual seconds, minibatches, accuracy)
+
+
+@dataclass(frozen=True)
+class ConvergenceResult:
+    """Outcome of one run-to-accuracy measurement."""
+
+    label: str
+    target_accuracy: float
+    time_to_target: float  # virtual seconds; inf if never reached
+    minibatches_to_target: int
+    final_accuracy: float
+    curve: Curve
+
+    @property
+    def reached(self) -> bool:
+        return self.time_to_target != float("inf")
+
+    def speedup_vs(self, other: "ConvergenceResult") -> float:
+        """How much faster this run reached the target than ``other``.
+
+        Expressed like the paper: 0.49 means 49% faster (i.e. this run's
+        time is 51% of the baseline's).
+        """
+        if not (self.reached and other.reached):
+            raise ConvergenceError(
+                f"cannot compare unconverged runs ({self.label} vs {other.label})"
+            )
+        return 1.0 - self.time_to_target / other.time_to_target
+
+
+def smooth_curve(curve: Curve, window: int = 5) -> Curve:
+    """Moving-average accuracy smoothing (SGD accuracy is noisy)."""
+    if window <= 1:
+        return list(curve)
+    out: Curve = []
+    for i, (t, n, _) in enumerate(curve):
+        lo = max(0, i - window + 1)
+        acc = sum(a for _, _, a in curve[lo : i + 1]) / (i + 1 - lo)
+        out.append((t, n, acc))
+    return out
+
+
+def time_to_accuracy(curve: Curve, target: float, window: int = 5) -> tuple[float, int]:
+    """First (time, minibatches) at which smoothed accuracy >= target."""
+    for t, n, acc in smooth_curve(curve, window):
+        if acc >= target:
+            return t, n
+    return float("inf"), -1
+
+
+def summarize(label: str, curve: Curve, target: float, window: int = 5) -> ConvergenceResult:
+    """Package a raw curve as a :class:`ConvergenceResult`."""
+    t, n = time_to_accuracy(curve, target, window)
+    return ConvergenceResult(
+        label=label,
+        target_accuracy=target,
+        time_to_target=t,
+        minibatches_to_target=n,
+        final_accuracy=curve[-1][2] if curve else 0.0,
+        curve=list(curve),
+    )

@@ -1,0 +1,26 @@
+"""Losses and metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def softmax_cross_entropy(logits: np.ndarray, labels: np.ndarray) -> tuple[float, np.ndarray]:
+    """Mean cross-entropy over the batch and the gradient w.r.t. logits.
+
+    Numerically stable log-sum-exp formulation; ``labels`` are integer
+    class ids of shape ``(batch,)``.
+    """
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    log_probs = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+    batch = logits.shape[0]
+    loss = -log_probs[np.arange(batch), labels].mean()
+    probs = np.exp(log_probs)
+    grad = probs
+    grad[np.arange(batch), labels] -= 1.0
+    return float(loss), grad / batch
+
+
+def accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 accuracy of ``logits`` against integer ``labels``."""
+    return float((logits.argmax(axis=1) == labels).mean())

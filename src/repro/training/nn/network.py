@@ -1,0 +1,81 @@
+"""A multi-layer perceptron with flat-vector parameter access."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.training.nn.layers import Dense, Layer, ReLU
+from repro.training.nn.loss import accuracy, softmax_cross_entropy
+
+
+class MLP:
+    """Fully-connected classifier: Dense/ReLU stacks + softmax CE loss.
+
+    >>> import numpy as np
+    >>> net = MLP([4, 8, 3], seed=0)
+    >>> x = np.zeros((2, 4)); y = np.array([0, 1])
+    >>> loss, grad = net.loss_and_grad(x, y)
+    >>> grad.shape == (net.param_count,)
+    True
+    """
+
+    def __init__(self, dims: list[int], seed: int = 0) -> None:
+        if len(dims) < 2:
+            raise ConfigurationError("MLP needs at least input and output dims")
+        rng = np.random.default_rng(seed)
+        self.dims = list(dims)
+        self.layers: list[Layer] = []
+        for i in range(len(dims) - 1):
+            self.layers.append(Dense(dims[i], dims[i + 1], rng))
+            if i < len(dims) - 2:
+                self.layers.append(ReLU())
+
+    @property
+    def param_count(self) -> int:
+        return sum(layer.param_count for layer in self.layers)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    def loss_and_grad(self, x: np.ndarray, labels: np.ndarray) -> tuple[float, np.ndarray]:
+        """Mean loss and the flat gradient vector at the current params."""
+        logits = self.forward(x)
+        loss, grad = softmax_cross_entropy(logits, labels)
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return loss, self.get_grads()
+
+    def evaluate(self, x: np.ndarray, labels: np.ndarray) -> float:
+        """Top-1 accuracy on a dataset (no caching side effects kept)."""
+        return accuracy(self.forward(x), labels)
+
+    # ------------------------------------------------------------------
+    # flat parameter vector interface
+    # ------------------------------------------------------------------
+
+    def get_params(self) -> np.ndarray:
+        return np.concatenate([layer.get_params() for layer in self.layers if layer.param_count])
+
+    def set_params(self, flat: np.ndarray) -> None:
+        if flat.size != self.param_count:
+            raise ConfigurationError(f"expected {self.param_count} params, got {flat.size}")
+        offset = 0
+        for layer in self.layers:
+            n = layer.param_count
+            if n:
+                layer.set_params(flat[offset : offset + n])
+                offset += n
+
+    def get_grads(self) -> np.ndarray:
+        return np.concatenate([layer.get_grads() for layer in self.layers if layer.param_count])
+
+    def gradient_at(self, params: np.ndarray, x: np.ndarray, labels: np.ndarray) -> np.ndarray:
+        """Gradient evaluated at ``params`` (restores nothing — callers
+        own the parameter state, which is exactly what the staleness
+        semantics need: compute at a snapshot, apply elsewhere)."""
+        self.set_params(params)
+        _, grad = self.loss_and_grad(x, labels)
+        return grad

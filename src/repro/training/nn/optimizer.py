@@ -1,0 +1,33 @@
+"""Optimizers over flat parameter vectors."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class SGD:
+    """Plain SGD with optional decay — matches the theory's ``u_t = -eta_t g_t``.
+
+    ``eta_t = lr / sqrt(1 + t * decay)`` reproduces the
+    ``sigma / sqrt(t)`` schedule of Theorem 1 when ``decay > 0``.
+    """
+
+    def __init__(self, lr: float, decay: float = 0.0) -> None:
+        if lr <= 0:
+            raise ConfigurationError("lr must be positive")
+        if decay < 0:
+            raise ConfigurationError("decay must be non-negative")
+        self.lr = lr
+        self.decay = decay
+        self.steps = 0
+
+    def step_size(self) -> float:
+        return self.lr / np.sqrt(1.0 + self.steps * self.decay)
+
+    def update(self, grad: np.ndarray) -> np.ndarray:
+        """The update vector ``u = -eta_t * grad``; advances the step count."""
+        u = -self.step_size() * grad
+        self.steps += 1
+        return u

@@ -1,0 +1,269 @@
+"""Numeric WSP training: real SGD under HetPipe's exact semantics.
+
+This trainer executes *actual* gradient descent (numpy networks from
+:mod:`repro.training.nn`) in *virtual time*, with every synchronization
+rule of §4–§5 enforced:
+
+* a minibatch's gradient is computed at the weight snapshot taken when
+  it enters the pipeline (local staleness: up to ``Nm - 1`` predecessor
+  updates missing);
+* its update is applied to the local weights when it completes,
+  ``pipeline_latency`` later, with completions spaced by the steady-state
+  minibatch interval measured by the performance simulator;
+* every ``Nm`` completions the worker pushes the wave's *aggregated*
+  update to the global weights and pulls, with admission gated by the
+  §5 rule ``p <= (G + D + 2) * Nm + s_local``;
+* a pull replaces the local weights by the global weights plus the
+  still-unpushed partial-wave updates (nothing is lost or double-counted
+  — the test suite checks this reconstruction exactly).
+
+Optional multiplicative jitter on the per-minibatch interval models
+real-cluster noise; with jitter, larger ``D`` lets workers drift further
+apart, which is what degrades convergence at ``D = 32`` in Figure 6.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError, StalenessViolation
+from repro.training.nn.data import SyntheticDataset
+from repro.training.nn.network import MLP
+from repro.wsp.staleness import admission_limit, desired_version_after_wave
+
+
+@dataclass(frozen=True)
+class WSPTrainingConfig:
+    """Static description of one WSP training run."""
+
+    num_virtual_workers: int
+    nm: int
+    d: int
+    batch_size: int = 32
+    lr: float = 0.04
+    minibatch_interval: tuple[float, ...] = ()  # seconds, one per VW
+    sync_time_per_wave: float = 0.0
+    jitter: float = 0.0
+    #: heavy-tail noise: with probability ``stall_prob`` a minibatch
+    #: takes ``stall_factor`` times longer (GC pauses, network hiccups).
+    #: Stalls make workers drift apart; a small ``D`` re-synchronizes
+    #: them, a huge ``D`` lets staleness grow — the Figure-6 D=32 effect.
+    stall_prob: float = 0.0
+    stall_factor: float = 6.0
+    seed: int = 1234
+    max_minibatches: int = 20000
+
+    def intervals(self) -> tuple[float, ...]:
+        if self.minibatch_interval:
+            if len(self.minibatch_interval) != self.num_virtual_workers:
+                raise ConfigurationError("one interval per virtual worker required")
+            return self.minibatch_interval
+        return tuple(1.0 for _ in range(self.num_virtual_workers))
+
+
+@dataclass
+class _VWState:
+    w_local: np.ndarray
+    pending: np.ndarray  # applied locally but not yet pushed
+    next_start: int = 1
+    completed: int = 0
+    pushed_wave: int = -1
+    pulled_version: int = -1
+    in_flight: int = 0
+    last_completion: float = 0.0
+    waiting_since: float | None = None
+    stashed_updates: dict[int, np.ndarray] = field(default_factory=dict)
+
+
+@dataclass
+class TrainerStats:
+    """Aggregate statistics of a run (read by tests and experiments)."""
+
+    minibatches: int = 0
+    waves: int = 0
+    pulls: int = 0
+    gate_blocks: int = 0
+    max_clock_distance: int = 0
+    total_wait: float = 0.0
+
+
+class WSPTrainer:
+    """Trains one model replica per virtual worker under WSP."""
+
+    def __init__(
+        self,
+        config: WSPTrainingConfig,
+        dataset: SyntheticDataset,
+        model_dims: Sequence[int],
+    ) -> None:
+        self.config = config
+        self.dataset = dataset
+        self.model = MLP(list(model_dims), seed=config.seed)
+        self.w_global = self.model.get_params()
+        self.states = [
+            _VWState(w_local=self.w_global.copy(), pending=np.zeros_like(self.w_global))
+            for _ in range(config.num_virtual_workers)
+        ]
+        self.stats = TrainerStats()
+        self.rng = np.random.default_rng(config.seed)
+        self._jitter_rng = np.random.default_rng(config.seed + 1)
+        self._events: list[tuple[float, int, int, str, int]] = []
+        self._seq = itertools.count()
+        self._intervals = config.intervals()
+        self._waiters: list[tuple[int, int]] = []  # (vw, desired version)
+        self._limit = config.max_minibatches
+        self.now = 0.0
+        self.global_minibatches = 0
+        self._curve: list[tuple[float, int, float]] = []
+
+    # ------------------------------------------------------------------
+    # event machinery
+    # ------------------------------------------------------------------
+
+    def _schedule(self, time: float, vw: int, kind: str, payload: int) -> None:
+        heapq.heappush(self._events, (time, next(self._seq), vw, kind, payload))
+
+    def _interval(self, vw: int) -> float:
+        base = self._intervals[vw]
+        if self.config.jitter > 0:
+            base *= 1.0 + self.config.jitter * self._jitter_rng.uniform(-1.0, 1.0)
+        if self.config.stall_prob > 0 and self._jitter_rng.random() < self.config.stall_prob:
+            base *= self.config.stall_factor
+        return base
+
+    # ------------------------------------------------------------------
+    # WSP mechanics
+    # ------------------------------------------------------------------
+
+    def _try_start(self, vw: int) -> None:
+        state = self.states[vw]
+        cfg = self.config
+        while state.in_flight < cfg.nm and self.global_minibatches + state.in_flight < self._limit:
+            p = state.next_start
+            limit = admission_limit(state.pulled_version, cfg.d, cfg.nm)
+            if p > limit:
+                self.stats.gate_blocks += 1
+                return
+            self._start_minibatch(vw, p)
+            state.next_start += 1
+
+    def _start_minibatch(self, vw: int, p: int) -> None:
+        state = self.states[vw]
+        cfg = self.config
+        # Gradient at the snapshot — the essence of pipeline staleness.
+        x, y = self.dataset.minibatch(self.rng, cfg.batch_size)
+        grad = self.model.gradient_at(state.w_local, x, y)
+        state.stashed_updates[p] = -cfg.lr * grad
+        state.in_flight += 1
+        # Completion: one per interval in steady state; a lone minibatch
+        # takes a full pipe traversal (~Nm intervals is an upper bound,
+        # one interval the lower; we use the interval-paced model).
+        completion = max(self.now, state.last_completion) + self._interval(vw)
+        state.last_completion = completion
+        self._schedule(completion, vw, "complete", p)
+
+    def _complete_minibatch(self, vw: int, p: int) -> None:
+        state = self.states[vw]
+        cfg = self.config
+        update = state.stashed_updates.pop(p)
+        state.w_local = state.w_local + update
+        state.pending = state.pending + update
+        state.completed += 1
+        state.in_flight -= 1
+        self.global_minibatches += 1
+        self.stats.minibatches += 1
+        if state.completed != p:
+            raise StalenessViolation(
+                f"vw{vw}: completion order broken ({state.completed} != {p})"
+            )
+        if p % cfg.nm == 0:
+            self._push_wave(vw, p // cfg.nm - 1)
+        self._try_start(vw)
+
+    def _push_wave(self, vw: int, wave: int) -> None:
+        state = self.states[vw]
+        # Aggregated wave update — WSP pushes once per wave, not per
+        # minibatch (§5).
+        self.w_global = self.w_global + state.pending
+        state.pending = np.zeros_like(state.pending)
+        state.pushed_wave = wave
+        self.stats.waves += 1
+        distance = wave - min(s.pushed_wave for s in self.states)
+        self.stats.max_clock_distance = max(self.stats.max_clock_distance, distance)
+
+        desired = desired_version_after_wave(wave, self.config.d)
+        if min(s.pushed_wave for s in self.states) >= desired:
+            self._schedule(self.now + self.config.sync_time_per_wave, vw, "pull", desired)
+        else:
+            # Event-driven wait: released by a future push.  The slowest
+            # worker's desired version is always already satisfied, so at
+            # least one worker keeps making progress — no deadlock.
+            state.waiting_since = self.now
+            self._waiters.append((vw, desired))
+        self._release_waiters()
+
+    def _release_waiters(self) -> None:
+        version = min(s.pushed_wave for s in self.states)
+        ready = [(vw, d) for vw, d in self._waiters if version >= d]
+        self._waiters = [(vw, d) for vw, d in self._waiters if version < d]
+        for vw, desired in ready:
+            state = self.states[vw]
+            if state.waiting_since is not None:
+                self.stats.total_wait += self.now - state.waiting_since
+                state.waiting_since = None
+            self._schedule(self.now + self.config.sync_time_per_wave, vw, "pull", desired)
+
+    def _pull(self, vw: int, desired: int) -> None:
+        state = self.states[vw]
+        version = min(s.pushed_wave for s in self.states)
+        # Global weights plus the still-unpushed partial-wave updates —
+        # the worker's own recent work is never lost.
+        state.w_local = self.w_global + state.pending
+        state.pulled_version = max(state.pulled_version, version)
+        self.stats.pulls += 1
+        self._try_start(vw)
+
+    # ------------------------------------------------------------------
+    # driving
+    # ------------------------------------------------------------------
+
+    def train(
+        self,
+        max_minibatches: int | None = None,
+        eval_every: int = 200,
+        eval_fn: Callable[[np.ndarray], float] | None = None,
+    ) -> list[tuple[float, int, float]]:
+        """Run to ``max_minibatches``; returns [(time, minibatches, acc)].
+
+        ``eval_fn`` maps a parameter vector to a score; defaults to test
+        accuracy of the *global* weights — what a practitioner would
+        checkpoint.
+        """
+        if max_minibatches is not None:
+            self._limit = max_minibatches
+        if eval_fn is None:
+            eval_fn = self._test_accuracy
+        next_eval = eval_every
+        for vw in range(self.config.num_virtual_workers):
+            self._try_start(vw)
+        while self._events and self.global_minibatches < self._limit:
+            time, _, vw, kind, payload = heapq.heappop(self._events)
+            self.now = time
+            if kind == "complete":
+                self._complete_minibatch(vw, payload)
+            elif kind == "pull":
+                self._pull(vw, payload)
+            if self.global_minibatches >= next_eval:
+                self._curve.append((self.now, self.global_minibatches, eval_fn(self.w_global)))
+                next_eval += eval_every
+        self._curve.append((self.now, self.global_minibatches, eval_fn(self.w_global)))
+        return self._curve
+
+    def _test_accuracy(self, params: np.ndarray) -> float:
+        self.model.set_params(params)
+        return self.model.evaluate(self.dataset.test_x, self.dataset.test_y)

@@ -1,0 +1,46 @@
+"""Wave Synchronous Parallel (WSP) — the paper's synchronization model.
+
+* :mod:`repro.wsp.staleness` — the s_local / s_global arithmetic and the
+  admission rule.
+* :mod:`repro.wsp.placement` — default (round-robin) and local parameter
+  placement.
+* :mod:`repro.wsp.parameter_server` — sharded PS simulation with wave
+  clocks.
+* :mod:`repro.wsp.runtime` — N virtual workers + PS, the full HetPipe
+  system.
+* :mod:`repro.wsp.measure` — steady-state measurement harness.
+"""
+
+from repro.wsp.measure import HetPipeMetrics, measure_hetpipe
+from repro.wsp.parameter_server import ParameterServerSim
+from repro.wsp.placement import (
+    build_placements,
+    local_placement,
+    round_robin_placement,
+    validate_local_placement,
+)
+from repro.wsp.runtime import HetPipeRuntime, VirtualWorkerStats
+from repro.wsp.staleness import (
+    admission_limit,
+    desired_version_after_wave,
+    global_staleness,
+    local_staleness,
+    missing_updates,
+)
+
+__all__ = [
+    "HetPipeMetrics",
+    "HetPipeRuntime",
+    "ParameterServerSim",
+    "VirtualWorkerStats",
+    "admission_limit",
+    "build_placements",
+    "desired_version_after_wave",
+    "global_staleness",
+    "local_placement",
+    "local_staleness",
+    "measure_hetpipe",
+    "missing_updates",
+    "round_robin_placement",
+    "validate_local_placement",
+]

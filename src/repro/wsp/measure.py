@@ -1,0 +1,109 @@
+"""Steady-state measurement of a full HetPipe run (Fig. 4 / Table 4).
+
+Runs the :class:`~repro.wsp.runtime.HetPipeRuntime` until a warmup
+number of waves is globally complete, then measures a window of further
+waves: aggregate images/s, average per-wave waiting time, the idle
+fraction of waiting, and cross-node traffic split into pipeline
+(activations/gradients) and parameter-synchronization bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.cluster.topology import Cluster
+from repro.models.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.models.graph import ModelGraph
+from repro.partition.spec import PartitionPlan
+from repro.wsp.runtime import HetPipeRuntime
+
+
+@dataclass(frozen=True)
+class HetPipeMetrics:
+    """Measured behaviour of a HetPipe configuration."""
+
+    model_name: str
+    num_virtual_workers: int
+    nm: int
+    d: int
+    placement: str
+    throughput: float  # images/s, all virtual workers
+    per_vw_minibatches: tuple[int, ...]
+    avg_wait_per_wave: float
+    idle_fraction_of_wait: float
+    sync_cross_node_bytes_per_wave: float
+    pipeline_cross_node_bytes_per_minibatch: float
+    measured_waves: int
+    window: float
+
+    @property
+    def total_concurrent_minibatches(self) -> int:
+        """Table 4's parenthesised number: Nm summed over VWs."""
+        return self.nm * self.num_virtual_workers
+
+
+def measure_hetpipe(
+    cluster: Cluster,
+    model: ModelGraph,
+    plans: Sequence[PartitionPlan],
+    d: int = 0,
+    placement: str = "default",
+    calibration: Calibration = DEFAULT_CALIBRATION,
+    warmup_waves: int = 4,
+    measured_waves: int = 12,
+    push_every_minibatch: bool = False,
+    jitter: float = 0.0,
+) -> HetPipeMetrics:
+    """Measure aggregate steady-state behaviour of a HetPipe deployment."""
+    runtime = HetPipeRuntime(
+        cluster,
+        model,
+        plans,
+        d=d,
+        placement=placement,
+        calibration=calibration,
+        push_every_minibatch=push_every_minibatch,
+        jitter=jitter,
+    )
+    runtime.start()
+
+    runtime.run_until_global_version(warmup_waves - 1)
+    t0 = runtime.sim.now
+    done0 = [stats.minibatches_done for stats in runtime.stats]
+    wait0 = [stats.waiting_time for stats in runtime.stats]
+    idle0 = [stats.idle_in_wait for stats in runtime.stats]
+    sync0 = runtime.ps.sync_bytes_cross_node
+    pipe0 = sum(p.cross_node_bytes() for p in runtime.pipelines)
+
+    runtime.run_until_global_version(warmup_waves + measured_waves - 1)
+    t1 = runtime.sim.now
+    window = t1 - t0
+    done = [stats.minibatches_done - d0 for stats, d0 in zip(runtime.stats, done0)]
+    waits = [stats.waiting_time - w0 for stats, w0 in zip(runtime.stats, wait0)]
+    idles = [stats.idle_in_wait - i0 for stats, i0 in zip(runtime.stats, idle0)]
+    sync_bytes = runtime.ps.sync_bytes_cross_node - sync0
+    pipe_bytes = sum(p.cross_node_bytes() for p in runtime.pipelines) - pipe0
+
+    total_minibatches = sum(done)
+    total_wait = sum(waits)
+    total_idle = sum(idles)
+    wave_count = measured_waves * len(plans)
+
+    return HetPipeMetrics(
+        model_name=model.name,
+        num_virtual_workers=len(plans),
+        nm=runtime.nm,
+        d=d,
+        placement=placement,
+        throughput=total_minibatches * model.batch_size / window,
+        per_vw_minibatches=tuple(done),
+        avg_wait_per_wave=total_wait / wave_count if wave_count else 0.0,
+        idle_fraction_of_wait=(total_idle / total_wait) if total_wait > 0 else 0.0,
+        sync_cross_node_bytes_per_wave=sync_bytes / wave_count if wave_count else 0.0,
+        pipeline_cross_node_bytes_per_minibatch=(
+            pipe_bytes / total_minibatches if total_minibatches else 0.0
+        ),
+        measured_waves=measured_waves,
+        window=window,
+    )

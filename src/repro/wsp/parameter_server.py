@@ -1,0 +1,239 @@
+"""Simulated sharded parameter server with WSP clocks (§5).
+
+The PS tracks, per virtual worker, the highest wave whose aggregated
+update has been fully applied (``pushed_wave``); the *global version* is
+the minimum over workers — wave ``c`` is globally complete when every
+worker has pushed it, which is exactly the paper's ``c_global`` advance
+rule.  Pushes and pulls are simulated as transfers over per-node-pair
+channels (PCIe within a node, the fitted InfiniBand model across nodes)
+plus a serialized apply cost at each shard host, so parameter-server
+contention — the reason the paper permits global staleness — emerges
+naturally when several virtual workers push at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.cluster.topology import Cluster
+from repro.errors import SimulationError
+from repro.models.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.sim.engine import Simulator
+from repro.sim.resources import Channel, Processor
+from repro.wsp.placement import StagePlacement
+
+
+@dataclass
+class _VersionWaiter:
+    desired: int
+    callback: Callable[[], None]
+
+
+class ParameterServerSim:
+    """Sharded PS: transfers, apply costs, and WSP clock accounting."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cluster: Cluster,
+        num_virtual_workers: int,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+    ) -> None:
+        self.sim = sim
+        self.cluster = cluster
+        self.calibration = calibration
+        self.pushed_wave = [-1] * num_virtual_workers
+        self.global_version = -1
+        self.pushes_completed = 0
+        self.pulls_completed = 0
+        self.sync_bytes_total = 0.0
+        self.sync_bytes_cross_node = 0.0
+        self._waiters: list[_VersionWaiter] = []
+        self._apply: dict[int, Processor] = {
+            node.node_id: Processor(sim, f"ps.apply.n{node.node_id}") for node in cluster.nodes
+        }
+        self._channels: dict[tuple[int, int, str, bool], Channel] = {}
+        # Pushes from one worker apply strictly in wave order; when the
+        # pipeline races ahead (D > 0) later waves queue here until the
+        # previous push is fully recorded.
+        self._push_in_flight = [False] * num_virtual_workers
+        self._push_backlog: list[list[tuple[int, list, Callable[[], None] | None]]] = [
+            [] for _ in range(num_virtual_workers)
+        ]
+
+    # ------------------------------------------------------------------
+    # fabric
+    # ------------------------------------------------------------------
+    # One serialized stream per (virtual worker, stage, direction, and
+    # locality class): TensorFlow moves a worker's variables to/from the
+    # parameter servers over per-endpoint gRPC streams whose sustained
+    # rate is software-bound, so a stage's cross-node pushes do NOT fan
+    # out at line rate — they serialize at the achieved IB rate, while
+    # different virtual workers' streams do proceed in parallel (the
+    # 56 Gb/s port is far from saturated by one stream).
+
+    def _stream(self, vw_index: int, stage: int, direction: str, cross_node: bool) -> Channel:
+        key = (vw_index, stage, direction, cross_node)
+        channel = self._channels.get(key)
+        if channel is None:
+            ic = self.cluster.interconnect
+            if cross_node:
+                channel = Channel(self.sim, ic.ib_effective, ic.ib_latency, f"ps.vw{vw_index}.s{stage}.{direction}.ib")
+            else:
+                channel = Channel(self.sim, ic.pcie_effective, ic.pcie_latency, f"ps.vw{vw_index}.s{stage}.{direction}.local")
+            self._channels[key] = channel
+        return channel
+
+    def _account(self, src_node: int, dst_node: int, nbytes: float) -> None:
+        self.sync_bytes_total += nbytes
+        if src_node != dst_node:
+            self.sync_bytes_cross_node += nbytes
+
+    # ------------------------------------------------------------------
+    # push / pull
+    # ------------------------------------------------------------------
+
+    def push(
+        self,
+        vw_index: int,
+        wave: int,
+        sources: list[tuple[int, list[tuple[int, float]]]],
+        on_complete: Callable[[], None] | None = None,
+    ) -> None:
+        """Push one wave's aggregated updates.
+
+        ``sources`` lists, per stage, ``(src_node, [(shard_node, bytes)])``.
+        The wave is recorded (and the global version possibly advanced)
+        only after every transfer *and* every shard-side apply finishes.
+        A worker's waves apply strictly in order: if its previous push is
+        still in flight, this one queues behind it.
+        """
+        expected = (
+            self.pushed_wave[vw_index]
+            + 1
+            + len(self._push_backlog[vw_index])
+            + (1 if self._push_in_flight[vw_index] else 0)
+        )
+        if wave != expected:
+            raise SimulationError(
+                f"vw{vw_index} pushed wave {wave}, expected {expected}"
+            )
+        if self._push_in_flight[vw_index]:
+            self._push_backlog[vw_index].append((wave, sources, on_complete))
+            return
+        self._begin_push(vw_index, wave, sources, on_complete)
+
+    def _begin_push(
+        self,
+        vw_index: int,
+        wave: int,
+        sources: list[tuple[int, list[tuple[int, float]]]],
+        on_complete: Callable[[], None] | None,
+    ) -> None:
+        self._push_in_flight[vw_index] = True
+        outstanding = sum(len(dests) for _, dests in sources)
+        if outstanding == 0:
+            self._push_recorded(vw_index, wave, on_complete)
+            return
+
+        state = {"left": outstanding}
+
+        def transfer_done(shard_node: int, nbytes: float) -> None:
+            apply_time = nbytes / self.calibration.ps_apply_bandwidth
+            self._apply[shard_node].submit(apply_time, lambda: applied())
+
+        def applied() -> None:
+            state["left"] -= 1
+            if state["left"] == 0:
+                self._push_recorded(vw_index, wave, on_complete)
+
+        for stage, (src_node, dests) in enumerate(sources):
+            for shard_node, nbytes in dests:
+                self._account(src_node, shard_node, nbytes)
+                stream = self._stream(vw_index, stage, "push", shard_node != src_node)
+                stream.transfer(
+                    nbytes,
+                    (lambda shard_node=shard_node, nbytes=nbytes: transfer_done(shard_node, nbytes)),
+                )
+
+    def _push_recorded(self, vw_index: int, wave: int, on_complete: Callable[[], None] | None) -> None:
+        self.pushed_wave[vw_index] = wave
+        self.pushes_completed += 1
+        self._push_in_flight[vw_index] = False
+        new_version = min(self.pushed_wave)
+        if new_version > self.global_version:
+            self.global_version = new_version
+            self._fire_waiters()
+        if on_complete is not None:
+            on_complete()
+        if self._push_backlog[vw_index] and not self._push_in_flight[vw_index]:
+            next_wave, sources, callback = self._push_backlog[vw_index].pop(0)
+            self._begin_push(vw_index, next_wave, sources, callback)
+
+    def push_bytes_only(
+        self, vw_index: int, sources: list[tuple[int, list[tuple[int, float]]]]
+    ) -> None:
+        """Move update bytes without advancing any clock.
+
+        Used by the per-minibatch-push ablation: the traffic and shard
+        apply cost of a push, repeated every minibatch, with the wave
+        clock still advancing only at wave boundaries.
+        """
+        for stage, (src_node, dests) in enumerate(sources):
+            for shard_node, nbytes in dests:
+                self._account(src_node, shard_node, nbytes)
+                stream = self._stream(vw_index, stage, "push", shard_node != src_node)
+                stream.transfer(
+                    nbytes,
+                    (
+                        lambda shard_node=shard_node, nbytes=nbytes: self._apply[shard_node].submit(
+                            nbytes / self.calibration.ps_apply_bandwidth
+                        )
+                    ),
+                )
+
+    def pull(
+        self,
+        vw_index: int,
+        sources: list[tuple[int, list[tuple[int, float]]]],
+        on_complete: Callable[[int], None],
+    ) -> None:
+        """Pull the global weights; ``on_complete`` receives the version
+        snapshot taken when the pull began (the weights read)."""
+        version = self.global_version
+        outstanding = sum(len(dests) for _, dests in sources)
+        if outstanding == 0:
+            self.pulls_completed += 1
+            on_complete(version)
+            return
+        state = {"left": outstanding}
+
+        def transfer_done() -> None:
+            state["left"] -= 1
+            if state["left"] == 0:
+                self.pulls_completed += 1
+                on_complete(version)
+
+        for stage, (dst_node, dests) in enumerate(sources):
+            for shard_node, nbytes in dests:
+                self._account(shard_node, dst_node, nbytes)
+                stream = self._stream(vw_index, stage, "pull", shard_node != dst_node)
+                stream.transfer(nbytes, transfer_done)
+
+    # ------------------------------------------------------------------
+    # version subscriptions
+    # ------------------------------------------------------------------
+
+    def when_version(self, desired: int, callback: Callable[[], None]) -> None:
+        """Run ``callback`` once ``global_version >= desired`` (maybe now)."""
+        if self.global_version >= desired:
+            callback()
+            return
+        self._waiters.append(_VersionWaiter(desired, callback))
+
+    def _fire_waiters(self) -> None:
+        ready = [w for w in self._waiters if self.global_version >= w.desired]
+        self._waiters = [w for w in self._waiters if self.global_version < w.desired]
+        for waiter in ready:
+            waiter.callback()

@@ -1,0 +1,97 @@
+"""Parameter placement policies (§8.1).
+
+The parameter servers are sharded over all nodes.  A placement maps each
+stage of each virtual worker's plan to the shard nodes holding that
+stage's layers:
+
+* **default** — layers are placed round-robin over the nodes, as
+  TensorFlow's ``replica_device_setter`` does; every stage's parameters
+  are spread across all nodes, so most synchronization traffic crosses
+  the network.
+* **local** — possible when every virtual worker assigns partition ``s``
+  to a GPU on the same node (true for ED, where the planner produces an
+  identical ordering for identical virtual workers): the shard holding
+  partition ``s`` lives on that very node, so parameter synchronization
+  causes *no* cross-node traffic at all.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.models.graph import ModelGraph
+from repro.partition.spec import PartitionPlan
+
+#: For one plan: per stage, the shard destinations as (node_id, bytes).
+StagePlacement = list[list[tuple[int, float]]]
+
+
+def round_robin_placement(
+    model: ModelGraph,
+    plan: PartitionPlan,
+    node_ids: Sequence[int],
+) -> StagePlacement:
+    """TensorFlow-style default placement.
+
+    ``replica_device_setter`` round-robins *variables* over the PS
+    hosts; real layers hold several variables each (conv weight/bias, BN
+    gamma/beta, ...), so in expectation every node holds ~1/H of every
+    stage's parameter bytes irrespective of where the stage runs.  We
+    model exactly that uniform split — which is what makes default
+    placement pay cross-node traffic for (H-1)/H of all synchronization
+    bytes, the behaviour the 'local' policy eliminates (§8.3).
+    """
+    if not node_ids:
+        raise ConfigurationError("placement needs at least one node")
+    share = 1.0 / len(node_ids)
+    placement: StagePlacement = []
+    for stage in plan.stages:
+        stage_bytes = sum(
+            model.layers[i].param_bytes for i in range(stage.start, stage.stop)
+        )
+        placement.append([(node, stage_bytes * share) for node in node_ids])
+    return placement
+
+
+def local_placement(model: ModelGraph, plan: PartitionPlan) -> StagePlacement:
+    """Shard for partition ``s`` on the node hosting stage ``s``'s GPU."""
+    return [[(stage.gpu.node_id, stage.param_bytes)] for stage in plan.stages]
+
+
+def validate_local_placement(plans: Sequence[PartitionPlan]) -> None:
+    """Local placement requires stage ``s`` on one node across all VWs.
+
+    Raises :class:`ConfigurationError` otherwise — e.g. for NP, where
+    each virtual worker occupies a different node, the 'local' shard of
+    a partition cannot be local to every virtual worker at once.
+    """
+    if not plans:
+        raise ConfigurationError("no plans given")
+    k = plans[0].k
+    if any(plan.k != k for plan in plans):
+        raise ConfigurationError("plans disagree on stage count")
+    for s in range(k):
+        nodes = {plan.stages[s].gpu.node_id for plan in plans}
+        if len(nodes) > 1:
+            raise ConfigurationError(
+                f"local placement impossible: stage {s} spans nodes {sorted(nodes)}"
+            )
+
+
+def build_placements(
+    model: ModelGraph,
+    plans: Sequence[PartitionPlan],
+    node_ids: Sequence[int],
+    policy: str,
+) -> list[StagePlacement]:
+    """Placement for every virtual worker under ``policy``.
+
+    ``policy`` is ``"default"`` (round-robin) or ``"local"``.
+    """
+    if policy == "default":
+        return [round_robin_placement(model, plan, node_ids) for plan in plans]
+    if policy == "local":
+        validate_local_placement(plans)
+        return [local_placement(model, plan) for plan in plans]
+    raise ConfigurationError(f"unknown placement policy {policy!r}")

@@ -1,0 +1,223 @@
+"""The HetPipe runtime: N virtual workers + WSP parameter server.
+
+Wires each virtual worker's pipeline to the parameter server through a
+staleness gate implementing the §5 admission rule, drives wave pushes
+and D-gated pulls, and collects the measurements §8 reports: aggregate
+throughput, per-worker waiting time for global weights, the fraction of
+waiting during which the worker was truly idle (the paper's 18% claim),
+and cross-node traffic split into pipeline and synchronization bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.cluster.topology import Cluster
+from repro.errors import ConfigurationError, SimulationError
+from repro.models.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.models.graph import ModelGraph
+from repro.partition.spec import PartitionPlan
+from repro.pipeline.virtual_worker import VirtualWorkerPipeline
+from repro.sim.engine import Simulator
+from repro.sim.trace import Trace
+from repro.wsp.parameter_server import ParameterServerSim
+from repro.wsp.placement import StagePlacement, build_placements
+from repro.wsp.staleness import admission_limit, desired_version_after_wave
+
+
+class _WSPGate:
+    """Admission gate enforcing the global staleness bound for one VW."""
+
+    def __init__(self, d: int, nm: int) -> None:
+        self.d = d
+        self.nm = nm
+        self.pulled_version = -1
+        self._wake: Callable[[], None] | None = None
+
+    def may_start(self, minibatch: int) -> bool:
+        return minibatch <= admission_limit(self.pulled_version, self.d, self.nm)
+
+    def subscribe(self, wake: Callable[[], None]) -> None:
+        self._wake = wake
+
+    def advance(self, version: int) -> None:
+        if version > self.pulled_version:
+            self.pulled_version = version
+            if self._wake is not None:
+                self._wake()
+
+
+@dataclass
+class VirtualWorkerStats:
+    """Per-virtual-worker accounting over a run."""
+
+    minibatches_done: int = 0
+    waves_pushed: int = 0
+    waiting_time: float = 0.0  # push-complete -> pull-complete
+    idle_in_wait: float = 0.0  # portion of waiting with all GPUs idle
+    pulls: int = 0
+    wave_times: list[float] = field(default_factory=list)
+
+
+class HetPipeRuntime:
+    """N virtual workers running WSP data parallelism."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        model: ModelGraph,
+        plans: Sequence[PartitionPlan],
+        d: int = 0,
+        placement: str = "default",
+        calibration: Calibration = DEFAULT_CALIBRATION,
+        trace: Trace | None = None,
+        push_every_minibatch: bool = False,
+        jitter: float = 0.0,
+    ) -> None:
+        if not plans:
+            raise ConfigurationError("need at least one virtual worker plan")
+        nms = {plan.nm for plan in plans}
+        if len(nms) > 1:
+            raise ConfigurationError(f"Nm must match across virtual workers, got {sorted(nms)}")
+        self.cluster = cluster
+        self.model = model
+        self.plans = list(plans)
+        self.d = d
+        self.nm = self.plans[0].nm
+        self.placement_policy = placement
+        self.calibration = calibration
+        self.push_every_minibatch = push_every_minibatch
+
+        self.sim = Simulator()
+        self.trace = trace if trace is not None else Trace(enabled=False)
+        self.ps = ParameterServerSim(self.sim, cluster, len(self.plans), calibration)
+        node_ids = [node.node_id for node in cluster.nodes]
+        self.placements: list[StagePlacement] = build_placements(model, self.plans, node_ids, placement)
+
+        self.gates: list[_WSPGate] = []
+        self.pipelines: list[VirtualWorkerPipeline] = []
+        self.stats = [VirtualWorkerStats() for _ in self.plans]
+        self._busy_count = [0] * len(self.plans)
+        self._all_idle_since: list[float | None] = [0.0] * len(self.plans)
+        self._wait_started: list[float | None] = [None] * len(self.plans)
+
+        for index, plan in enumerate(self.plans):
+            gate = _WSPGate(d, self.nm)
+            pipeline = VirtualWorkerPipeline(
+                self.sim,
+                plan,
+                cluster.interconnect,
+                name=f"vw{index}",
+                gate=gate,
+                on_minibatch_done=(lambda p, t, index=index: self._on_minibatch_done(index, p, t)),
+                trace=self.trace,
+                jitter=jitter,
+            )
+            for state in pipeline.stages:
+                state.processor.on_state_change = (
+                    lambda busy, index=index: self._on_processor_state(index, busy)
+                )
+            self.gates.append(gate)
+            self.pipelines.append(pipeline)
+
+    # ------------------------------------------------------------------
+    # event plumbing
+    # ------------------------------------------------------------------
+
+    def _on_processor_state(self, vw: int, busy: bool) -> None:
+        now = self.sim.now
+        if busy:
+            if self._busy_count[vw] == 0:
+                self._flush_idle(vw, now)
+                self._all_idle_since[vw] = None
+            self._busy_count[vw] += 1
+        else:
+            self._busy_count[vw] -= 1
+            if self._busy_count[vw] == 0:
+                self._all_idle_since[vw] = now
+
+    def _flush_idle(self, vw: int, now: float) -> None:
+        """Credit accumulated all-idle time to the active wait, if any."""
+        idle_since = self._all_idle_since[vw]
+        wait_start = self._wait_started[vw]
+        if idle_since is None or wait_start is None:
+            return
+        start = max(idle_since, wait_start)
+        if now > start:
+            self.stats[vw].idle_in_wait += now - start
+
+    def _on_minibatch_done(self, vw: int, p: int, now: float) -> None:
+        self.stats[vw].minibatches_done += 1
+        if self.push_every_minibatch:
+            self._push_update(vw, p, wave_complete=(p % self.nm == 0))
+        elif p % self.nm == 0:
+            self._push_update(vw, p, wave_complete=True)
+
+    def _push_update(self, vw: int, p: int, wave_complete: bool) -> None:
+        plan = self.plans[vw]
+        placement = self.placements[vw]
+        sources = [
+            (stage.gpu.node_id, placement[stage.index])
+            for stage in plan.stages
+        ]
+        if not wave_complete:
+            # ablation mode: per-minibatch push of the same byte volume,
+            # without clock advancement
+            self.ps.push_bytes_only(vw, sources)
+            return
+        wave = p // self.nm - 1
+        self.trace.emit(self.sim.now, "wave_push", f"vw{vw}", wave=wave)
+        self.ps.push(vw, wave, sources, on_complete=lambda: self._after_push(vw, wave))
+
+    def _after_push(self, vw: int, wave: int) -> None:
+        stats = self.stats[vw]
+        stats.waves_pushed += 1
+        stats.wave_times.append(self.sim.now)
+        desired = desired_version_after_wave(wave, self.d)
+        self._wait_started[vw] = self.sim.now
+        self.ps.when_version(desired, lambda: self._begin_pull(vw))
+
+    def _begin_pull(self, vw: int) -> None:
+        plan = self.plans[vw]
+        placement = self.placements[vw]
+        sources = [
+            (stage.gpu.node_id, placement[stage.index])
+            for stage in plan.stages
+        ]
+        self.ps.pull(vw, sources, on_complete=lambda version: self._pull_done(vw, version))
+
+    def _pull_done(self, vw: int, version: int) -> None:
+        now = self.sim.now
+        wait_start = self._wait_started[vw]
+        if wait_start is not None:
+            self._flush_idle(vw, now)
+            self.stats[vw].waiting_time += now - wait_start
+            self._wait_started[vw] = None
+        self.stats[vw].pulls += 1
+        self.trace.emit(now, "pull_done", f"vw{vw}", version=version)
+        self.gates[vw].advance(version)
+
+    # ------------------------------------------------------------------
+    # driving
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        for pipeline in self.pipelines:
+            pipeline.start()
+
+    def run_until_global_version(self, target: int, max_events: int = 20_000_000) -> None:
+        """Advance the simulation until wave ``target`` is globally done."""
+        executed = 0
+        while self.ps.global_version < target:
+            if not self.sim.step():
+                raise SimulationError(
+                    f"simulation quiesced at global version {self.ps.global_version} "
+                    f"before reaching {target} (deadlock?)"
+                )
+            executed += 1
+            if executed > max_events:
+                raise SimulationError(f"exceeded {max_events} events")
+
+    def total_minibatches_done(self) -> int:
+        return sum(stats.minibatches_done for stats in self.stats)

@@ -1,0 +1,71 @@
+"""Staleness arithmetic of the WSP model (§4–§5).
+
+* Local staleness ``s_local = Nm - 1``: the pipeline inherently starts a
+  minibatch before the previous ``s_local`` have updated the local
+  weights.
+* A *wave* is ``s_local + 1 = Nm`` concurrently-processed minibatches;
+  local clock ``c`` ends when wave ``c`` completes.
+* Global staleness ``s_global = (D + 1)(s_local + 1) + s_local - 1``:
+  §5's bound on missing updates.
+
+Derivation of the admission rule used by the runtime gate.  Let ``G`` be
+the highest global wave index whose aggregated updates are reflected in
+the local weights (``-1`` before any pull).  §5 requires a worker
+processing wave ``c`` to hold global updates through wave ``c - D - 1``,
+so waves ``0 .. G + D + 1`` may run in full; pipelining additionally
+admits ``s_local`` minibatches of wave ``G + D + 2`` while the pull is
+in flight.  Hence minibatches ``1 .. (G + D + 2) * Nm + s_local`` may
+start.  With ``G = -1`` this reproduces the paper's initial condition —
+``(D+1)`` full waves plus ``s_local`` extra minibatches — and the
+furthest admissible minibatch is missing exactly
+``(D+1)*Nm + s_local - 1 = s_global`` predecessor updates.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+def local_staleness(nm: int) -> int:
+    """``s_local`` for a pipeline running ``nm`` concurrent minibatches."""
+    if nm < 1:
+        raise ConfigurationError(f"nm must be >= 1, got {nm}")
+    return nm - 1
+
+
+def global_staleness(d: int, slocal: int) -> int:
+    """``s_global`` from §5: ``(D+1)(s_local+1) + s_local - 1``."""
+    if d < 0:
+        raise ConfigurationError(f"D must be >= 0, got {d}")
+    if slocal < 0:
+        raise ConfigurationError(f"s_local must be >= 0, got {slocal}")
+    return (d + 1) * (slocal + 1) + slocal - 1
+
+
+def admission_limit(pulled_version: int, d: int, nm: int) -> int:
+    """Highest 1-based minibatch id admissible at pulled version ``G``."""
+    if pulled_version < -1:
+        raise ConfigurationError(f"pulled_version must be >= -1, got {pulled_version}")
+    if d < 0:
+        raise ConfigurationError(f"D must be >= 0, got {d}")
+    return (pulled_version + d + 2) * nm + local_staleness(nm)
+
+
+def desired_version_after_wave(completed_wave: int, d: int) -> int:
+    """Global version a worker pulls for after finishing wave ``c``.
+
+    ``c - D`` is the lowest version that unblocks the remainder of wave
+    ``c + 1`` (the part beyond the ``s_local`` pipelined minibatches).
+    """
+    return completed_wave - d
+
+
+def missing_updates(minibatch: int, pulled_version: int, nm: int) -> int:
+    """Number of predecessor minibatch updates (own and others', counted
+    per worker-step as in §5) possibly missing from the weights used by
+    ``minibatch`` when global waves ``0..pulled_version`` are held.
+
+    Used by tests to assert the runtime never exceeds ``s_global``.
+    """
+    globally_reflected = (pulled_version + 1) * nm
+    return max(0, minibatch - 1 - globally_reflected)

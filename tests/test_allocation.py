@@ -1,0 +1,107 @@
+"""Allocation policies: Table 3 reproduced."""
+
+import pytest
+
+from repro.allocation import allocate, equal_distribution, hybrid_distribution, node_partition
+from repro.allocation.assignment import VirtualWorkerAssignment
+from repro.cluster import paper_cluster
+from repro.errors import ConfigurationError
+
+
+class TestNodePartition:
+    def test_one_vw_per_node(self, cluster):
+        assignment = node_partition(cluster)
+        assert assignment.codes() == ["VVVV", "RRRR", "GGGG", "QQQQ"]
+
+    def test_homogeneous_vws(self, cluster):
+        for vw in node_partition(cluster).virtual_workers:
+            assert len({g.code for g in vw}) == 1
+
+    def test_no_cross_node_gpus(self, cluster):
+        for vw in node_partition(cluster).virtual_workers:
+            assert len({g.node_id for g in vw}) == 1
+
+
+class TestEqualDistribution:
+    def test_table3_row(self, cluster):
+        assignment = equal_distribution(cluster)
+        assert assignment.codes() == ["VRGQ"] * 4
+
+    def test_one_gpu_per_node_each(self, cluster):
+        for vw in equal_distribution(cluster).virtual_workers:
+            assert len({g.node_id for g in vw}) == len(vw)
+
+    def test_identical_vws(self, cluster):
+        codes = equal_distribution(cluster).codes()
+        assert len(set(codes)) == 1
+
+    def test_subset_clusters(self):
+        assignment = equal_distribution(paper_cluster("VR"))
+        assert assignment.codes() == ["VR"] * 4
+
+    def test_requires_equal_counts(self):
+        from repro.cluster import Node, TITAN_V, TITAN_RTX, paper_interconnect
+        from repro.cluster.topology import Cluster
+
+        lopsided = Cluster(
+            [Node(0, TITAN_V, 4), Node(1, TITAN_RTX, 2)], paper_interconnect()
+        )
+        with pytest.raises(ConfigurationError):
+            equal_distribution(lopsided)
+
+
+class TestHybridDistribution:
+    def test_table3_row(self, cluster):
+        assignment = hybrid_distribution(cluster)
+        assert sorted(assignment.codes()) == ["RRGG", "RRGG", "VVQQ", "VVQQ"]
+
+    def test_pairs_fast_with_slow(self, cluster):
+        """V (fastest) pairs with Q (slowest), R with G — §8.1's
+        aggregated-capability balancing."""
+        codes = set(assignment_codes := hybrid_distribution(cluster).codes())
+        assert codes == {"VVQQ", "RRGG"}
+
+    def test_requires_even_nodes(self):
+        with pytest.raises(ConfigurationError):
+            hybrid_distribution(paper_cluster("VRG"))
+
+    def test_requires_four_gpus(self):
+        with pytest.raises(ConfigurationError):
+            hybrid_distribution(paper_cluster("VRGQ", gpus_per_node=2))
+
+
+class TestAllocateDispatch:
+    def test_by_name(self, cluster):
+        assert allocate(cluster, "NP").policy == "NP"
+        assert allocate(cluster, "ED").policy == "ED"
+        assert allocate(cluster, "HD").policy == "HD"
+
+    def test_unknown_policy(self, cluster):
+        with pytest.raises(ConfigurationError):
+            allocate(cluster, "XX")
+
+    def test_every_policy_covers_all_gpus_once(self, cluster):
+        for policy in ("NP", "ED", "HD"):
+            assignment = allocate(cluster, policy)
+            ids = [g.gpu_id for vw in assignment.virtual_workers for g in vw]
+            assert sorted(ids) == list(range(16))
+
+
+class TestAssignmentValidation:
+    def test_duplicate_gpu_rejected(self, cluster):
+        gpu = cluster.gpus[0]
+        with pytest.raises(ConfigurationError):
+            VirtualWorkerAssignment(policy="bad", virtual_workers=((gpu,), (gpu,)))
+
+    def test_empty_vw_rejected(self, cluster):
+        with pytest.raises(ConfigurationError):
+            VirtualWorkerAssignment(policy="bad", virtual_workers=((), ))
+
+    def test_describe(self, cluster):
+        text = allocate(cluster, "ED").describe()
+        assert text.startswith("ED:") and "VRGQ" in text
+
+    def test_totals(self, cluster):
+        assignment = allocate(cluster, "NP")
+        assert assignment.total_gpus == 16
+        assert assignment.num_virtual_workers == 4

@@ -1,0 +1,35 @@
+"""CLI parser and dispatch."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    @pytest.mark.parametrize("command", ["fig3", "fig4", "table4", "sync", "ablations"])
+    def test_model_flag(self, command):
+        args = build_parser().parse_args([command, "--model", "resnet152"])
+        assert args.model == "resnet152"
+
+    def test_model_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig3", "--model", "alexnet"])
+
+    def test_curves_flag(self):
+        args = build_parser().parse_args(["fig6", "--curves"])
+        assert args.curves is True
+
+    def test_all_command(self):
+        assert build_parser().parse_args(["all"]).command == "all"
+
+
+@pytest.mark.slow
+class TestDispatch:
+    def test_sync_runs(self, capsys):
+        assert main(["sync", "--model", "resnet152"]) == 0
+        out = capsys.readouterr().out
+        assert "sync overhead" in out

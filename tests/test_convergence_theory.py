@@ -1,0 +1,123 @@
+"""Convergence utilities and the §6 theory (Theorem 1 / Lemma 1)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConvergenceError
+from repro.training import (
+    lemma1_cardinality_bound,
+    measure_regret,
+    regret_bound,
+    smooth_curve,
+    summarize,
+    theoretical_sigma,
+    time_to_accuracy,
+)
+from repro.training.nn import make_convex_problem
+from repro.wsp import global_staleness
+
+
+class TestCurveUtilities:
+    CURVE = [(0.0, 0, 0.1), (10.0, 100, 0.3), (20.0, 200, 0.6), (30.0, 300, 0.7)]
+
+    def test_time_to_accuracy_finds_first_crossing(self):
+        t, n = time_to_accuracy(self.CURVE, 0.55, window=1)
+        assert (t, n) == (20.0, 200)
+
+    def test_unreachable_returns_inf(self):
+        t, n = time_to_accuracy(self.CURVE, 0.99, window=1)
+        assert t == float("inf") and n == -1
+
+    def test_smoothing_reduces_spikes(self):
+        noisy = [(float(i), i, 0.5 + (0.2 if i == 3 else 0.0)) for i in range(6)]
+        smoothed = smooth_curve(noisy, window=3)
+        assert max(a for _, _, a in smoothed) < 0.7
+
+    def test_smooth_window_one_is_identity(self):
+        assert smooth_curve(self.CURVE, window=1) == self.CURVE
+
+    def test_summarize(self):
+        result = summarize("run", self.CURVE, 0.55, window=1)
+        assert result.reached
+        assert result.time_to_target == 20.0
+        assert result.final_accuracy == 0.7
+
+    def test_speedup(self):
+        fast = summarize("fast", self.CURVE, 0.55, window=1)
+        slow_curve = [(t * 2, n, a) for t, n, a in self.CURVE]
+        slow = summarize("slow", slow_curve, 0.55, window=1)
+        assert fast.speedup_vs(slow) == pytest.approx(0.5)
+
+    def test_speedup_requires_convergence(self):
+        fast = summarize("fast", self.CURVE, 0.55, window=1)
+        never = summarize("never", self.CURVE, 0.99, window=1)
+        with pytest.raises(ConvergenceError):
+            fast.speedup_vs(never)
+
+
+class TestTheorem1:
+    def test_bound_formula(self):
+        # 4 M L sqrt((2 s_g + s_l) N / T), s_l = s_local + 1
+        value = regret_bound(t=100, m=2.0, l=3.0, s_global=6, s_local=3, n_workers=4)
+        assert value == pytest.approx(4 * 2 * 3 * math.sqrt((12 + 4) * 4 / 100))
+
+    def test_bound_decays_as_inverse_sqrt_t(self):
+        b100 = regret_bound(100, 1, 1, 6, 3, 4)
+        b400 = regret_bound(400, 1, 1, 6, 3, 4)
+        assert b100 / b400 == pytest.approx(2.0)
+
+    def test_bound_grows_with_staleness(self):
+        low = regret_bound(100, 1, 1, global_staleness(0, 3), 3, 4)
+        high = regret_bound(100, 1, 1, global_staleness(8, 3), 3, 4)
+        assert high > low
+
+    def test_invalid_t(self):
+        with pytest.raises(Exception):
+            regret_bound(0, 1, 1, 6, 3, 4)
+
+    def test_sigma_formula(self):
+        sigma = theoretical_sigma(m=2.0, l=4.0, s_global=6, s_local=3, n_workers=4)
+        assert sigma == pytest.approx(2.0 / (4.0 * math.sqrt(16 * 4)))
+
+    @given(
+        d=st.integers(min_value=0, max_value=16),
+        slocal=st.integers(min_value=0, max_value=7),
+        n=st.integers(min_value=2, max_value=8),
+    )
+    def test_property_lemma1_bound_positive_and_monotone(self, d, slocal, n):
+        s_g = global_staleness(d, slocal)
+        bound = lemma1_cardinality_bound(s_g, slocal, n)
+        assert bound >= 0
+        assert lemma1_cardinality_bound(s_g, slocal, n + 1) > bound
+
+
+class TestEmpiricalRegret:
+    @pytest.fixture(scope="class")
+    def measurement(self):
+        return measure_regret(
+            make_convex_problem(),
+            num_virtual_workers=3,
+            nm=3,
+            d=1,
+            total_minibatches=900,
+            reference_steps=1500,
+        )
+
+    def test_regret_decreases_with_t(self, measurement):
+        assert measurement.regrets[-1] < measurement.regrets[0]
+
+    def test_final_regret_small(self, measurement):
+        assert measurement.regrets[-1] < 0.5
+
+    def test_regret_below_bound(self, measurement):
+        """Theorem 1's bound must dominate the measured regret at the
+        crude (M, L) constants used."""
+        for regret, bound in zip(measurement.regrets, measurement.bound_values):
+            assert regret <= bound
+
+    def test_staleness_parameters_recorded(self, measurement):
+        assert measurement.s_local == 2
+        assert measurement.s_global == global_staleness(1, 2)
+        assert measurement.n_workers == 3

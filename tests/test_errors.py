@@ -1,0 +1,26 @@
+"""Exception hierarchy contracts."""
+
+import pytest
+
+from repro import errors
+
+
+@pytest.mark.parametrize(
+    "exc",
+    [
+        errors.ConfigurationError,
+        errors.PartitionError,
+        errors.SimulationError,
+        errors.StalenessViolation,
+        errors.MemoryCapacityError,
+        errors.ConvergenceError,
+    ],
+)
+def test_all_errors_derive_from_repro_error(exc):
+    assert issubclass(exc, errors.ReproError)
+    with pytest.raises(errors.ReproError):
+        raise exc("boom")
+
+
+def test_repro_error_is_exception():
+    assert issubclass(errors.ReproError, Exception)

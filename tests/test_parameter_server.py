@@ -1,0 +1,129 @@
+"""Sharded PS simulation: clock advance, waiters, traffic accounting."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.models.calibration import DEFAULT_CALIBRATION
+from repro.sim import Simulator
+from repro.wsp.parameter_server import ParameterServerSim
+
+
+@pytest.fixture()
+def ps(cluster):
+    sim = Simulator()
+    return sim, ParameterServerSim(sim, cluster, num_virtual_workers=2, calibration=DEFAULT_CALIBRATION)
+
+
+def _sources(src_node=0, shard_node=0, nbytes=1e6):
+    return [(src_node, [(shard_node, nbytes)])]
+
+
+class TestClockAdvance:
+    def test_global_version_is_min_of_pushed(self, ps):
+        sim, server = ps
+        server.push(0, 0, _sources())
+        sim.run_until_idle()
+        assert server.pushed_wave == [0, -1]
+        assert server.global_version == -1  # vw1 has not pushed wave 0
+        server.push(1, 0, _sources(src_node=1, shard_node=1))
+        sim.run_until_idle()
+        assert server.global_version == 0
+
+    def test_out_of_order_push_rejected(self, ps):
+        sim, server = ps
+        with pytest.raises(SimulationError):
+            server.push(0, 1, _sources())
+
+    def test_empty_push_records_instantly(self, ps):
+        sim, server = ps
+        done = []
+        server.push(0, 0, [], on_complete=lambda: done.append(True))
+        assert done == [True]
+        assert server.pushed_wave[0] == 0
+
+
+class TestWaiters:
+    def test_waiter_fires_immediately_when_satisfied(self, ps):
+        sim, server = ps
+        hits = []
+        server.when_version(-1, lambda: hits.append("now"))
+        assert hits == ["now"]
+
+    def test_waiter_fires_on_version_advance(self, ps):
+        sim, server = ps
+        hits = []
+        server.when_version(0, lambda: hits.append(sim.now))
+        server.push(0, 0, _sources())
+        server.push(1, 0, _sources(src_node=1, shard_node=1))
+        sim.run_until_idle()
+        assert len(hits) == 1 and hits[0] > 0
+
+    def test_waiter_not_fired_early(self, ps):
+        sim, server = ps
+        hits = []
+        server.when_version(3, lambda: hits.append(True))
+        server.push(0, 0, _sources())
+        sim.run_until_idle()
+        assert hits == []
+
+
+class TestPull:
+    def test_pull_returns_version_snapshot(self, ps):
+        sim, server = ps
+        versions = []
+        server.pull(0, _sources(), on_complete=versions.append)
+        sim.run_until_idle()
+        assert versions == [-1]
+
+    def test_empty_pull_instant(self, ps):
+        sim, server = ps
+        versions = []
+        server.pull(0, [], on_complete=versions.append)
+        assert versions == [-1]
+        assert server.pulls_completed == 1
+
+
+class TestTrafficAccounting:
+    def test_cross_node_counted(self, ps):
+        sim, server = ps
+        server.push(0, 0, [(0, [(1, 5e6), (0, 3e6)])])
+        sim.run_until_idle()
+        assert server.sync_bytes_total == pytest.approx(8e6)
+        assert server.sync_bytes_cross_node == pytest.approx(5e6)
+
+    def test_pull_also_counted(self, ps):
+        sim, server = ps
+        server.pull(0, [(0, [(2, 4e6)])], on_complete=lambda v: None)
+        sim.run_until_idle()
+        assert server.sync_bytes_cross_node == pytest.approx(4e6)
+
+    def test_push_bytes_only_counts_without_clock(self, ps):
+        sim, server = ps
+        server.push_bytes_only(0, [(0, [(1, 1e6)])])
+        sim.run_until_idle()
+        assert server.sync_bytes_total == pytest.approx(1e6)
+        assert server.pushed_wave == [-1, -1]
+
+
+class TestTiming:
+    def test_cross_node_push_slower_than_local(self, cluster):
+        times = {}
+        for shard in (0, 1):
+            sim = Simulator()
+            server = ParameterServerSim(sim, cluster, 1, DEFAULT_CALIBRATION)
+            done = []
+            server.push(0, 0, [(0, [(shard, 50e6)])], on_complete=lambda: done.append(sim.now))
+            sim.run_until_idle()
+            times[shard] = done[0]
+        assert times[1] > times[0]
+
+    def test_apply_serializes_per_shard(self, cluster):
+        """Two VWs pushing to one shard must queue at the apply step."""
+        sim = Simulator()
+        server = ParameterServerSim(sim, cluster, 2, DEFAULT_CALIBRATION)
+        done = []
+        server.push(0, 0, [(0, [(0, 100e6)])], on_complete=lambda: done.append(sim.now))
+        server.push(1, 0, [(1, [(0, 100e6)])], on_complete=lambda: done.append(sim.now))
+        sim.run_until_idle()
+        apply_time = 100e6 / DEFAULT_CALIBRATION.ps_apply_bandwidth
+        assert done[1] - done[0] >= apply_time * 0.9

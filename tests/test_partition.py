@@ -1,0 +1,227 @@
+"""Partitioner: DP optimality (vs branch-and-bound), memory feasibility,
+ordering search, plan validation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import GPU_BY_CODE, paper_cluster
+from repro.cluster.gpu import GPUDevice
+from repro.errors import ConfigurationError, PartitionError
+from repro.models import build_vgg19
+from repro.models.calibration import DEFAULT_CALIBRATION
+from repro.models.graph import ModelGraph
+from repro.models.layers import LayerSpec
+from repro.partition import (
+    candidate_orderings,
+    max_feasible_nm,
+    plan_virtual_worker,
+    solve_bnb,
+    solve_boundaries,
+)
+from repro.partition.dp_solver import StageEvaluator
+from repro.partition.spec import PartitionPlan, Stage
+
+
+def _chain_model(flops, params=None, name="chain"):
+    """A synthetic chain with given per-unit forward GFLOPs."""
+    params = params or [1e6] * len(flops)
+    layers = tuple(
+        LayerSpec(
+            name=f"l{i}",
+            kind="conv",
+            flops_fwd=f * 1e9,
+            flops_bwd=2 * f * 1e9,
+            param_bytes=p,
+            output_bytes=1e6,
+            stash_bytes=2e6,
+        )
+        for i, (f, p) in enumerate(zip(flops, params))
+    )
+    return ModelGraph(name=name, batch_size=32, input_bytes=1e6, layers=layers)
+
+
+@pytest.fixture(scope="module")
+def four_v(cluster):
+    return cluster.gpus[0:4]
+
+
+@pytest.fixture(scope="module")
+def vrgq(cluster):
+    return [cluster.gpus[0], cluster.gpus[4], cluster.gpus[8], cluster.gpus[12]]
+
+
+class TestDPOptimality:
+    def test_dp_matches_bnb_on_vgg(self, vgg19, cluster, four_v):
+        evaluator = StageEvaluator(vgg19, four_v, 2, cluster.interconnect)
+        dp_bounds = solve_boundaries(evaluator)
+        bnb_bounds, bnb_best = solve_bnb(evaluator)
+        assert dp_bounds is not None and bnb_bounds is not None
+        dp_max = max(
+            evaluator.evaluate(dp_bounds[s], dp_bounds[s + 1], s).period for s in range(4)
+        )
+        assert dp_max == pytest.approx(bnb_best)
+
+    def test_dp_matches_bnb_heterogeneous(self, resnet152, cluster, vrgq):
+        evaluator = StageEvaluator(resnet152, vrgq, 3, cluster.interconnect)
+        dp_bounds = solve_boundaries(evaluator)
+        bnb_bounds, bnb_best = solve_bnb(evaluator)
+        dp_max = max(
+            evaluator.evaluate(dp_bounds[s], dp_bounds[s + 1], s).period for s in range(4)
+        )
+        assert dp_max == pytest.approx(bnb_best)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        flops=st.lists(st.floats(min_value=0.1, max_value=50.0), min_size=4, max_size=14),
+        nm=st.integers(min_value=1, max_value=4),
+    )
+    def test_property_dp_equals_bnb_on_random_chains(self, flops, nm):
+        model = _chain_model(flops)
+        cluster = paper_cluster()
+        gpus = [cluster.gpus[0], cluster.gpus[4], cluster.gpus[8], cluster.gpus[12]]
+        evaluator = StageEvaluator(model, gpus, nm, cluster.interconnect)
+        dp_bounds = solve_boundaries(evaluator)
+        bnb_bounds, bnb_best = solve_bnb(evaluator)
+        assert (dp_bounds is None) == (bnb_bounds is None)
+        if dp_bounds is not None:
+            dp_max = max(
+                evaluator.evaluate(dp_bounds[s], dp_bounds[s + 1], s).period
+                for s in range(4)
+            )
+            assert dp_max == pytest.approx(bnb_best)
+
+    def test_too_few_layers_infeasible(self, cluster, four_v):
+        model = _chain_model([1.0, 2.0])  # 2 layers, 4 GPUs
+        evaluator = StageEvaluator(model, four_v, 1, cluster.interconnect)
+        assert solve_boundaries(evaluator) is None
+        assert solve_bnb(evaluator)[0] is None
+
+
+class TestPlanner:
+    def test_plan_tiles_all_layers(self, vvvv_plan, vgg19):
+        assert vvvv_plan.num_layers == len(vgg19)
+        assert vvvv_plan.stages[0].start == 0
+        assert vvvv_plan.stages[-1].stop == len(vgg19)
+
+    def test_plan_respects_memory(self, vvvv_plan):
+        from repro.models.memory import gpu_usable_bytes
+
+        for stage in vvvv_plan.stages:
+            assert stage.memory_bytes <= gpu_usable_bytes(stage.gpu.spec)
+
+    def test_balanced_homogeneous_periods(self, vvvv_plan):
+        periods = [s.period for s in vvvv_plan.stages]
+        assert max(periods) < 2.2 * min(periods)
+
+    def test_heterogeneous_fast_gpu_gets_more_work(self, ed_plan):
+        """The V stage should carry more compute than the Q stage."""
+        by_code = {s.gpu.code: s for s in ed_plan.stages}
+        v_time = by_code["V"].fwd_compute + by_code["V"].bwd_compute
+        q_time = by_code["Q"].fwd_compute + by_code["Q"].bwd_compute
+        v_rate = by_code["V"].gpu.spec.effective_flops
+        q_rate = by_code["Q"].gpu.spec.effective_flops
+        # compute *time* is balanced, so work follows rate
+        assert v_time * v_rate > q_time * q_rate
+
+    def test_empty_vw_rejected(self, vgg19, cluster):
+        with pytest.raises(PartitionError):
+            plan_virtual_worker(vgg19, [], 1, cluster.interconnect)
+
+    def test_infeasible_raises(self, cluster):
+        # a model whose single unit cannot fit any GPU
+        huge = LayerSpec("huge", "conv", 1e9, 2e9, 1e12, 1e6, 1e6)
+        tiny = LayerSpec("tiny", "conv", 1e9, 2e9, 1e3, 1e6, 1e6)
+        model = ModelGraph(name="huge", batch_size=32, input_bytes=1e6, layers=(huge, tiny))
+        with pytest.raises(PartitionError):
+            plan_virtual_worker(model, cluster.gpus[0:2], 1, cluster.interconnect)
+
+    def test_nm1_equals_naive_model_parallelism(self, cluster, vgg19, profiler):
+        plan = plan_virtual_worker(
+            vgg19, cluster.gpus[0:4], 1, cluster.interconnect,
+            DEFAULT_CALIBRATION, profiler, search_orderings=False,
+        )
+        assert plan.nm == 1
+        assert plan.serial_latency >= plan.bottleneck_period
+
+    def test_search_orderings_never_worse(self, resnet152, cluster, vrgq, profiler):
+        natural = plan_virtual_worker(
+            resnet152, vrgq, 4, cluster.interconnect,
+            DEFAULT_CALIBRATION, profiler, search_orderings=False,
+        )
+        searched = plan_virtual_worker(
+            resnet152, vrgq, 4, cluster.interconnect,
+            DEFAULT_CALIBRATION, profiler, search_orderings=True,
+        )
+        assert searched.bottleneck_period <= natural.bottleneck_period + 1e-12
+
+    def test_max_feasible_nm_positive_for_paper_configs(self, vgg19, cluster, four_v):
+        assert max_feasible_nm(vgg19, four_v, cluster.interconnect) >= 2
+
+    def test_max_feasible_nm_zero_when_infeasible(self, cluster):
+        huge = LayerSpec("huge", "conv", 1e9, 2e9, 1e12, 1e6, 1e6)
+        tiny = LayerSpec("tiny", "conv", 1e9, 2e9, 1e3, 1e6, 1e6)
+        model = ModelGraph(name="huge", batch_size=32, input_bytes=1e6, layers=(huge, tiny))
+        assert max_feasible_nm(model, cluster.gpus[0:2], cluster.interconnect) == 0
+
+    def test_deterministic(self, resnet152, cluster, vrgq, profiler):
+        a = plan_virtual_worker(resnet152, vrgq, 3, cluster.interconnect, DEFAULT_CALIBRATION, profiler)
+        b = plan_virtual_worker(resnet152, vrgq, 3, cluster.interconnect, DEFAULT_CALIBRATION, profiler)
+        assert [(s.start, s.stop, s.gpu.gpu_id) for s in a.stages] == [
+            (s.start, s.stop, s.gpu.gpu_id) for s in b.stages
+        ]
+
+
+class TestOrderings:
+    def test_homogeneous_yields_one(self, cluster):
+        orderings = list(candidate_orderings(cluster.gpus[0:4]))
+        assert len(orderings) == 1
+
+    def test_vvqq_yields_six(self, cluster):
+        gpus = [cluster.gpus[0], cluster.gpus[1], cluster.gpus[12], cluster.gpus[13]]
+        assert len(list(candidate_orderings(gpus))) == 6
+
+    def test_fully_heterogeneous_yields_factorial(self, cluster, vrgq):
+        assert len(list(candidate_orderings(vrgq))) == 24
+
+    def test_max_orderings_cap(self, cluster, vrgq):
+        assert len(list(candidate_orderings(vrgq, max_orderings=5))) == 5
+
+
+class TestPlanValidation:
+    def test_stage_gap_rejected(self, vvvv_plan):
+        stages = list(vvvv_plan.stages)
+        bad = Stage(
+            index=1, start=stages[1].start + 1, stop=stages[1].stop,
+            gpu=stages[1].gpu, fwd_compute=1, bwd_compute=1,
+            fwd_comm_in=0, bwd_comm_in=0, memory_bytes=1, in_flight=1,
+            param_bytes=1, activation_in_bytes=1,
+        )
+        with pytest.raises(ConfigurationError):
+            PartitionPlan(model_name="x", nm=1, stages=(stages[0], bad, *stages[2:]))
+
+    def test_empty_stage_rejected(self, cluster):
+        with pytest.raises(ConfigurationError):
+            Stage(
+                index=0, start=3, stop=3, gpu=cluster.gpus[0],
+                fwd_compute=1, bwd_compute=1, fwd_comm_in=0, bwd_comm_in=0,
+                memory_bytes=1, in_flight=1, param_bytes=1, activation_in_bytes=1,
+            )
+
+    def test_bad_nm_rejected(self, vvvv_plan):
+        with pytest.raises(ConfigurationError):
+            PartitionPlan(model_name="x", nm=0, stages=vvvv_plan.stages)
+
+    def test_stage_of_layer(self, vvvv_plan):
+        stage = vvvv_plan.stage_of_layer(0)
+        assert stage.index == 0
+        with pytest.raises(ConfigurationError):
+            vvvv_plan.stage_of_layer(999)
+
+    def test_describe_mentions_stages(self, vvvv_plan):
+        text = vvvv_plan.describe()
+        assert "stage0" in text and "Nm=4" in text
+
+    def test_plan_param_bytes_total(self, vvvv_plan, vgg19):
+        assert sum(s.param_bytes for s in vvvv_plan.stages) == pytest.approx(
+            vgg19.param_bytes
+        )

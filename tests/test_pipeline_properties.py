@@ -1,0 +1,102 @@
+"""Property-based tests of the pipeline engine on random chain models.
+
+Hypothesis generates random layer chains, GPU mixes and pipeline
+depths; the invariants must hold for all of them:
+
+* every admitted minibatch completes, in order;
+* per-GPU busy time equals the sum of executed task durations
+  (work conservation — no lost or double-executed tasks);
+* the staleness ledger respects ``s_local``;
+* no stage ever holds more than ``Nm`` minibatches.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import paper_cluster
+from repro.models.graph import ModelGraph
+from repro.models.layers import LayerSpec
+from repro.partition import plan_virtual_worker
+from repro.pipeline.tasks import CountingGate
+from repro.pipeline.virtual_worker import VirtualWorkerPipeline
+from repro.sim import Simulator
+
+CLUSTER = paper_cluster()
+
+
+def chain_model(flops_list):
+    layers = tuple(
+        LayerSpec(
+            name=f"l{i}",
+            kind="conv",
+            flops_fwd=f * 1e9,
+            flops_bwd=1.5 * f * 1e9,
+            param_bytes=5e5,
+            output_bytes=2e6,
+            stash_bytes=4e6,
+        )
+        for i, f in enumerate(flops_list)
+    )
+    return ModelGraph(name="chain", batch_size=32, input_bytes=2e6, layers=layers)
+
+
+@st.composite
+def pipeline_case(draw):
+    length = draw(st.integers(min_value=4, max_value=12))
+    flops = [draw(st.floats(min_value=0.5, max_value=30.0)) for _ in range(length)]
+    k = draw(st.integers(min_value=2, max_value=4))
+    nm = draw(st.integers(min_value=1, max_value=5))
+    gpu_pick = draw(
+        st.lists(st.sampled_from([0, 4, 8, 12]), min_size=k, max_size=k)
+    )
+    # distinct device per stage (same spec allowed via different slots)
+    gpus = []
+    used = set()
+    for base in gpu_pick:
+        gpu_id = base
+        while gpu_id in used:
+            gpu_id += 1
+        used.add(gpu_id)
+        gpus.append(CLUSTER.gpu(gpu_id))
+    total = draw(st.integers(min_value=5, max_value=25))
+    return chain_model(flops), gpus, nm, total
+
+
+@settings(max_examples=25, deadline=None)
+@given(case=pipeline_case())
+def test_property_pipeline_invariants(case):
+    model, gpus, nm, total = case
+    plan = plan_virtual_worker(
+        model, gpus, nm, CLUSTER.interconnect, search_orderings=False
+    )
+    sim = Simulator()
+    pipeline = VirtualWorkerPipeline(
+        sim, plan, CLUSTER.interconnect, gate=CountingGate(limit=total)
+    )
+    pipeline.start()
+    sim.run_until_idle()
+
+    # 1. everything admitted completes, in order
+    assert pipeline.completed == total
+    assert sorted(pipeline.done_times) == list(range(1, total + 1))
+    done_times = [pipeline.done_times[p] for p in range(1, total + 1)]
+    assert done_times == sorted(done_times)
+
+    # 2. work conservation per stage
+    for s, state in enumerate(pipeline.stages):
+        stage = plan.stages[s]
+        expected = total * (stage.fwd_compute + stage.bwd_compute)
+        assert state.processor.busy_time == pytest.approx(expected)
+
+    # 3. local staleness ledger
+    slocal = nm - 1
+    for p, seen in pipeline.staleness_ledger.items():
+        assert seen >= p - 1 - slocal
+
+    # 4. stash bound
+    assert all(peak <= nm for peak in pipeline.peak_in_flight())
+
+    # 5. completion no earlier than the theoretical minimum: the
+    # busiest GPU must serially execute its compute for every minibatch
+    compute_bottleneck = max(s.fwd_compute + s.bwd_compute for s in plan.stages)
+    assert done_times[-1] >= compute_bottleneck * total * 0.999

@@ -1,0 +1,61 @@
+"""GPipe-style flush variant (§2.3 comparison)."""
+
+import pytest
+
+from repro.pipeline import measure_flush_pipeline, measure_pipeline
+from repro.pipeline.variants import GPipeFlushGate
+
+
+class TestFlushGate:
+    def test_wave_zero_admitted_immediately(self):
+        gate = GPipeFlushGate(nm=4, limit=100)
+        assert all(gate.may_start(p) for p in (1, 2, 3, 4))
+
+    def test_wave_one_blocked_until_flush(self):
+        gate = GPipeFlushGate(nm=4, limit=100)
+        assert not gate.may_start(5)
+        for _ in range(4):
+            gate.on_done()
+        assert gate.may_start(5)
+
+    def test_limit_respected(self):
+        gate = GPipeFlushGate(nm=2, limit=2)
+        assert not gate.may_start(3)
+
+    def test_wake_called_on_done(self):
+        gate = GPipeFlushGate(nm=2, limit=10)
+        hits = []
+        gate.subscribe(lambda: hits.append(True))
+        gate.on_done()
+        assert hits == [True]
+
+
+class TestFlushPenalty:
+    def test_flush_is_slower_than_continuous(self, vvvv_plan, cluster):
+        """The §2.3 claim: GPipe's per-wave flush leaves bubbles that
+        HetPipe's continuous pipeline fills."""
+        continuous = measure_pipeline(
+            vvvv_plan, cluster.interconnect, 32, measured_minibatches=24
+        ).throughput
+        flush = measure_flush_pipeline(
+            vvvv_plan, cluster.interconnect, 32, measured_minibatches=24
+        )
+        assert flush < continuous
+
+    def test_flush_penalty_meaningful(self, vvvv_plan, cluster):
+        continuous = measure_pipeline(
+            vvvv_plan, cluster.interconnect, 32, measured_minibatches=24
+        ).throughput
+        flush = measure_flush_pipeline(
+            vvvv_plan, cluster.interconnect, 32, measured_minibatches=24
+        )
+        assert flush < 0.95 * continuous
+
+    def test_flush_still_beats_naive_mp(self, vvvv_plan, cluster):
+        """Even with flushes, intra-wave pipelining beats Nm=1 serial
+        execution (GPipe is still useful — just worse than HetPipe)."""
+        flush = measure_flush_pipeline(
+            vvvv_plan, cluster.interconnect, 32, measured_minibatches=24
+        )
+        naive_rate = 32 / vvvv_plan.serial_latency
+        assert flush > naive_rate

@@ -1,0 +1,123 @@
+"""Property tests of the parameter server's clock protocol.
+
+Hypothesis drives random interleavings of pushes from N workers (each
+worker's waves strictly sequential, as the runtime guarantees) and
+checks the §5 clock invariants at every step:
+
+* ``global_version == min(pushed_wave)`` always;
+* a version waiter fires exactly once, and never before its version;
+* pushes queued behind an in-flight push apply strictly in order.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import paper_cluster
+from repro.models.calibration import DEFAULT_CALIBRATION
+from repro.sim import Simulator
+from repro.wsp.parameter_server import ParameterServerSim
+
+CLUSTER = paper_cluster()
+
+
+@st.composite
+def push_schedule(draw):
+    """A random interleaving of per-worker wave pushes with delays."""
+    n_workers = draw(st.integers(min_value=2, max_value=4))
+    waves_per_worker = draw(st.integers(min_value=1, max_value=5))
+    order = []
+    for w in range(n_workers):
+        order += [w] * waves_per_worker
+    order = draw(st.permutations(order))
+    delays = [draw(st.floats(min_value=0.0, max_value=0.02)) for _ in order]
+    sizes = [draw(st.floats(min_value=1e4, max_value=5e7)) for _ in order]
+    return n_workers, waves_per_worker, list(order), delays, sizes
+
+
+@settings(max_examples=30, deadline=None)
+@given(schedule=push_schedule())
+def test_property_global_version_is_min_of_pushed(schedule):
+    n_workers, waves_per_worker, order, delays, sizes = schedule
+    sim = Simulator()
+    server = ParameterServerSim(sim, CLUSTER, n_workers, DEFAULT_CALIBRATION)
+
+    observed = []
+
+    original = server._push_recorded
+
+    def spy(vw, wave, cb):
+        original(vw, wave, cb)
+        observed.append((list(server.pushed_wave), server.global_version))
+
+    server._push_recorded = spy
+
+    next_wave = [0] * n_workers
+    clock = 0.0
+    for worker, delay, size in zip(order, delays, sizes):
+        clock += delay
+        wave = next_wave[worker]
+        next_wave[worker] += 1
+        sim.schedule_at(
+            clock,
+            (
+                lambda worker=worker, wave=wave, size=size: server.push(
+                    worker, wave, [(worker % 4, [((worker + 1) % 4, size)])]
+                )
+            ),
+        )
+    sim.run_until_idle()
+
+    # every push landed
+    assert server.pushed_wave == [waves_per_worker - 1] * n_workers
+    assert server.global_version == waves_per_worker - 1
+    # the invariant held at every recording point
+    for pushed, version in observed:
+        assert version == min(pushed)
+    # versions observed are monotone
+    versions = [v for _, v in observed]
+    assert versions == sorted(versions)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    desired=st.integers(min_value=0, max_value=3),
+    waves=st.integers(min_value=1, max_value=5),
+)
+def test_property_waiters_fire_exactly_once_and_never_early(desired, waves):
+    sim = Simulator()
+    server = ParameterServerSim(sim, CLUSTER, 2, DEFAULT_CALIBRATION)
+    fires = []
+    server.when_version(desired, lambda: fires.append(server.global_version))
+
+    for wave in range(waves):
+        for worker in (0, 1):
+            server.push(worker, wave, [(0, [(1, 1e6)])])
+        sim.run_until_idle()
+
+    if waves - 1 >= desired:
+        assert len(fires) == 1
+        assert fires[0] >= desired
+    else:
+        assert fires == []
+
+
+@settings(max_examples=20, deadline=None)
+@given(burst=st.integers(min_value=2, max_value=6))
+def test_property_backlogged_pushes_apply_in_wave_order(burst):
+    """Fire a worker's waves back-to-back (transfers still in flight):
+    they must record strictly in order."""
+    sim = Simulator()
+    server = ParameterServerSim(sim, CLUSTER, 1, DEFAULT_CALIBRATION)
+    recorded = []
+
+    original = server._push_recorded
+
+    def spy(vw, wave, cb):
+        original(vw, wave, cb)
+        recorded.append(wave)
+
+    server._push_recorded = spy
+    for wave in range(burst):
+        server.push(0, wave, [(0, [(1, 2e7)])])
+    sim.run_until_idle()
+    assert recorded == list(range(burst))
+    assert server.global_version == burst - 1

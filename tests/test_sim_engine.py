@@ -1,0 +1,144 @@
+"""Discrete-event engine: ordering, cancellation, horizons, guards."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SimulationError
+from repro.sim import Simulator
+
+
+def test_clock_starts_at_zero():
+    assert Simulator().now == 0.0
+
+
+def test_events_run_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(2.0, order.append, "b")
+    sim.schedule(1.0, order.append, "a")
+    sim.schedule(3.0, order.append, "c")
+    sim.run()
+    assert order == ["a", "b", "c"]
+    assert sim.now == 3.0
+
+
+def test_ties_break_by_insertion_order():
+    sim = Simulator()
+    order = []
+    for tag in range(5):
+        sim.schedule(1.0, order.append, tag)
+    sim.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_schedule_in_past_rejected():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(0.5, lambda: None)
+
+
+def test_cancelled_events_are_skipped():
+    sim = Simulator()
+    hits = []
+    event = sim.schedule(1.0, hits.append, "x")
+    sim.schedule(2.0, hits.append, "y")
+    event.cancel()
+    sim.run()
+    assert hits == ["y"]
+
+
+def test_callbacks_can_schedule_more_events():
+    sim = Simulator()
+    hits = []
+
+    def chain(n):
+        hits.append(n)
+        if n < 3:
+            sim.schedule(1.0, chain, n + 1)
+
+    sim.schedule(0.0, chain, 0)
+    sim.run()
+    assert hits == [0, 1, 2, 3]
+    assert sim.now == 3.0
+
+
+def test_run_until_horizon_stops_clock_at_horizon():
+    sim = Simulator()
+    hits = []
+    sim.schedule(1.0, hits.append, "early")
+    sim.schedule(10.0, hits.append, "late")
+    sim.run(until=5.0)
+    assert hits == ["early"]
+    assert sim.now == 5.0
+    sim.run()  # the late event still runs afterwards
+    assert hits == ["early", "late"]
+
+
+def test_run_until_includes_event_at_horizon():
+    sim = Simulator()
+    hits = []
+    sim.schedule(5.0, hits.append, "at")
+    sim.run(until=5.0)
+    assert hits == ["at"]
+
+
+def test_run_max_events():
+    sim = Simulator()
+    hits = []
+    for i in range(10):
+        sim.schedule(float(i + 1), hits.append, i)
+    sim.run(max_events=4)
+    assert hits == [0, 1, 2, 3]
+
+
+def test_peek_skips_cancelled():
+    sim = Simulator()
+    e1 = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    e1.cancel()
+    assert sim.peek() == 2.0
+
+
+def test_peek_empty_returns_none():
+    assert Simulator().peek() is None
+
+
+def test_step_returns_false_when_empty():
+    assert Simulator().step() is False
+
+
+def test_run_until_idle_guard_raises_on_storm():
+    sim = Simulator()
+
+    def storm():
+        sim.schedule(0.001, storm)
+
+    sim.schedule(0.0, storm)
+    with pytest.raises(SimulationError):
+        sim.run_until_idle(max_events=100)
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for i in range(5):
+        sim.schedule(float(i), lambda: None)
+    sim.run()
+    assert sim.events_processed == 5
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6, allow_nan=False), min_size=1, max_size=60))
+def test_property_events_fire_in_sorted_order(delays):
+    sim = Simulator()
+    fired = []
+    for d in delays:
+        sim.schedule(d, lambda d=d: fired.append(d))
+    sim.run()
+    assert fired == sorted(delays) and sim.now == max(delays)

@@ -1,0 +1,163 @@
+"""Processor and Channel semantics: FIFO service, accounting."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SimulationError
+from repro.sim import Channel, Processor, Simulator
+
+
+class TestProcessor:
+    def test_jobs_run_fifo(self):
+        sim = Simulator()
+        proc = Processor(sim)
+        done = []
+        proc.submit(2.0, lambda: done.append(("a", sim.now)))
+        proc.submit(1.0, lambda: done.append(("b", sim.now)))
+        sim.run()
+        assert done == [("a", 2.0), ("b", 3.0)]
+
+    def test_busy_time_accumulates_service_time(self):
+        sim = Simulator()
+        proc = Processor(sim)
+        proc.submit(2.0)
+        proc.submit(3.0)
+        sim.run()
+        assert proc.busy_time == pytest.approx(5.0)
+        assert proc.jobs_completed == 2
+
+    def test_utilization(self):
+        sim = Simulator()
+        proc = Processor(sim)
+        proc.submit(2.0)
+        sim.schedule(4.0, lambda: None)  # extend the clock to 4s
+        sim.run()
+        assert proc.utilization() == pytest.approx(0.5)
+
+    def test_utilization_counts_inflight_work(self):
+        sim = Simulator()
+        proc = Processor(sim)
+        proc.submit(10.0)
+        sim.run(until=5.0)
+        assert proc.utilization() == pytest.approx(1.0)
+
+    def test_negative_duration_rejected(self):
+        proc = Processor(Simulator())
+        with pytest.raises(SimulationError):
+            proc.submit(-1.0)
+
+    def test_zero_elapsed_utilization_is_zero(self):
+        assert Processor(Simulator()).utilization() == 0.0
+
+    def test_submission_from_callback_queues_fifo(self):
+        sim = Simulator()
+        proc = Processor(sim)
+        done = []
+
+        def first():
+            done.append("first")
+            proc.submit(1.0, lambda: done.append("from-callback"))
+
+        proc.submit(1.0, first)
+        proc.submit(1.0, lambda: done.append("second"))
+        sim.run()
+        assert done == ["first", "second", "from-callback"]
+
+    def test_state_change_listener_sees_transitions(self):
+        sim = Simulator()
+        proc = Processor(sim)
+        transitions = []
+        proc.on_state_change = lambda busy: transitions.append((busy, sim.now))
+        proc.submit(1.0)
+        proc.submit(1.0)
+        sim.run()
+        # busy at 0, idle at 2 (back-to-back jobs do not toggle)
+        assert transitions == [(True, 0.0), (False, 2.0)]
+
+    def test_queue_depth(self):
+        sim = Simulator()
+        proc = Processor(sim)
+        proc.submit(1.0)
+        proc.submit(1.0)
+        proc.submit(1.0)
+        assert proc.queue_depth == 2  # one executing, two queued
+        sim.run()
+        assert proc.queue_depth == 0
+
+
+class TestChannel:
+    def test_transfer_time_unloaded(self):
+        sim = Simulator()
+        link = Channel(sim, bandwidth=100.0, latency=0.5)
+        assert link.transfer_time(200) == pytest.approx(2.5)
+
+    def test_transfers_serialize(self):
+        sim = Simulator()
+        link = Channel(sim, bandwidth=100.0)
+        done = []
+        link.transfer(100, lambda: done.append(sim.now))
+        link.transfer(100, lambda: done.append(sim.now))
+        sim.run()
+        assert done == [pytest.approx(1.0), pytest.approx(2.0)]
+
+    def test_latency_pipelines_between_messages(self):
+        # latency delays delivery but does not occupy the link
+        sim = Simulator()
+        link = Channel(sim, bandwidth=100.0, latency=1.0)
+        done = []
+        link.transfer(100, lambda: done.append(sim.now))
+        link.transfer(100, lambda: done.append(sim.now))
+        sim.run()
+        assert done == [pytest.approx(2.0), pytest.approx(3.0)]
+
+    def test_bytes_moved_accounting(self):
+        sim = Simulator()
+        link = Channel(sim, bandwidth=10.0)
+        link.transfer(30)
+        link.transfer(20)
+        sim.run()
+        assert link.bytes_moved == 50
+        assert link.transfers_completed == 2
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(SimulationError):
+            Channel(Simulator(), bandwidth=0.0)
+
+    def test_negative_latency(self):
+        with pytest.raises(SimulationError):
+            Channel(Simulator(), bandwidth=1.0, latency=-1.0)
+
+    def test_negative_size(self):
+        link = Channel(Simulator(), bandwidth=1.0)
+        with pytest.raises(SimulationError):
+            link.transfer(-5)
+
+    def test_utilization(self):
+        sim = Simulator()
+        link = Channel(sim, bandwidth=10.0)
+        link.transfer(10)  # occupies 1s
+        sim.schedule(4.0, lambda: None)
+        sim.run()
+        assert link.utilization() == pytest.approx(0.25)
+
+    def test_idle_gap_then_transfer(self):
+        sim = Simulator()
+        link = Channel(sim, bandwidth=10.0)
+        done = []
+        sim.schedule(5.0, lambda: link.transfer(10, lambda: done.append(sim.now)))
+        sim.run()
+        assert done == [pytest.approx(6.0)]
+
+    @given(
+        st.lists(st.floats(min_value=1.0, max_value=1e6, allow_nan=False), min_size=1, max_size=30)
+    )
+    def test_property_completion_times_monotone_and_work_conserving(self, sizes):
+        sim = Simulator()
+        link = Channel(sim, bandwidth=1000.0)
+        completions = []
+        for nbytes in sizes:
+            link.transfer(nbytes, lambda: completions.append(sim.now))
+        sim.run()
+        assert completions == sorted(completions)
+        # FIFO with no latency: last completion is exactly total bytes / bw
+        assert completions[-1] == pytest.approx(sum(sizes) / 1000.0)

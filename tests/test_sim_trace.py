@@ -1,0 +1,63 @@
+"""Trace recording and filtering."""
+
+from repro.sim import Trace
+
+
+def test_emit_and_len():
+    trace = Trace()
+    trace.emit(1.0, "push", "vw0", wave=3)
+    trace.emit(2.0, "pull", "vw1")
+    assert len(trace) == 2
+
+
+def test_disabled_trace_records_nothing():
+    trace = Trace(enabled=False)
+    trace.emit(1.0, "push", "vw0")
+    assert len(trace) == 0
+
+
+def test_filter_by_category():
+    trace = Trace()
+    trace.emit(1.0, "push", "vw0")
+    trace.emit(2.0, "pull", "vw0")
+    trace.emit(3.0, "push", "vw1")
+    assert [r.actor for r in trace.filter(category="push")] == ["vw0", "vw1"]
+
+
+def test_filter_by_actor():
+    trace = Trace()
+    trace.emit(1.0, "push", "vw0")
+    trace.emit(2.0, "pull", "vw1")
+    assert [r.category for r in trace.filter(actor="vw1")] == ["pull"]
+
+
+def test_filter_by_both():
+    trace = Trace()
+    trace.emit(1.0, "push", "vw0")
+    trace.emit(2.0, "push", "vw1")
+    trace.emit(3.0, "pull", "vw1")
+    records = trace.filter(category="push", actor="vw1")
+    assert len(records) == 1 and records[0].time == 2.0
+
+
+def test_categories():
+    trace = Trace()
+    trace.emit(1.0, "a", "x")
+    trace.emit(2.0, "b", "x")
+    assert trace.categories() == {"a", "b"}
+
+
+def test_last():
+    trace = Trace()
+    trace.emit(1.0, "push", "vw0", wave=0)
+    trace.emit(2.0, "push", "vw0", wave=1)
+    record = trace.last("push")
+    assert record is not None and record.detail["wave"] == 1
+    assert trace.last("missing") is None
+
+
+def test_iteration_and_repr():
+    trace = Trace()
+    trace.emit(1.5, "push", "vw0", wave=2)
+    record = next(iter(trace))
+    assert "push" in repr(record) and "wave=2" in repr(record)

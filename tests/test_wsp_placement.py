@@ -1,0 +1,92 @@
+"""Parameter placement policies."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.models.calibration import DEFAULT_CALIBRATION
+from repro.partition import plan_virtual_worker
+from repro.wsp import (
+    build_placements,
+    local_placement,
+    round_robin_placement,
+    validate_local_placement,
+)
+
+
+@pytest.fixture(scope="module")
+def ed_plans(cluster, resnet152, profiler):
+    """Four identical ED virtual workers (one GPU per node each)."""
+    plans = []
+    for slot in range(4):
+        vw = [node.gpus[slot] for node in cluster.nodes]
+        plans.append(
+            plan_virtual_worker(
+                resnet152, vw, 2, cluster.interconnect,
+                DEFAULT_CALIBRATION, profiler, search_orderings=False,
+            )
+        )
+    return plans
+
+
+class TestRoundRobin:
+    def test_every_stage_spread_over_all_nodes(self, resnet152, ed_plans):
+        placement = round_robin_placement(resnet152, ed_plans[0], [0, 1, 2, 3])
+        for stage_dests in placement:
+            assert [n for n, _ in stage_dests] == [0, 1, 2, 3]
+
+    def test_uniform_split(self, resnet152, ed_plans):
+        placement = round_robin_placement(resnet152, ed_plans[0], [0, 1, 2, 3])
+        for stage, stage_dests in zip(ed_plans[0].stages, placement):
+            sizes = [b for _, b in stage_dests]
+            assert all(s == pytest.approx(stage.param_bytes / 4) for s in sizes)
+
+    def test_total_bytes_conserved(self, resnet152, ed_plans):
+        placement = round_robin_placement(resnet152, ed_plans[0], [0, 1, 2, 3])
+        total = sum(b for stage in placement for _, b in stage)
+        assert total == pytest.approx(resnet152.param_bytes)
+
+    def test_empty_nodes_rejected(self, resnet152, ed_plans):
+        with pytest.raises(ConfigurationError):
+            round_robin_placement(resnet152, ed_plans[0], [])
+
+
+class TestLocal:
+    def test_single_destination_on_stage_node(self, resnet152, ed_plans):
+        placement = local_placement(resnet152, ed_plans[0])
+        for stage, dests in zip(ed_plans[0].stages, placement):
+            assert dests == [(stage.gpu.node_id, stage.param_bytes)]
+
+    def test_validate_accepts_ed(self, ed_plans):
+        validate_local_placement(ed_plans)  # must not raise
+
+    def test_validate_rejects_np(self, cluster, resnet152, profiler):
+        """NP virtual workers live on different nodes per VW — stage 0
+        cannot be local to all of them."""
+        plans = [
+            plan_virtual_worker(
+                resnet152, node.gpus, 2, cluster.interconnect,
+                DEFAULT_CALIBRATION, profiler, search_orderings=False,
+            )
+            for node in cluster.nodes[:2]
+            if node.gpus[0].code in "VR"  # skip G (infeasible caps vary)
+        ]
+        with pytest.raises(ConfigurationError):
+            validate_local_placement(plans)
+
+    def test_validate_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            validate_local_placement([])
+
+
+class TestBuildPlacements:
+    def test_default_policy(self, cluster, resnet152, ed_plans):
+        placements = build_placements(resnet152, ed_plans, [0, 1, 2, 3], "default")
+        assert len(placements) == 4
+
+    def test_local_policy(self, cluster, resnet152, ed_plans):
+        placements = build_placements(resnet152, ed_plans, [0, 1, 2, 3], "local")
+        assert all(len(dests) == 1 for p in placements for dests in p)
+
+    def test_unknown_policy(self, cluster, resnet152, ed_plans):
+        with pytest.raises(ConfigurationError):
+            build_placements(resnet152, ed_plans, [0, 1, 2, 3], "magic")

@@ -1,0 +1,114 @@
+"""WSP staleness arithmetic — the formulas of §4–§5."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.wsp import (
+    admission_limit,
+    desired_version_after_wave,
+    global_staleness,
+    local_staleness,
+    missing_updates,
+)
+
+
+class TestLocalStaleness:
+    def test_nm_minus_one(self):
+        assert local_staleness(4) == 3
+
+    def test_nm_one_is_naive_mp(self):
+        """§4: 'If Nm = 1, the behavior is exactly the same as naive
+        model parallelism' — zero local staleness."""
+        assert local_staleness(1) == 0
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            local_staleness(0)
+
+
+class TestGlobalStaleness:
+    def test_paper_formula(self):
+        # s_global = (D+1)(s_local+1) + s_local - 1
+        assert global_staleness(0, 3) == 1 * 4 + 3 - 1  # = 6
+        assert global_staleness(4, 3) == 5 * 4 + 3 - 1  # = 22
+
+    def test_d0_slocal0_is_bsp(self):
+        """D=0 and Nm=1: missing at most 0 updates... the formula gives
+        s_global = 0 — fully synchronous."""
+        assert global_staleness(0, 0) == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            global_staleness(-1, 3)
+        with pytest.raises(ConfigurationError):
+            global_staleness(0, -1)
+
+
+class TestAdmissionLimit:
+    def test_initial_matches_paper(self):
+        """§5: 'Initially, all virtual workers start processing the
+        first (D+1) waves ... plus s_local minibatches of the next'."""
+        nm, d = 4, 2
+        assert admission_limit(-1, d, nm) == (d + 1) * nm + (nm - 1)
+
+    def test_monotone_in_version(self):
+        limits = [admission_limit(v, 1, 4) for v in range(-1, 5)]
+        assert limits == sorted(limits)
+        assert all(b - a == 4 for a, b in zip(limits, limits[1:]))  # one wave per version
+
+    def test_monotone_in_d(self):
+        assert admission_limit(0, 4, 4) > admission_limit(0, 0, 4)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            admission_limit(-2, 0, 4)
+        with pytest.raises(ConfigurationError):
+            admission_limit(0, -1, 4)
+
+    @given(
+        version=st.integers(min_value=-1, max_value=100),
+        d=st.integers(min_value=0, max_value=32),
+        nm=st.integers(min_value=1, max_value=8),
+    )
+    def test_property_furthest_minibatch_missing_at_most_sglobal(self, version, d, nm):
+        """The furthest admissible minibatch misses exactly s_global
+        predecessor updates — the §5 bound is tight."""
+        limit = admission_limit(version, d, nm)
+        slocal = local_staleness(nm)
+        assert missing_updates(limit, version, nm) == global_staleness(d, slocal)
+
+    @given(
+        version=st.integers(min_value=-1, max_value=100),
+        d=st.integers(min_value=0, max_value=32),
+        nm=st.integers(min_value=1, max_value=8),
+    )
+    def test_property_all_admissible_within_bound(self, version, d, nm):
+        limit = admission_limit(version, d, nm)
+        bound = global_staleness(d, local_staleness(nm))
+        for p in range(max(1, limit - 2 * nm), limit + 1):
+            assert missing_updates(p, version, nm) <= bound
+
+
+class TestDesiredVersion:
+    def test_d0_requires_own_wave(self):
+        """D=0 is BSP-like: after wave c, wait for everyone's wave c."""
+        assert desired_version_after_wave(5, 0) == 5
+
+    def test_d_relaxes(self):
+        assert desired_version_after_wave(5, 4) == 1
+
+    def test_can_be_negative_early(self):
+        assert desired_version_after_wave(0, 4) == -4  # trivially satisfied
+
+
+class TestMissingUpdates:
+    def test_zero_when_fully_synced(self):
+        assert missing_updates(4, 0, 4) == 0  # wave 0 pulled, minibatch 4
+
+    def test_counts_since_last_global_wave(self):
+        # version 0 pulled => minibatches 1..4 reflected; p=11 misses 6
+        assert missing_updates(11, 0, 4) == 6
+
+    def test_never_negative(self):
+        assert missing_updates(1, 10, 4) == 0
