@@ -1,7 +1,10 @@
 """Command-line interface: ``hetpipe <experiment> [--model ...]``.
 
 Each subcommand regenerates one paper table/figure on the simulated
-testbed and prints it side by side with the paper's numbers.
+testbed and prints it side by side with the paper's numbers.  The
+``fuzz`` subcommand instead drives the scenario fuzzing harness: seeded
+random configurations through the full runtime under invariant oracles
+(see :mod:`repro.scenarios`).
 """
 
 from __future__ import annotations
@@ -19,6 +22,14 @@ from repro.experiments import (
     run_table4,
 )
 from repro.experiments.report import ascii_curve
+
+
+def _positive_int(value: str) -> int:
+    """argparse type: an int >= 1 (a zero-seed fuzz gate passes vacuously)."""
+    parsed = int(value)
+    if parsed < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {parsed}")
+    return parsed
 
 
 def _add_model_arg(parser: argparse.ArgumentParser, default: str = "vgg19") -> None:
@@ -49,6 +60,21 @@ def build_parser() -> argparse.ArgumentParser:
     _add_model_arg(p)
     p = sub.add_parser("ablations", help="design-choice ablations")
     _add_model_arg(p, default="resnet152")
+    p = sub.add_parser(
+        "fuzz", help="seeded scenario fuzzing under runtime invariant oracles"
+    )
+    p.add_argument(
+        "--seeds", type=_positive_int, default=25, metavar="N",
+        help="number of consecutive seeds to run (default: 25)",
+    )
+    p.add_argument(
+        "--base-seed", type=int, default=0, metavar="S",
+        help="first seed of the batch (default: 0)",
+    )
+    p.add_argument(
+        "--verbose", action="store_true",
+        help="print one line per scenario, not just the summary",
+    )
     sub.add_parser("all", help="run every experiment (slow)")
     return parser
 
@@ -77,6 +103,16 @@ def main(argv: list[str] | None = None) -> int:
         print(run_sync_overhead(args.model).render())
     elif args.command == "ablations":
         print(run_ablations(args.model).render())
+    elif args.command == "fuzz":
+        # imported lazily: the fuzz stack is not needed for figure runs
+        from repro.scenarios import run_fuzz
+
+        report = run_fuzz(
+            range(args.base_seed, args.base_seed + args.seeds),
+            verbose_log=print if args.verbose else None,
+        )
+        print(report.summary())
+        return 1 if report.failures else 0
     elif args.command == "all":
         for model in ("vgg19", "resnet152"):
             print(run_fig3(model).render())

@@ -42,6 +42,16 @@ class StalenessViolation(ReproError):
     """A WSP staleness bound (local or global) was violated."""
 
 
+class InvariantViolation(ReproError):
+    """A runtime invariant oracle observed an impossible execution.
+
+    Raised by :mod:`repro.sim.invariants` the moment a run breaks one of
+    the paper's correctness properties (staleness admission, scheduling
+    order, clock monotonicity, conservation).  Like
+    :class:`StalenessViolation` this always indicates a bug, never a
+    recoverable condition; the fuzz harness treats it as a finding."""
+
+
 class MemoryCapacityError(ReproError):
     """A device was asked to hold more bytes than its capacity."""
 

@@ -26,6 +26,7 @@ from repro.errors import SimulationError
 from repro.partition.spec import PartitionPlan
 from repro.sim.engine import Simulator
 from repro.sim.resources import Channel, Processor
+from repro.sim.trace import Trace
 
 
 @dataclass
@@ -57,11 +58,13 @@ class OneFOneBPipeline:
         interconnect: InterconnectSpec,
         limit: int,
         name: str = "1f1b",
+        trace: Trace | None = None,
     ) -> None:
         self.sim = sim
         self.plan = plan
         self.limit = limit
         self.name = name
+        self.trace = trace if trace is not None else Trace(enabled=False)
         self.stages: list[_Stage1F1B] = []
         for stage in plan.stages:
             to_next = None
@@ -104,10 +107,12 @@ class OneFOneBPipeline:
 
     def _enqueue_fwd(self, s: int, p: int) -> None:
         self.stages[s].fwd_queue.append(p)
+        self.trace.emit(self.sim.now, "f_ready", f"{self.name}.s{s}", minibatch=p)
         self._dispatch(s)
 
     def _enqueue_bwd(self, s: int, p: int) -> None:
         self.stages[s].bwd_queue.append(p)
+        self.trace.emit(self.sim.now, "b_ready", f"{self.name}.s{s}", minibatch=p)
         self._dispatch(s)
 
     def _dispatch(self, s: int) -> None:
@@ -121,7 +126,10 @@ class OneFOneBPipeline:
             p = state.bwd_queue.pop(0)
             state.next_bwd += 1
             state.processor.submit(
-                stage.bwd_compute, (lambda s=s, p=p: self._bwd_done(s, p)), tag=("B", p)
+                stage.bwd_compute,
+                (lambda s=s, p=p: self._bwd_done(s, p)),
+                tag=("B", p),
+                on_start=(lambda s=s, p=p: self.trace.emit(self.sim.now, "b_start", f"{self.name}.s{s}", minibatch=p)),
             )
         elif state.fwd_queue and state.fwd_queue[0] == state.next_fwd:
             p = state.fwd_queue.pop(0)
@@ -131,13 +139,18 @@ class OneFOneBPipeline:
                     stage.fwd_compute + stage.bwd_compute,
                     (lambda s=s, p=p: self._bwd_done(s, p)),
                     tag=("FB", p),
+                    on_start=(lambda s=s, p=p: self.trace.emit(self.sim.now, "fb_start", f"{self.name}.s{s}", minibatch=p)),
                 )
             else:
                 state.processor.submit(
-                    stage.fwd_compute, (lambda s=s, p=p: self._fwd_done(s, p)), tag=("F", p)
+                    stage.fwd_compute,
+                    (lambda s=s, p=p: self._fwd_done(s, p)),
+                    tag=("F", p),
+                    on_start=(lambda s=s, p=p: self.trace.emit(self.sim.now, "f_start", f"{self.name}.s{s}", minibatch=p)),
                 )
 
     def _fwd_done(self, s: int, p: int) -> None:
+        self.trace.emit(self.sim.now, "f_done", f"{self.name}.s{s}", minibatch=p)
         state = self.stages[s]
         nbytes = self.plan.stages[s + 1].activation_in_bytes
         assert state.to_next is not None
@@ -145,6 +158,10 @@ class OneFOneBPipeline:
         self._dispatch(s)
 
     def _bwd_done(self, s: int, p: int) -> None:
+        last = s == self.plan.k - 1
+        self.trace.emit(
+            self.sim.now, "fb_done" if last else "b_done", f"{self.name}.s{s}", minibatch=p
+        )
         state = self.stages[s]
         if s > 0:
             nbytes = self.plan.stages[s].activation_in_bytes
@@ -154,6 +171,7 @@ class OneFOneBPipeline:
             self.completed += 1
             self.active -= 1
             self.done_times[p] = self.sim.now
+            self.trace.emit(self.sim.now, "minibatch_done", self.name, minibatch=p)
             self._admit()
         self._dispatch(s)
 

@@ -58,6 +58,7 @@ class VirtualWorkerPipeline:
         name: str = "vw0",
         gate: AdmissionGate | None = None,
         on_minibatch_done: Callable[[int, float], None] | None = None,
+        on_inject: Callable[[int, float], None] | None = None,
         trace: Trace | None = None,
         slocal: int | None = None,
         jitter: float = 0.0,
@@ -68,6 +69,10 @@ class VirtualWorkerPipeline:
         self.gate = gate if gate is not None else OpenGate()
         self.gate.subscribe(self._try_inject)
         self.on_minibatch_done = on_minibatch_done
+        #: called with (minibatch, now) right after admission — the WSP
+        #: runtime forwards this to the staleness oracle, which needs the
+        #: gate state *at injection time*, not post-hoc from the trace
+        self.on_inject = on_inject
         self.trace = trace if trace is not None else Trace(enabled=False)
         #: local staleness threshold; Nm - 1 unless overridden for tests
         self.slocal = plan.nm - 1 if slocal is None else slocal
@@ -140,6 +145,8 @@ class VirtualWorkerPipeline:
         self.inject_times[p] = self.sim.now
         self.staleness_ledger[p] = self.completed
         self.trace.emit(self.sim.now, "inject", self.name, minibatch=p)
+        if self.on_inject is not None:
+            self.on_inject(p, self.sim.now)
         self._forward_arrived(0, p)
 
     # ------------------------------------------------------------------

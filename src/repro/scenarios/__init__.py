@@ -1,0 +1,37 @@
+"""Scenario fuzzing: seeded deterministic configurations + oracles.
+
+* :mod:`repro.scenarios.generator` — seed -> :class:`ScenarioSpec` ->
+  materialized cluster/model/plans.
+* :mod:`repro.scenarios.runner` — run a scenario end to end under the
+  invariant oracles of :mod:`repro.sim.invariants` and the differential
+  envelopes of :mod:`repro.training.theory`.
+
+Entry point: ``repro fuzz --seeds N`` (see :mod:`repro.cli`), or
+:func:`run_fuzz` programmatically.
+"""
+
+from repro.scenarios.generator import (
+    Scenario,
+    ScenarioSpec,
+    build_fuzz_model,
+    generate_scenario,
+    materialize,
+)
+from repro.scenarios.runner import (
+    FuzzReport,
+    ScenarioResult,
+    run_fuzz,
+    run_scenario,
+)
+
+__all__ = [
+    "FuzzReport",
+    "Scenario",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "build_fuzz_model",
+    "generate_scenario",
+    "materialize",
+    "run_fuzz",
+    "run_scenario",
+]

@@ -1,0 +1,232 @@
+"""Seeded scenario generation for the fuzz harness.
+
+A *scenario* is one complete HetPipe deployment: a heterogeneous cluster
+drawn from the GPU catalog, a synthetic model chain, an allocation
+policy, partition plans from the real planner, and the WSP knobs the
+paper sweeps (``D``, ``Nm``, parameter placement, task jitter, and the
+per-minibatch-push ablation).  Generation is driven entirely by one
+``random.Random(seed)`` stream, so a seed fully determines the scenario
+and — because the simulator itself is deterministic — the entire run,
+down to the trace digest.
+
+The split between :class:`ScenarioSpec` (a frozen, replayable value
+object) and :func:`materialize` (spec -> built objects) means a failing
+seed can be re-run bit-identically from just its spec.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.allocation import allocate
+from repro.cluster.catalog import paper_cluster
+from repro.cluster.topology import Cluster
+from repro.errors import ConfigurationError, PartitionError
+from repro.models.calibration import DEFAULT_CALIBRATION
+from repro.models.graph import ModelGraph, validate_chain
+from repro.models.layers import conv_unit, fc_unit, pool_unit
+from repro.models.profiler import Profiler
+from repro.partition import PartitionPlan, plan_virtual_worker
+from repro.units import BYTES_PER_PARAM
+from repro.wsp.placement import validate_local_placement
+
+#: GPU catalog codes scenarios draw node types from (Table 1).
+GPU_CODES = "VRGQ"
+
+#: How many deterministic shrink steps may be applied to an infeasible
+#: model before generation gives up (never reached in practice — the
+#: size caps below fit the smallest catalog GPU at Nm=1).
+MAX_SHRINK_STEPS = 4
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A fully-determined fuzz scenario (replayable value object)."""
+
+    seed: int
+    # cluster
+    node_codes: str
+    gpus_per_node: int
+    allocation: str
+    # model
+    batch_size: int
+    image_size: int
+    conv_widths: tuple[int, ...]
+    fc_dims: tuple[int, ...]
+    # WSP knobs
+    nm: int
+    d: int
+    placement: str
+    jitter: float
+    push_every_minibatch: bool
+    # measurement window (global waves)
+    warmup_waves: int
+    measured_waves: int
+
+    def describe(self) -> str:
+        return (
+            f"seed={self.seed} cluster={self.node_codes}x{self.gpus_per_node} "
+            f"alloc={self.allocation} layers={len(self.conv_widths)}c+{len(self.fc_dims)}f "
+            f"Nm={self.nm} D={self.d} place={self.placement} jitter={self.jitter} "
+            f"{'push/mb ' if self.push_every_minibatch else ''}"
+            f"waves={self.warmup_waves}+{self.measured_waves}"
+        )
+
+
+def build_fuzz_model(
+    name: str,
+    batch_size: int,
+    image_size: int,
+    conv_widths: tuple[int, ...],
+    fc_dims: tuple[int, ...],
+) -> ModelGraph:
+    """A synthetic conv->pool->fc chain sized by the spec's knobs.
+
+    Shapes follow the VGG builder's idiom (conv stacks with pools every
+    other unit, then a small FC head) but every dimension is a fuzz
+    variable, so depth, width, activation volume, and parameter volume
+    all vary independently across seeds.
+    """
+    layers = []
+    h = image_size
+    cin = 3
+    for i, cout in enumerate(conv_widths):
+        layers.append(
+            conv_unit(f"conv{i}", batch_size, cin, cout, 3, h, h, with_bn=(i % 2 == 0))
+        )
+        cin = cout
+        if i % 2 == 1 and h > 4:
+            h //= 2
+            layers.append(pool_unit(f"pool{i}", batch_size, cout, h, h))
+    prev = cin * h * h
+    for j, dim in enumerate(fc_dims):
+        layers.append(fc_unit(f"fc{j}", batch_size, prev, dim, with_relu=True))
+        prev = dim
+    layers.append(fc_unit("logits", batch_size, prev, 10))
+    validate_chain(layers)
+    return ModelGraph(
+        name=name,
+        batch_size=batch_size,
+        input_bytes=float(batch_size) * 3 * image_size * image_size * BYTES_PER_PARAM,
+        layers=tuple(layers),
+    )
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A spec together with its materialized objects."""
+
+    spec: ScenarioSpec
+    cluster: Cluster
+    model: ModelGraph
+    plans: tuple[PartitionPlan, ...]
+
+
+def materialize(spec: ScenarioSpec) -> Scenario:
+    """Build the cluster, model, and partition plans a spec describes.
+
+    Deterministic: the same spec always yields identical objects.
+    Raises :class:`PartitionError` if the spec is infeasible (the
+    generator never emits such a spec) and :class:`ConfigurationError`
+    for internally-inconsistent specs.
+    """
+    cluster = paper_cluster(node_codes=spec.node_codes, gpus_per_node=spec.gpus_per_node)
+    model = build_fuzz_model(
+        f"fuzz{spec.seed}", spec.batch_size, spec.image_size,
+        spec.conv_widths, spec.fc_dims,
+    )
+    assignment = allocate(cluster, spec.allocation)
+    profiler = Profiler(DEFAULT_CALIBRATION)
+    plans = tuple(
+        plan_virtual_worker(
+            model, vw, spec.nm, cluster.interconnect,
+            DEFAULT_CALIBRATION, profiler, search_orderings=False,
+        )
+        for vw in assignment.virtual_workers
+    )
+    if spec.placement == "local":
+        validate_local_placement(plans)
+    return Scenario(spec=spec, cluster=cluster, model=model, plans=plans)
+
+
+def _draw_candidate(rng: random.Random, seed: int) -> ScenarioSpec:
+    """One unconstrained draw; feasibility is resolved by the caller."""
+    num_nodes = rng.randint(1, 3)
+    node_codes = "".join(rng.choice(GPU_CODES) for _ in range(num_nodes))
+    gpus_per_node = rng.randint(1, 4)
+
+    policies = ["NP", "ED"]
+    if num_nodes >= 2 and num_nodes % 2 == 0 and gpus_per_node >= 4:
+        policies.append("HD")
+    allocation = rng.choice(policies)
+
+    depth = rng.randint(4, 10)
+    base = rng.choice([8, 16, 24, 32])
+    conv_widths = tuple(min(96, base * (1 + i // 2)) for i in range(depth))
+    fc_dims = tuple(rng.choice([64, 128, 256]) for _ in range(rng.randint(1, 3)))
+
+    d = rng.randint(0, 4)
+    return ScenarioSpec(
+        seed=seed,
+        node_codes=node_codes,
+        gpus_per_node=gpus_per_node,
+        allocation=allocation,
+        batch_size=rng.choice([8, 16, 32]),
+        image_size=rng.choice([16, 24, 32]),
+        conv_widths=conv_widths,
+        fc_dims=fc_dims,
+        nm=rng.randint(1, 4),
+        d=d,
+        placement="default",  # revisited after planning
+        jitter=rng.choice([0.0, 0.0, 0.05, 0.1, 0.2]),
+        push_every_minibatch=(rng.random() < 0.15),
+        warmup_waves=2,
+        measured_waves=d + 3 + rng.randint(0, 2),
+    )
+
+
+def _shrunk(spec: ScenarioSpec) -> ScenarioSpec:
+    """Deterministically halve the model so it fits smaller GPU sets."""
+    from dataclasses import replace
+
+    return replace(
+        spec,
+        batch_size=max(4, spec.batch_size // 2),
+        conv_widths=tuple(max(8, w // 2) for w in spec.conv_widths),
+        fc_dims=tuple(max(32, f // 2) for f in spec.fc_dims),
+    )
+
+
+def generate_scenario(seed: int) -> Scenario:
+    """The scenario for ``seed`` — same seed, same scenario, always.
+
+    Drawn parameters that turn out infeasible are repaired
+    deterministically: ``Nm`` steps down to the largest depth every
+    virtual worker can plan, the model shrinks if even ``Nm = 1`` does
+    not fit, and the 'local' placement is only kept when the §8.3
+    precondition (stage ``s`` on one node across all workers) holds.
+    """
+    from dataclasses import replace
+
+    rng = random.Random(seed)
+    spec = _draw_candidate(rng, seed)
+    wants_local = rng.random() < 0.5
+
+    for _ in range(MAX_SHRINK_STEPS + 1):
+        for nm in range(spec.nm, 0, -1):
+            try:
+                scenario = materialize(replace(spec, nm=nm))
+            except PartitionError:
+                continue
+            if wants_local:
+                try:
+                    validate_local_placement(scenario.plans)
+                    return materialize(replace(spec, nm=nm, placement="local"))
+                except ConfigurationError:
+                    pass
+            return scenario
+        spec = _shrunk(spec)
+    raise ConfigurationError(
+        f"seed {seed}: no feasible scenario after {MAX_SHRINK_STEPS} shrink steps"
+    )

@@ -1,0 +1,303 @@
+"""End-to-end scenario execution with always-on invariant oracles.
+
+:func:`run_scenario` drives one generated scenario through the real
+:class:`~repro.wsp.runtime.HetPipeRuntime` with the full oracle suite
+attached, then closes with three independent verdicts:
+
+1. **Invariants** — any live oracle violation, deadlock (quiescing short
+   of the target version), or event-budget blowout fails the scenario.
+2. **Differential bounds** — the measured window is compared against the
+   envelopes of :mod:`repro.training.theory`: per-worker completions
+   must sit inside :func:`~repro.training.theory.wsp_completion_bounds`,
+   no worker may beat its
+   :func:`~repro.training.theory.pipeline_rate_bound`, and the window
+   cannot exceed the serialized worst case
+   (:func:`~repro.training.theory.wsp_wave_time_bound`, with PS apply
+   contention added and a slack factor for transfer queueing).
+3. **1F1B cross-check** — the same partition plan is also run through
+   the PipeDream-style :class:`~repro.pipeline.one_f_one_b.OneFOneBPipeline`
+   under :class:`~repro.sim.invariants.OneFOneBOracle`, so the variant
+   scheduler is fuzzed alongside the paper's FIFO discipline.
+
+Every run is deterministic; :class:`ScenarioResult.digest` hashes the
+full trace so replays can be compared bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.errors import InvariantViolation, ReproError, SimulationError
+from repro.pipeline.one_f_one_b import OneFOneBPipeline
+from repro.scenarios.generator import Scenario, ScenarioSpec, generate_scenario, materialize
+from repro.sim.engine import Simulator
+from repro.sim.invariants import OneFOneBOracle, default_oracles
+from repro.sim.trace import Trace
+from repro.training.theory import (
+    pipeline_rate_bound,
+    wsp_completion_bounds,
+    wsp_wave_time_bound,
+)
+from repro.wsp.runtime import HetPipeRuntime
+
+#: Multiplier on the serialized worst-case window bound.  The bound in
+#: :func:`wsp_wave_time_bound` ignores cross-worker queueing on shared
+#: parameter-server shards beyond the apply processors, so the harness
+#: grants this much headroom before calling a run impossibly slow.
+WINDOW_SLACK = 3.0
+
+#: Events granted per expected minibatch before a run is declared a
+#: storm.  A minibatch costs ~4 events per stage (two task completions,
+#: two transfers) plus wave sync; 200 is two orders of magnitude above.
+EVENTS_PER_MINIBATCH = 200
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """Outcome of one fuzzed scenario."""
+
+    spec: ScenarioSpec
+    digest: str
+    violations: tuple[str, ...]
+    throughput: float  # images/s over the measured window
+    window: float  # simulated seconds measured
+    events: int
+    per_vw_completions: tuple[int, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def describe(self) -> str:
+        status = "ok" if self.ok else f"FAIL({len(self.violations)})"
+        return (
+            f"[{status:>8}] {self.spec.describe()} "
+            f"-> {self.throughput:8.1f} img/s, {self.events} events, "
+            f"digest {self.digest[:12]}"
+        )
+
+
+def _sync_time_bound(scenario: Scenario, runtime: HetPipeRuntime, vw: int) -> float:
+    """Serialized per-wave channel time for ``vw``: PS push+pull plus the
+    pipeline's own inter-stage activation/gradient transfers.
+
+    ``plan.serial_latency`` (used by :func:`wsp_wave_time_bound`) covers
+    compute and *receive* costs, but a wave also occupies the stage
+    links; folding those transfers in keeps the window bound a true
+    worst case even for communication-dominated scenarios.
+    """
+    ic = scenario.cluster.interconnect
+    plan = scenario.plans[vw]
+    placement = runtime.placements[vw]
+    push_mult = scenario.spec.nm if scenario.spec.push_every_minibatch else 1
+    total = 0.0
+    for stage, dests in zip(plan.stages, placement):
+        src = stage.gpu.node_id
+        for shard_node, nbytes in dests:
+            if shard_node == src:
+                per_transfer = ic.pcie_latency + nbytes / ic.pcie_effective
+            else:
+                per_transfer = ic.ib_latency + nbytes / ic.ib_effective
+            total += per_transfer * (push_mult + 1)  # pushes + one pull
+    for s in range(1, plan.k):
+        bandwidth, latency = ic.link_between(plan.stages[s - 1].gpu, plan.stages[s].gpu)
+        boundary = latency + plan.stages[s].activation_in_bytes / bandwidth
+        total += 2 * boundary * plan.nm  # fwd activation + bwd gradient, per minibatch
+    return total
+
+
+def _apply_time_bound(scenario: Scenario, runtime: HetPipeRuntime) -> float:
+    """Serialized shard-apply cost of one wave from *every* worker.
+
+    Apply processors are shared PS-side, so in the worst case all
+    workers' applies queue behind each other.
+    """
+    rate = runtime.calibration.ps_apply_bandwidth
+    push_mult = scenario.spec.nm if scenario.spec.push_every_minibatch else 1
+    total = 0.0
+    for placement in runtime.placements:
+        for dests in placement:
+            for _, nbytes in dests:
+                total += push_mult * nbytes / rate
+    return total
+
+
+def _check_bounds(
+    scenario: Scenario,
+    runtime: HetPipeRuntime,
+    window: float,
+    completions: Sequence[int],
+    violations: list[str],
+) -> None:
+    spec = scenario.spec
+    low, high = wsp_completion_bounds(spec.nm, spec.d, spec.measured_waves)
+    for vw, (plan, done) in enumerate(zip(scenario.plans, completions)):
+        if not low <= done <= high:
+            violations.append(
+                f"differential: vw{vw} completed {done} minibatches in a "
+                f"{spec.measured_waves}-wave window, outside [{low}, {high}]"
+            )
+        ceiling = window * pipeline_rate_bound(plan, spec.jitter) + spec.nm + 1
+        if done > ceiling:
+            violations.append(
+                f"differential: vw{vw} completed {done} minibatches in "
+                f"{window:.6f}s, above the compute ceiling {ceiling:.1f}"
+            )
+    apply_bound = _apply_time_bound(scenario, runtime)
+    wave_bound = max(
+        wsp_wave_time_bound(plan, _sync_time_bound(scenario, runtime, vw), spec.jitter)
+        for vw, plan in enumerate(scenario.plans)
+    )
+    limit = spec.measured_waves * (wave_bound + apply_bound) * WINDOW_SLACK
+    if window > limit:
+        violations.append(
+            f"differential: {spec.measured_waves} waves took {window:.6f}s, "
+            f"beyond the serialized worst case {limit:.6f}s (livelock?)"
+        )
+
+
+def _check_1f1b(scenario: Scenario, violations: list[str]) -> str:
+    """Run the 1F1B variant on plan 0 under its dispatch oracle."""
+    plan = scenario.plans[0]
+    limit = 3 * plan.nm + 2 * plan.k
+    sim = Simulator()
+    trace = Trace(enabled=True)
+    pipeline = OneFOneBPipeline(
+        sim, plan, scenario.cluster.interconnect, limit=limit,
+        name=f"1f1b{scenario.spec.seed}", trace=trace,
+    )
+    oracle = OneFOneBOracle(pipeline)
+    try:
+        pipeline.start()
+        sim.run_until_idle(max_events=EVENTS_PER_MINIBATCH * limit * plan.k)
+        if pipeline.completed != limit:
+            violations.append(
+                f"1f1b: pipeline quiesced at {pipeline.completed}/{limit} minibatches"
+            )
+        if oracle.forwards_checked == 0 and plan.k > 1:
+            violations.append("1f1b: oracle observed no forward dispatches")
+    except ReproError as exc:
+        violations.append(f"1f1b: {exc}")
+    return trace.digest()
+
+
+def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
+    """Execute one scenario end to end and return its verdict."""
+    violations: list[str] = []
+    scenario = materialize(spec)
+    trace = Trace(enabled=True)
+    runtime = HetPipeRuntime(
+        scenario.cluster,
+        scenario.model,
+        list(scenario.plans),
+        d=spec.d,
+        placement=spec.placement,
+        trace=trace,
+        push_every_minibatch=spec.push_every_minibatch,
+        jitter=spec.jitter,
+        oracles=default_oracles(),
+    )
+    total_waves = spec.warmup_waves + spec.measured_waves
+    expected_minibatches = (
+        len(scenario.plans) * (total_waves + spec.d + 3) * spec.nm
+    )
+    budget = EVENTS_PER_MINIBATCH * expected_minibatches * max(
+        plan.k for plan in scenario.plans
+    )
+
+    window = 0.0
+    completions: tuple[int, ...] = tuple(0 for _ in scenario.plans)
+    throughput = 0.0
+    try:
+        runtime.start()
+        runtime.run_until_global_version(spec.warmup_waves - 1, max_events=budget)
+        t0 = runtime.sim.now
+        done0 = [stats.minibatches_done for stats in runtime.stats]
+        runtime.run_until_global_version(total_waves - 1, max_events=budget)
+        window = runtime.sim.now - t0
+        completions = tuple(
+            stats.minibatches_done - before
+            for stats, before in zip(runtime.stats, done0)
+        )
+        throughput = (
+            sum(completions) * scenario.model.batch_size / window if window > 0 else 0.0
+        )
+        runtime.check_invariants()
+        _check_bounds(scenario, runtime, window, completions, violations)
+    except (InvariantViolation, SimulationError) as exc:
+        violations.append(f"{type(exc).__name__}: {exc}")
+
+    pipe_digest = _check_1f1b(scenario, violations)
+    combined = hashlib.sha256(
+        (trace.digest() + pipe_digest).encode()
+    ).hexdigest()
+    return ScenarioResult(
+        spec=spec,
+        digest=combined,
+        violations=tuple(violations),
+        throughput=throughput,
+        window=window,
+        events=runtime.sim.events_processed,
+        per_vw_completions=completions,
+    )
+
+
+@dataclass
+class FuzzReport:
+    """Aggregate outcome of a fuzz batch."""
+
+    results: list[ScenarioResult] = field(default_factory=list)
+
+    @property
+    def failures(self) -> list[ScenarioResult]:
+        return [r for r in self.results if not r.ok]
+
+    @property
+    def total_violations(self) -> int:
+        return sum(len(r.violations) for r in self.results)
+
+    def summary(self) -> str:
+        lines = [
+            f"fuzz: {len(self.results)} scenarios, "
+            f"{len(self.failures)} failing, {self.total_violations} violations"
+        ]
+        for result in self.failures:
+            lines.append(f"  seed {result.spec.seed}: {result.spec.describe()}")
+            for violation in result.violations:
+                lines.append(f"    - {violation}")
+        return "\n".join(lines)
+
+
+def run_fuzz(seeds: Iterable[int], verbose_log=None) -> FuzzReport:
+    """Generate and run the scenario for every seed.
+
+    ``verbose_log`` (e.g. ``print``) receives one line per scenario.
+    Generation failures are reported as findings rather than raised —
+    the harness's contract is that *any* seed yields a verdict.
+    """
+    report = FuzzReport()
+    for seed in seeds:
+        try:
+            scenario = generate_scenario(seed)
+            result = run_scenario(scenario.spec)
+        except ReproError as exc:
+            result = ScenarioResult(
+                spec=ScenarioSpec(
+                    seed=seed, node_codes="?", gpus_per_node=0, allocation="?",
+                    batch_size=0, image_size=0, conv_widths=(), fc_dims=(),
+                    nm=0, d=0, placement="?", jitter=0.0,
+                    push_every_minibatch=False, warmup_waves=0, measured_waves=0,
+                ),
+                digest="",
+                violations=(f"generation: {type(exc).__name__}: {exc}",),
+                throughput=0.0,
+                window=0.0,
+                events=0,
+                per_vw_completions=(),
+            )
+        report.results.append(result)
+        if verbose_log is not None:
+            verbose_log(result.describe())
+    return report

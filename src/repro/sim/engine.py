@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import math
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -68,12 +69,16 @@ class Simulator:
 
     def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> Event:
         """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        if not math.isfinite(delay):
+            raise SimulationError(f"non-finite delay {delay!r} scheduled at t={self._now}")
         if delay < 0:
             raise SimulationError(f"negative delay {delay!r} scheduled at t={self._now}")
         return self.schedule_at(self._now + delay, callback, *args)
 
     def schedule_at(self, time: float, callback: Callable[..., None], *args: Any) -> Event:
         """Schedule ``callback(*args)`` at an absolute simulated time."""
+        if not math.isfinite(time):
+            raise SimulationError(f"non-finite event time {time!r} (now={self._now})")
         if time < self._now:
             raise SimulationError(
                 f"event scheduled in the past: t={time} < now={self._now}"

@@ -1,0 +1,410 @@
+"""Runtime invariant oracles for the WSP/pipeline simulator.
+
+The test suite spot-checks the paper's correctness properties on a
+handful of hand-written configurations; this module turns those
+properties into *always-on oracles* that watch any run live and raise
+:class:`~repro.errors.InvariantViolation` the moment an execution
+becomes impossible under the paper's rules:
+
+* :class:`StalenessOracle` — §5 admission: no minibatch ever starts
+  missing more than ``s_global = (D+1)(s_local+1) + s_local - 1``
+  predecessor updates, given the gate's pulled version at injection.
+* :class:`SchedulingOracle` — the §4 scheduling conditions, checked per
+  stage from the live trace: forwards in minibatch order (cond. 1),
+  backwards in minibatch order (cond. 2), fused forward+backward only on
+  the last partition (cond. 4), and dataflow causality (a stage cannot
+  run work whose inputs have not arrived).
+* :class:`VersionOracle` — parameter-server clocks: each worker's waves
+  record strictly in order, and the global version is exactly the
+  minimum over workers and never regresses.
+* :class:`ConservationOracle` — counts must reconcile: trace-observed
+  injections/completions vs. the runtime's stats vs. the pipelines'
+  counters vs. the PS push/pull totals.
+* :class:`OneFOneBOracle` — PipeDream-style dispatch discipline for
+  :class:`~repro.pipeline.one_f_one_b.OneFOneBPipeline`: a stage never
+  starts a forward while its next in-order backward is ready.
+
+Quiescence (no deadlock within an event budget) is enforced by the fuzz
+runner through ``run_until_global_version``'s budget rather than an
+oracle class, since it is a property of the run loop, not of any single
+event.
+
+The oracles attach through the runtime's existing plumbing — the
+:class:`~repro.sim.trace.Trace` subscriber hook, the pipeline's
+``on_inject`` callback, and the parameter server's push observer — so a
+checked run executes the exact same event sequence as an unchecked one
+(same trace digest, modulo the cost of the checks themselves).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import InvariantViolation
+from repro.sim.trace import TraceRecord
+from repro.wsp.staleness import global_staleness, local_staleness, missing_updates
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (wsp -> sim)
+    from repro.pipeline.one_f_one_b import OneFOneBPipeline
+    from repro.wsp.runtime import HetPipeRuntime
+
+
+class RuntimeOracle:
+    """Base class: a passive observer of one :class:`HetPipeRuntime` run.
+
+    Subclasses override the callbacks they care about and raise
+    :class:`InvariantViolation` on the first impossible observation —
+    failing fast pins the violation to the exact simulated moment it
+    happened, which is what makes fuzz findings debuggable.
+    """
+
+    runtime: "HetPipeRuntime | None" = None
+
+    def bind(self, runtime: "HetPipeRuntime") -> None:
+        """Called once by the runtime before the run starts."""
+        self.runtime = runtime
+
+    def on_inject(self, vw: int, minibatch: int, pulled_version: int, time: float) -> None:
+        """Minibatch admitted into ``vw``'s pipeline."""
+
+    def on_minibatch_done(self, vw: int, minibatch: int, time: float) -> None:
+        """Minibatch fully drained from ``vw``'s pipeline."""
+
+    def on_push_recorded(self, vw: int, wave: int, global_version: int) -> None:
+        """The PS recorded ``vw``'s push of ``wave``."""
+
+    def on_pull_done(self, vw: int, version: int, time: float) -> None:
+        """``vw`` finished pulling global weights at ``version``."""
+
+    def on_trace(self, record: TraceRecord) -> None:
+        """Raw trace record (scheduling-level events)."""
+
+    def verify_final(self, runtime: "HetPipeRuntime") -> None:
+        """End-of-run reconciliation (called by ``check_invariants``)."""
+
+
+class StalenessOracle(RuntimeOracle):
+    """§5 global staleness: admission never exceeds ``s_global``."""
+
+    def __init__(self) -> None:
+        self.max_missing = 0
+        self.bound: int | None = None
+        self.checked = 0
+
+    def bind(self, runtime: "HetPipeRuntime") -> None:
+        super().bind(runtime)
+        self.bound = global_staleness(runtime.d, local_staleness(runtime.nm))
+
+    def on_inject(self, vw: int, minibatch: int, pulled_version: int, time: float) -> None:
+        assert self.runtime is not None and self.bound is not None
+        missing = missing_updates(minibatch, pulled_version, self.runtime.nm)
+        self.checked += 1
+        self.max_missing = max(self.max_missing, missing)
+        if missing > self.bound:
+            raise InvariantViolation(
+                f"staleness: vw{vw} started minibatch {minibatch} at t={time:.6f} "
+                f"with pulled version {pulled_version}, missing {missing} updates "
+                f"> s_global={self.bound} (D={self.runtime.d}, Nm={self.runtime.nm})"
+            )
+
+
+class _StageOrder:
+    """Per-stage incremental state for the scheduling oracle.
+
+    Completion watermarks are ints, not sets: because each task type
+    starts in minibatch order (conditions 1–2, themselves checked here)
+    and the FIFO processor completes in start order, done-events are
+    monotone per stage — so the oracle's memory stays O(stages) no
+    matter how long the run is.
+    """
+
+    __slots__ = ("next_fwd", "next_bwd", "fwd_done_max", "bwd_done_max")
+
+    def __init__(self) -> None:
+        self.next_fwd = 1
+        self.next_bwd = 1
+        self.fwd_done_max = 0
+        self.bwd_done_max = 0
+
+
+class SchedulingOracle(RuntimeOracle):
+    """§4 scheduling conditions, checked live from the trace stream."""
+
+    def __init__(self) -> None:
+        self._stages: dict[str, _StageOrder] = {}
+        self._k: dict[str, int] = {}  # vw actor -> stage count
+        self._injected: dict[str, int] = {}  # vw actor -> highest injected id
+
+    def bind(self, runtime: "HetPipeRuntime") -> None:
+        super().bind(runtime)
+        for index, plan in enumerate(runtime.plans):
+            self._k[f"vw{index}"] = plan.k
+
+    def _split(self, actor: str) -> tuple[str, int] | None:
+        """``vw3.s2`` -> ("vw3", 2); None for non-stage actors."""
+        vw, dot, stage = actor.partition(".s")
+        if not dot or vw not in self._k:
+            return None
+        return vw, int(stage)
+
+    def _state(self, actor: str) -> _StageOrder:
+        state = self._stages.get(actor)
+        if state is None:
+            state = self._stages[actor] = _StageOrder()
+        return state
+
+    def on_trace(self, record: TraceRecord) -> None:
+        category = record.category
+        if category == "inject":
+            prev = self._injected.get(record.actor, 0)
+            p = record.detail["minibatch"]
+            if p != prev + 1:
+                raise InvariantViolation(
+                    f"scheduling: {record.actor} injected minibatch {p} after {prev} "
+                    f"(admission must be sequential)"
+                )
+            self._injected[record.actor] = p
+            return
+        if category not in ("f_start", "b_start", "fb_start", "f_done", "b_done", "fb_done"):
+            return
+        where = self._split(record.actor)
+        if where is None:
+            return
+        vw, s = where
+        k = self._k[vw]
+        last = s == k - 1
+        state = self._state(record.actor)
+        p = record.detail["minibatch"]
+
+        if category in ("fb_start", "fb_done") and not last:
+            raise InvariantViolation(
+                f"scheduling: fused {category} on non-last stage {record.actor} (cond. 4)"
+            )
+        if category in ("f_start", "f_done", "b_start", "b_done") and last and k > 1:
+            raise InvariantViolation(
+                f"scheduling: unfused {category} on last stage {record.actor} (cond. 4)"
+            )
+
+        if category in ("f_start", "fb_start"):
+            if p != state.next_fwd:
+                raise InvariantViolation(
+                    f"scheduling: {record.actor} ran forward of minibatch {p}, "
+                    f"expected {state.next_fwd} (cond. 1 order)"
+                )
+            state.next_fwd += 1
+            if s == 0:
+                if p > self._injected.get(vw, 0):
+                    raise InvariantViolation(
+                        f"scheduling: {record.actor} ran forward of minibatch {p} "
+                        f"before it was injected"
+                    )
+            elif p > self._stages.get(f"{vw}.s{s - 1}", _StageOrder()).fwd_done_max:
+                raise InvariantViolation(
+                    f"scheduling: {record.actor} ran forward of minibatch {p} before "
+                    f"stage {s - 1} finished its forward (causality)"
+                )
+        elif category == "b_start":
+            if p != state.next_bwd:
+                raise InvariantViolation(
+                    f"scheduling: {record.actor} ran backward of minibatch {p}, "
+                    f"expected {state.next_bwd} (cond. 2 order)"
+                )
+            state.next_bwd += 1
+            if p > self._stages.get(f"{vw}.s{s + 1}", _StageOrder()).bwd_done_max:
+                raise InvariantViolation(
+                    f"scheduling: {record.actor} ran backward of minibatch {p} before "
+                    f"stage {s + 1} emitted its gradient (causality)"
+                )
+        elif category == "f_done":
+            state.fwd_done_max = max(state.fwd_done_max, p)
+        elif category in ("b_done", "fb_done"):
+            if category == "fb_done":
+                state.fwd_done_max = max(state.fwd_done_max, p)  # fused task contains the forward
+            state.bwd_done_max = max(state.bwd_done_max, p)
+
+
+class VersionOracle(RuntimeOracle):
+    """PS clock laws: in-order waves, monotone minimum global version."""
+
+    def __init__(self) -> None:
+        self._pushed: list[int] = []
+        self._global = -1
+
+    def bind(self, runtime: "HetPipeRuntime") -> None:
+        super().bind(runtime)
+        self._pushed = [-1] * len(runtime.plans)
+
+    def on_push_recorded(self, vw: int, wave: int, global_version: int) -> None:
+        if wave != self._pushed[vw] + 1:
+            raise InvariantViolation(
+                f"versions: vw{vw} recorded wave {wave} after wave {self._pushed[vw]} "
+                f"(waves must record in order)"
+            )
+        self._pushed[vw] = wave
+        expected = min(self._pushed)
+        if global_version != expected:
+            raise InvariantViolation(
+                f"versions: global version {global_version} != min(pushed)={expected} "
+                f"(pushed waves {self._pushed})"
+            )
+        if global_version < self._global:
+            raise InvariantViolation(
+                f"versions: global version regressed {self._global} -> {global_version}"
+            )
+        self._global = global_version
+
+    def on_pull_done(self, vw: int, version: int, time: float) -> None:
+        if version > self._global:
+            raise InvariantViolation(
+                f"versions: vw{vw} pulled version {version} beyond global {self._global}"
+            )
+
+    def verify_final(self, runtime: "HetPipeRuntime") -> None:
+        if runtime.ps.global_version != min(runtime.ps.pushed_wave):
+            raise InvariantViolation(
+                f"versions: final global version {runtime.ps.global_version} != "
+                f"min(pushed_wave)={min(runtime.ps.pushed_wave)}"
+            )
+
+
+class ConservationOracle(RuntimeOracle):
+    """Counts reconcile across stats, trace, pipelines, and the PS.
+
+    Completions must arrive in minibatch order (the stage-0 backward
+    order guarantees it), so a single expected-next counter per worker
+    both detects duplicates/reordering and keeps memory constant.
+    """
+
+    def __init__(self) -> None:
+        self._injected: list[int] = []
+        self._done: list[int] = []
+
+    def bind(self, runtime: "HetPipeRuntime") -> None:
+        super().bind(runtime)
+        n = len(runtime.plans)
+        self._injected = [0] * n
+        self._done = [0] * n
+
+    def on_inject(self, vw: int, minibatch: int, pulled_version: int, time: float) -> None:
+        self._injected[vw] += 1
+
+    def on_minibatch_done(self, vw: int, minibatch: int, time: float) -> None:
+        if minibatch != self._done[vw] + 1:
+            raise InvariantViolation(
+                f"conservation: vw{vw} completed minibatch {minibatch}, expected "
+                f"{self._done[vw] + 1} (duplicate or out-of-order completion)"
+            )
+        self._done[vw] += 1
+        if self._done[vw] > self._injected[vw]:
+            raise InvariantViolation(
+                f"conservation: vw{vw} completed {self._done[vw]} minibatches "
+                f"but only {self._injected[vw]} were injected"
+            )
+
+    def verify_final(self, runtime: "HetPipeRuntime") -> None:
+        for vw, (pipeline, stats) in enumerate(zip(runtime.pipelines, runtime.stats)):
+            if stats.minibatches_done != self._done[vw]:
+                raise InvariantViolation(
+                    f"conservation: vw{vw} stats report {stats.minibatches_done} "
+                    f"minibatches but {self._done[vw]} completions were observed"
+                )
+            if pipeline.completed != self._done[vw]:
+                raise InvariantViolation(
+                    f"conservation: vw{vw} pipeline counter {pipeline.completed} != "
+                    f"observed completions {self._done[vw]}"
+                )
+            in_flight = self._injected[vw] - self._done[vw]
+            if in_flight != pipeline.active or not 0 <= in_flight <= runtime.nm:
+                raise InvariantViolation(
+                    f"conservation: vw{vw} in-flight {in_flight} inconsistent with "
+                    f"pipeline.active={pipeline.active} (Nm={runtime.nm})"
+                )
+            # A recorded wave c requires minibatches 1..(c+1)*Nm complete.
+            recorded = runtime.ps.pushed_wave[vw]
+            if recorded >= 0 and self._done[vw] < (recorded + 1) * runtime.nm:
+                raise InvariantViolation(
+                    f"conservation: vw{vw} recorded wave {recorded} with only "
+                    f"{self._done[vw]} minibatches complete (Nm={runtime.nm})"
+                )
+        if runtime.ps.pushes_completed != sum(s.waves_pushed for s in runtime.stats):
+            raise InvariantViolation(
+                f"conservation: PS recorded {runtime.ps.pushes_completed} pushes, "
+                f"stats report {sum(s.waves_pushed for s in runtime.stats)}"
+            )
+        if runtime.ps.pulls_completed != sum(s.pulls for s in runtime.stats):
+            raise InvariantViolation(
+                f"conservation: PS recorded {runtime.ps.pulls_completed} pulls, "
+                f"stats report {sum(s.pulls for s in runtime.stats)}"
+            )
+        for vw, gate in enumerate(runtime.gates):
+            if gate.pulled_version > runtime.ps.global_version:
+                raise InvariantViolation(
+                    f"conservation: vw{vw} gate at version {gate.pulled_version} "
+                    f"beyond global {runtime.ps.global_version}"
+                )
+
+
+def default_oracles() -> list[RuntimeOracle]:
+    """The standard always-on suite the fuzz harness attaches to a run."""
+    return [StalenessOracle(), SchedulingOracle(), VersionOracle(), ConservationOracle()]
+
+
+class OneFOneBOracle:
+    """1F1B dispatch discipline, reconstructed from a pipeline's trace.
+
+    Subscribes to the trace of one
+    :class:`~repro.pipeline.one_f_one_b.OneFOneBPipeline` and mirrors its
+    ready-queues from ``f_ready``/``b_ready`` records.  The invariant: a
+    stage must never *start a forward* while its next in-order backward
+    is sitting ready (backwards drain first — the property that bounds
+    stashed activations), and both task types must start in minibatch
+    order.
+    """
+
+    def __init__(self, pipeline: "OneFOneBPipeline") -> None:
+        self.name = pipeline.name
+        self.k = pipeline.plan.k
+        self._bwd_ready: dict[int, list[int]] = {s: [] for s in range(self.k)}
+        self._next_fwd = {s: 1 for s in range(self.k)}
+        self._next_bwd = {s: 1 for s in range(self.k)}
+        self.forwards_checked = 0
+        pipeline.trace.subscribe(self.on_trace)
+
+    def _stage_of(self, actor: str) -> int | None:
+        prefix = f"{self.name}.s"
+        if not actor.startswith(prefix):
+            return None
+        return int(actor[len(prefix):])
+
+    def on_trace(self, record: TraceRecord) -> None:
+        s = self._stage_of(record.actor)
+        if s is None:
+            return
+        p = record.detail["minibatch"]
+        if record.category == "b_ready":
+            self._bwd_ready[s].append(p)
+        elif record.category == "b_start":
+            if p != self._next_bwd[s]:
+                raise InvariantViolation(
+                    f"1f1b: {record.actor} started backward {p}, expected {self._next_bwd[s]}"
+                )
+            self._next_bwd[s] += 1
+            if not self._bwd_ready[s] or self._bwd_ready[s][0] != p:
+                raise InvariantViolation(
+                    f"1f1b: {record.actor} started backward {p} that was not at the "
+                    f"head of its ready queue {self._bwd_ready[s]}"
+                )
+            self._bwd_ready[s].pop(0)
+        elif record.category in ("f_start", "fb_start"):
+            if p != self._next_fwd[s]:
+                raise InvariantViolation(
+                    f"1f1b: {record.actor} started forward {p}, expected {self._next_fwd[s]}"
+                )
+            self._next_fwd[s] += 1
+            self.forwards_checked += 1
+            queue = self._bwd_ready[s]
+            if queue and queue[0] == self._next_bwd[s]:
+                raise InvariantViolation(
+                    f"1f1b: {record.actor} started forward {p} while backward "
+                    f"{queue[0]} was ready (backward must be preferred)"
+                )

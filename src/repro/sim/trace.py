@@ -8,8 +8,9 @@ and the metrics layer uses it to compute waiting and idle time breakdowns.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
-from typing import Any, Iterator
+from typing import Any, Callable, Iterator
 
 
 @dataclass(frozen=True)
@@ -32,16 +33,29 @@ class Trace:
     Recording can be disabled (``enabled=False``) for large benchmark runs
     where only aggregate counters matter; the emit path then costs a
     single attribute check.
+
+    Live observers registered through :meth:`subscribe` see every record
+    as it is emitted, even with storage disabled — the invariant oracles
+    use this to check runs too long to keep in memory.
     """
 
     def __init__(self, enabled: bool = True) -> None:
         self.enabled = enabled
         self.records: list[TraceRecord] = []
+        self._subscribers: list[Callable[[TraceRecord], None]] = []
+
+    def subscribe(self, observer: Callable[[TraceRecord], None]) -> None:
+        """Call ``observer`` with each record at emit time."""
+        self._subscribers.append(observer)
 
     def emit(self, time: float, category: str, actor: str, **detail: Any) -> None:
-        if not self.enabled:
+        if not self.enabled and not self._subscribers:
             return
-        self.records.append(TraceRecord(time=time, category=category, actor=actor, detail=detail))
+        record = TraceRecord(time=time, category=category, actor=actor, detail=detail)
+        if self.enabled:
+            self.records.append(record)
+        for observer in self._subscribers:
+            observer(record)
 
     def __len__(self) -> int:
         return len(self.records)
@@ -67,3 +81,21 @@ class Trace:
             if record.category == category:
                 return record
         return None
+
+    def count(self, category: str, actor: str | None = None) -> int:
+        """Number of stored records matching ``category`` (and ``actor``)."""
+        return len(self.filter(category=category, actor=actor))
+
+    def digest(self) -> str:
+        """Content hash of the stored records.
+
+        Two runs of the same scenario must produce the same digest — this
+        is the bit-identical-replay check the fuzz harness relies on.
+        ``repr`` of floats is exact, and detail dicts are canonicalized by
+        key, so the digest is stable across processes (unlike ``hash()``).
+        """
+        h = hashlib.sha256()
+        for r in self.records:
+            line = f"{r.time!r}|{r.category}|{r.actor}|{sorted(r.detail.items())!r}\n"
+            h.update(line.encode())
+        return h.hexdigest()

@@ -1,4 +1,5 @@
-"""Theorem 1 / Lemma 1 utilities (§6 and Appendix A).
+"""Theorem 1 / Lemma 1 utilities (§6 and Appendix A), plus performance
+envelopes for differential checking.
 
 * :func:`regret_bound` — the paper's bound
   ``R[W] <= 4 M L sqrt((2 s_g + s_l) N / T)`` with ``s_l = s_local + 1``.
@@ -8,16 +9,36 @@
   losses against the loss of a reference minimizer on the same minibatch
   sequence.  The property tests assert the measured regret decays and
   respects the bound's shape.
+
+The *throughput envelope* functions at the bottom bound what any correct
+simulation of a configuration can measure, independent of scheduling
+details.  The fuzz harness (:mod:`repro.scenarios`) asserts every run
+stays inside them:
+
+* :func:`pipeline_rate_bound` — a virtual worker cannot complete
+  minibatches faster than its bottleneck stage can compute them.
+* :func:`wsp_completion_bounds` — over a window in which the global
+  version advanced by ``waves``, each worker's completed-minibatch count
+  is pinned between the D-gated minimum progress and the §5 admission
+  maximum run-ahead.
+* :func:`wsp_wave_time_bound` — a worker that owes one wave can always
+  deliver it within its fully-serialized pipeline plus synchronization
+  time; with bounded staleness and no deadlock the global version then
+  advances at least that fast.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.partition.spec import PartitionPlan
 from repro.training.nn.data import SyntheticDataset
 from repro.training.nn.loss import softmax_cross_entropy
 from repro.training.nn.network import MLP
@@ -141,3 +162,64 @@ def measure_regret(
         s_local=s_local,
         n_workers=num_virtual_workers,
     )
+
+
+# ----------------------------------------------------------------------
+# throughput envelopes (differential oracles for the fuzz harness)
+# ----------------------------------------------------------------------
+
+
+def pipeline_rate_bound(plan: "PartitionPlan", jitter: float = 0.0) -> float:
+    """Upper bound on one virtual worker's steady minibatch rate (1/s).
+
+    Every completed minibatch occupies the bottleneck stage's GPU for its
+    forward + backward compute, and that GPU serializes work; jitter can
+    shorten a task by at most a factor ``1 - jitter``.  Communication
+    only slows things further, so this is a hard ceiling.
+    """
+    if not 0.0 <= jitter < 1.0:
+        raise ConfigurationError(f"jitter must be in [0, 1), got {jitter}")
+    busiest = max(stage.fwd_compute + stage.bwd_compute for stage in plan.stages)
+    if busiest <= 0.0:
+        return math.inf
+    return 1.0 / (busiest * (1.0 - jitter))
+
+
+def wsp_completion_bounds(nm: int, d: int, waves: int) -> tuple[int, int]:
+    """Per-worker completed-minibatch bounds over a ``waves``-wave window.
+
+    The window runs between two instants at which the global version has
+    just advanced (by ``waves``).  Lower bound: at the window end the
+    worker has pushed the final wave, so it completed ``(v1+1)*Nm``
+    minibatches overall, while at the window start §5 admission capped it
+    at ``(v0+D+2)*Nm + Nm-1`` — the difference is
+    ``(waves-D-2)*Nm + 1``.  Upper bound: the mirror argument,
+    ``(waves+D+2)*Nm - 1``.
+    """
+    if nm < 1 or d < 0 or waves < 1:
+        raise ConfigurationError(f"invalid window (nm={nm}, d={d}, waves={waves})")
+    low = max(0, (waves - d - 2) * nm + 1)
+    high = (waves + d + 2) * nm - 1
+    return low, high
+
+
+def wsp_wave_time_bound(
+    plan: "PartitionPlan",
+    sync_time: float,
+    jitter: float = 0.0,
+) -> float:
+    """Worst-case wall time for one worker to produce one recorded wave.
+
+    Fully-serialized execution (zero pipeline overlap) of the wave's
+    ``Nm`` minibatches, each stretched by jitter, plus ``sync_time`` —
+    the caller's worst-case serialized push + pull + shard-apply cost for
+    this worker.  Because a worker blocked by the D-gate is released the
+    moment the global version advances, consecutive global versions are
+    never farther apart than the slowest worker's bound (plus shared-PS
+    contention, which the caller folds into ``sync_time``).
+    """
+    if jitter < 0.0:
+        raise ConfigurationError(f"jitter must be >= 0, got {jitter}")
+    if sync_time < 0.0:
+        raise ConfigurationError(f"sync_time must be >= 0, got {sync_time}")
+    return plan.nm * plan.serial_latency * (1.0 + jitter) + sync_time

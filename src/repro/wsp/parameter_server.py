@@ -50,6 +50,10 @@ class ParameterServerSim:
         self.sync_bytes_total = 0.0
         self.sync_bytes_cross_node = 0.0
         self._waiters: list[_VersionWaiter] = []
+        #: observers called as (vw_index, wave, global_version) right
+        #: after each push is recorded; the invariant oracles use this to
+        #: watch clock advancement without patching internals
+        self._push_observers: list[Callable[[int, int, int], None]] = []
         self._apply: dict[int, Processor] = {
             node.node_id: Processor(sim, f"ps.apply.n{node.node_id}") for node in cluster.nodes
         }
@@ -157,13 +161,23 @@ class ParameterServerSim:
                     (lambda shard_node=shard_node, nbytes=nbytes: transfer_done(shard_node, nbytes)),
                 )
 
+    def subscribe_push(self, observer: Callable[[int, int, int], None]) -> None:
+        """Call ``observer(vw_index, wave, global_version)`` per recorded push."""
+        self._push_observers.append(observer)
+
     def _push_recorded(self, vw_index: int, wave: int, on_complete: Callable[[], None] | None) -> None:
         self.pushed_wave[vw_index] = wave
         self.pushes_completed += 1
         self._push_in_flight[vw_index] = False
         new_version = min(self.pushed_wave)
-        if new_version > self.global_version:
+        advanced = new_version > self.global_version
+        if advanced:
             self.global_version = new_version
+        # Observers run before waiter callbacks so they see every push in
+        # recording order, ahead of any cascade the version advance starts.
+        for observer in self._push_observers:
+            observer(vw_index, wave, self.global_version)
+        if advanced:
             self._fire_waiters()
         if on_complete is not None:
             on_complete()

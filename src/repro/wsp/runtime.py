@@ -11,7 +11,7 @@ and cross-node traffic split into pipeline and synchronization bytes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.cluster.topology import Cluster
 from repro.errors import ConfigurationError, SimulationError
@@ -24,6 +24,9 @@ from repro.sim.trace import Trace
 from repro.wsp.parameter_server import ParameterServerSim
 from repro.wsp.placement import StagePlacement, build_placements
 from repro.wsp.staleness import admission_limit, desired_version_after_wave
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a cycle (invariants -> wsp)
+    from repro.sim.invariants import RuntimeOracle
 
 
 class _WSPGate:
@@ -74,6 +77,7 @@ class HetPipeRuntime:
         trace: Trace | None = None,
         push_every_minibatch: bool = False,
         jitter: float = 0.0,
+        oracles: "Sequence[RuntimeOracle]" = (),
     ) -> None:
         if not plans:
             raise ConfigurationError("need at least one virtual worker plan")
@@ -91,6 +95,7 @@ class HetPipeRuntime:
 
         self.sim = Simulator()
         self.trace = trace if trace is not None else Trace(enabled=False)
+        self.oracles = list(oracles)
         self.ps = ParameterServerSim(self.sim, cluster, len(self.plans), calibration)
         node_ids = [node.node_id for node in cluster.nodes]
         self.placements: list[StagePlacement] = build_placements(model, self.plans, node_ids, placement)
@@ -111,6 +116,7 @@ class HetPipeRuntime:
                 name=f"vw{index}",
                 gate=gate,
                 on_minibatch_done=(lambda p, t, index=index: self._on_minibatch_done(index, p, t)),
+                on_inject=(lambda p, t, index=index: self._on_inject(index, p, t)),
                 trace=self.trace,
                 jitter=jitter,
             )
@@ -120,6 +126,38 @@ class HetPipeRuntime:
                 )
             self.gates.append(gate)
             self.pipelines.append(pipeline)
+
+        for oracle in self.oracles:
+            oracle.bind(self)
+        if self.oracles:
+            self.trace.subscribe(self._notify_trace)
+            self.ps.subscribe_push(self._notify_push)
+
+    # ------------------------------------------------------------------
+    # oracle plumbing
+    # ------------------------------------------------------------------
+
+    def _notify_trace(self, record) -> None:
+        for oracle in self.oracles:
+            oracle.on_trace(record)
+
+    def _notify_push(self, vw: int, wave: int, global_version: int) -> None:
+        for oracle in self.oracles:
+            oracle.on_push_recorded(vw, wave, global_version)
+
+    def _on_inject(self, vw: int, p: int, now: float) -> None:
+        pulled = self.gates[vw].pulled_version
+        for oracle in self.oracles:
+            oracle.on_inject(vw, p, pulled, now)
+
+    def check_invariants(self) -> None:
+        """End-of-run reconciliation pass over all attached oracles.
+
+        Raises :class:`~repro.errors.InvariantViolation` on the first
+        inconsistency; live violations raise earlier, mid-run.
+        """
+        for oracle in self.oracles:
+            oracle.verify_final(self)
 
     # ------------------------------------------------------------------
     # event plumbing
@@ -149,6 +187,8 @@ class HetPipeRuntime:
 
     def _on_minibatch_done(self, vw: int, p: int, now: float) -> None:
         self.stats[vw].minibatches_done += 1
+        for oracle in self.oracles:
+            oracle.on_minibatch_done(vw, p, now)
         if self.push_every_minibatch:
             self._push_update(vw, p, wave_complete=(p % self.nm == 0))
         elif p % self.nm == 0:
@@ -196,6 +236,8 @@ class HetPipeRuntime:
             self._wait_started[vw] = None
         self.stats[vw].pulls += 1
         self.trace.emit(now, "pull_done", f"vw{vw}", version=version)
+        for oracle in self.oracles:
+            oracle.on_pull_done(vw, version, now)
         self.gates[vw].advance(version)
 
     # ------------------------------------------------------------------

@@ -33,3 +33,42 @@ class TestDispatch:
         assert main(["sync", "--model", "resnet152"]) == 0
         out = capsys.readouterr().out
         assert "sync overhead" in out
+
+
+class TestFuzzCommand:
+    def test_defaults(self):
+        args = build_parser().parse_args(["fuzz"])
+        assert args.seeds == 25 and args.base_seed == 0 and args.verbose is False
+
+    def test_flags(self):
+        args = build_parser().parse_args(
+            ["fuzz", "--seeds", "7", "--base-seed", "100", "--verbose"]
+        )
+        assert args.seeds == 7 and args.base_seed == 100 and args.verbose is True
+
+    @pytest.mark.parametrize("seeds", ["0", "-5", "abc"])
+    def test_non_positive_or_garbage_seed_count_rejected(self, seeds):
+        """A zero-scenario batch would make the fuzz gate pass vacuously."""
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fuzz", "--seeds", seeds])
+
+    def test_clean_batch_exits_zero(self, capsys):
+        assert main(["fuzz", "--seeds", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "5 scenarios" in out and "0 violations" in out
+
+    def test_verbose_prints_per_scenario_lines(self, capsys):
+        assert main(["fuzz", "--seeds", "3", "--verbose"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("seed=") >= 3
+
+    def test_failing_batch_exits_nonzero(self, monkeypatch, capsys):
+        import repro.scenarios.runner as runner_mod
+        from repro.errors import ConfigurationError
+
+        def boom(seed):
+            raise ConfigurationError("synthetic")
+
+        monkeypatch.setattr(runner_mod, "generate_scenario", boom)
+        assert main(["fuzz", "--seeds", "2"]) == 1
+        assert "2 failing" in capsys.readouterr().out

@@ -142,3 +142,29 @@ def test_property_events_fire_in_sorted_order(delays):
         sim.schedule(d, lambda d=d: fired.append(d))
     sim.run()
     assert fired == sorted(delays) and sim.now == max(delays)
+
+
+class TestNonFiniteTimes:
+    """NaN/inf used to slip through (NaN fails no `< 0` comparison and
+    inf sorts after everything), corrupting the queue silently."""
+
+    @pytest.mark.parametrize("delay", [float("nan"), float("inf"), float("-inf")])
+    def test_schedule_rejects_non_finite_delay(self, delay):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(delay, lambda: None)
+
+    @pytest.mark.parametrize("time", [float("nan"), float("inf"), float("-inf")])
+    def test_schedule_at_rejects_non_finite_time(self, time):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(time, lambda: None)
+
+    def test_queue_unharmed_after_rejection(self):
+        sim = Simulator()
+        hits = []
+        sim.schedule(1.0, hits.append, "ok")
+        with pytest.raises(SimulationError):
+            sim.schedule(float("nan"), hits.append, "bad")
+        sim.run()
+        assert hits == ["ok"] and sim.now == 1.0

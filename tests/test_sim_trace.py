@@ -1,6 +1,6 @@
 """Trace recording and filtering."""
 
-from repro.sim import Trace
+from repro.sim import Trace, TraceRecord
 
 
 def test_emit_and_len():
@@ -61,3 +61,45 @@ def test_iteration_and_repr():
     trace.emit(1.5, "push", "vw0", wave=2)
     record = next(iter(trace))
     assert "push" in repr(record) and "wave=2" in repr(record)
+
+
+def test_subscriber_sees_records_live():
+    trace = Trace()
+    seen = []
+    trace.subscribe(seen.append)
+    trace.emit(1.0, "push", "vw0", wave=0)
+    assert len(seen) == 1 and seen[0].category == "push"
+
+
+def test_subscriber_fires_even_when_storage_disabled():
+    trace = Trace(enabled=False)
+    seen = []
+    trace.subscribe(seen.append)
+    trace.emit(1.0, "push", "vw0")
+    assert len(seen) == 1 and len(trace) == 0
+
+
+def test_digest_stable_and_content_sensitive():
+    a, b, c = Trace(), Trace(), Trace()
+    for t in (a, b):
+        t.emit(1.0, "push", "vw0", wave=0)
+        t.emit(2.0, "pull", "vw1", version=3)
+    c.emit(1.0, "push", "vw0", wave=1)  # differs in detail only
+    assert a.digest() == b.digest()
+    assert a.digest() != c.digest()
+
+
+def test_digest_canonicalizes_detail_order():
+    a, b = Trace(), Trace()
+    a.records.append(TraceRecord(1.0, "x", "y", {"p": 1, "q": 2}))
+    b.records.append(TraceRecord(1.0, "x", "y", {"q": 2, "p": 1}))
+    assert a.digest() == b.digest()
+
+
+def test_count():
+    trace = Trace()
+    trace.emit(1.0, "push", "vw0")
+    trace.emit(2.0, "push", "vw1")
+    trace.emit(3.0, "pull", "vw0")
+    assert trace.count("push") == 2
+    assert trace.count("push", actor="vw1") == 1

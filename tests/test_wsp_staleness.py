@@ -112,3 +112,63 @@ class TestMissingUpdates:
 
     def test_never_negative(self):
         assert missing_updates(1, 10, 4) == 0
+
+
+class TestEdgeCaseProperties:
+    """Randomized mutual-consistency checks at the formula boundaries
+    (nm=1 naive MP, d=0 BSP-like, very large d)."""
+
+    @given(d=st.integers(min_value=0, max_value=10_000), version=st.integers(min_value=-1, max_value=50))
+    def test_property_nm1_limit_is_one_wave_per_version(self, d, version):
+        """nm=1 collapses waves to single minibatches: the limit walks
+        one step per version and the furthest miss equals s_global = d."""
+        assert local_staleness(1) == 0
+        assert admission_limit(version, d, 1) == version + d + 2
+        assert missing_updates(admission_limit(version, d, 1), version, 1) == global_staleness(d, 0) == d
+
+    @given(nm=st.integers(min_value=1, max_value=64), version=st.integers(min_value=-1, max_value=50))
+    def test_property_d0_admits_exactly_two_waves_ahead(self, nm, version):
+        """D=0: a worker holding global wave G may run waves G+1, G+2
+        (the second only because pipelining overlaps the pull)."""
+        limit = admission_limit(version, 0, nm)
+        assert limit == (version + 2) * nm + nm - 1
+        assert missing_updates(limit, version, nm) == global_staleness(0, nm - 1)
+
+    @given(
+        nm=st.integers(min_value=1, max_value=8),
+        d=st.integers(min_value=0, max_value=100_000),
+        version=st.integers(min_value=-1, max_value=20),
+    )
+    def test_property_large_d_consistency(self, nm, d, version):
+        """Huge D must not overflow or break the mutual relationships."""
+        slocal = local_staleness(nm)
+        bound = global_staleness(d, slocal)
+        limit = admission_limit(version, d, nm)
+        assert bound == (d + 1) * nm + nm - 2
+        assert missing_updates(limit, version, nm) == bound
+        assert missing_updates(limit + 1, version, nm) == bound + 1  # bound is tight
+
+    @given(
+        nm=st.integers(min_value=1, max_value=8),
+        d=st.integers(min_value=0, max_value=64),
+        version=st.integers(min_value=-1, max_value=100),
+    )
+    def test_property_limit_monotone_and_wave_granular(self, nm, d, version):
+        """One more pulled version admits exactly one more wave; one more
+        D admits exactly one more wave; both never shrink."""
+        base = admission_limit(version, d, nm)
+        assert admission_limit(version + 1, d, nm) - base == nm
+        assert admission_limit(version, d + 1, nm) - base == nm
+
+    @given(
+        nm=st.integers(min_value=1, max_value=8),
+        d=st.integers(min_value=0, max_value=64),
+        wave=st.integers(min_value=0, max_value=100),
+    )
+    def test_property_desired_version_unblocks_next_wave(self, nm, d, wave):
+        """Pulling the version requested after wave c must admit every
+        minibatch of wave c+1 — otherwise the runtime would deadlock."""
+        desired = desired_version_after_wave(wave, d)
+        version = max(desired, -1)  # the PS clock floor
+        last_of_next_wave = (wave + 2) * nm
+        assert admission_limit(version, d, nm) >= last_of_next_wave
