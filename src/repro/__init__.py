@@ -50,6 +50,7 @@ from repro.models import (
     build_vgg16,
     build_vgg19,
 )
+from repro.netsim import Fabric, FabricSpec, NETWORK_MODELS
 from repro.parallel import HorovodMetrics, measure_horovod
 from repro.partition import (
     PartitionPlan,
@@ -83,6 +84,8 @@ __all__ = [
     "ConfigurationError",
     "ConvergenceError",
     "DEFAULT_CALIBRATION",
+    "Fabric",
+    "FabricSpec",
     "GPUDevice",
     "GPUSpec",
     "HetPipeMetrics",
@@ -91,6 +94,7 @@ __all__ = [
     "InterconnectSpec",
     "MemoryCapacityError",
     "ModelGraph",
+    "NETWORK_MODELS",
     "Node",
     "PartitionError",
     "PartitionPlan",

@@ -4,7 +4,10 @@ Each subcommand regenerates one paper table/figure on the simulated
 testbed and prints it side by side with the paper's numbers.  The
 ``fuzz`` subcommand instead drives the scenario fuzzing harness: seeded
 random configurations through the full runtime under invariant oracles
-(see :mod:`repro.scenarios`).
+(see :mod:`repro.scenarios`), optionally on the contention-aware shared
+network (``--network shared``).  ``netsim`` reports per-resource network
+utilization and the top congested links of one deployment under the
+shared fabric (see :mod:`repro.netsim`).
 """
 
 from __future__ import annotations
@@ -12,6 +15,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.cluster.catalog import DEFAULT_PROFILE, INTERCONNECT_PROFILES
 from repro.experiments import (
     run_ablations,
     run_fig3,
@@ -75,6 +79,42 @@ def build_parser() -> argparse.ArgumentParser:
         "--verbose", action="store_true",
         help="print one line per scenario, not just the summary",
     )
+    p.add_argument(
+        "--network", choices=["dedicated", "shared"], default="dedicated",
+        help="network model: historical private links, or the shared "
+        "contention-aware fabric with its extra oracles (default: dedicated)",
+    )
+    p = sub.add_parser(
+        "netsim",
+        help="per-resource network utilization and top congested links "
+        "under the shared contention-aware fabric",
+    )
+    _add_model_arg(p)
+    p.add_argument(
+        "--nodes", default="VRGQ", metavar="CODES",
+        help="node GPU codes, one letter per node (default: VRGQ)",
+    )
+    p.add_argument(
+        "--alloc", choices=["NP", "ED", "HD"], default="ED",
+        help="virtual-worker allocation policy (default: ED)",
+    )
+    p.add_argument("--d", type=int, default=0, help="global staleness bound D")
+    p.add_argument(
+        "--nm", type=_positive_int, default=None,
+        help="pipeline depth Nm (default: analytic best)",
+    )
+    p.add_argument(
+        "--placement", choices=["default", "local"], default="default",
+        help="parameter placement policy",
+    )
+    p.add_argument(
+        "--profile", choices=sorted(INTERCONNECT_PROFILES), default=DEFAULT_PROFILE,
+        help="link calibration profile (default: %(default)s)",
+    )
+    p.add_argument(
+        "--top", type=_positive_int, default=8,
+        help="how many congested resources to list (default: 8)",
+    )
     sub.add_parser("all", help="run every experiment (slow)")
     return parser
 
@@ -110,9 +150,25 @@ def main(argv: list[str] | None = None) -> int:
         report = run_fuzz(
             range(args.base_seed, args.base_seed + args.seeds),
             verbose_log=print if args.verbose else None,
+            network_model=args.network,
         )
         print(report.summary())
         return 1 if report.failures else 0
+    elif args.command == "netsim":
+        from repro.experiments.netsim_report import run_netsim
+
+        print(
+            run_netsim(
+                model_name=args.model,
+                node_codes=args.nodes,
+                allocation=args.alloc,
+                d=args.d,
+                nm=args.nm,
+                placement=args.placement,
+                profile=args.profile,
+                top=args.top,
+            ).render()
+        )
     elif args.command == "all":
         for model in ("vgg19", "resnet152"):
             print(run_fig3(model).render())

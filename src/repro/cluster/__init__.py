@@ -11,11 +11,14 @@ from repro.cluster.gpu import GPUDevice, GPUSpec
 from repro.cluster.node import Node
 from repro.cluster.topology import Cluster, InterconnectSpec
 from repro.cluster.catalog import (
+    DEFAULT_PROFILE,
     GPU_BY_CODE,
+    INTERCONNECT_PROFILES,
     QUADRO_P4000,
     RTX_2060,
     TITAN_RTX,
     TITAN_V,
+    interconnect_profile,
     paper_cluster,
     paper_interconnect,
     single_type_cluster,
@@ -23,11 +26,14 @@ from repro.cluster.catalog import (
 
 __all__ = [
     "Cluster",
+    "DEFAULT_PROFILE",
     "GPUDevice",
     "GPUSpec",
     "GPU_BY_CODE",
+    "INTERCONNECT_PROFILES",
     "InterconnectSpec",
     "Node",
+    "interconnect_profile",
     "QUADRO_P4000",
     "RTX_2060",
     "TITAN_RTX",

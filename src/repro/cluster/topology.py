@@ -25,7 +25,10 @@ class InterconnectSpec:
 
     ``pcie_scale`` and ``ib_scale`` are the scaling-down constants (§7)
     that map peak to achievable bandwidth; latencies absorb the constant
-    term of the linear-regression communication model.
+    term of the linear-regression communication model.  The fitted
+    values for a given software stack live in the named calibration
+    profiles of :data:`repro.cluster.catalog.INTERCONNECT_PROFILES`
+    (the defaults here equal the paper's ``grpc_tf112`` profile).
     """
 
     pcie_bandwidth: float = gb_per_s(15.75)  # PCIe 3.0 x16 peak

@@ -10,6 +10,7 @@ Figure 5             :mod:`repro.experiments.fig5_resnet_convergence`
 Figure 6             :mod:`repro.experiments.fig6_vgg_convergence`
 §8.4 sync overhead   :mod:`repro.experiments.sync_overhead`
 design ablations     :mod:`repro.experiments.ablations`
+network contention   :mod:`repro.experiments.netsim_report`
 ===================  =======================================
 """
 
@@ -18,6 +19,7 @@ from repro.experiments.fig3_single_vw import Fig3Result, run_fig3
 from repro.experiments.fig4_multi_vw import Fig4Result, run_fig4
 from repro.experiments.fig5_resnet_convergence import Fig5Result, run_fig5
 from repro.experiments.fig6_vgg_convergence import Fig6Result, run_fig6
+from repro.experiments.netsim_report import NetsimResult, run_netsim
 from repro.experiments.sync_overhead import SyncOverheadResult, run_sync_overhead
 from repro.experiments.table4_whimpy import Table4Result, run_table4
 
@@ -27,6 +29,7 @@ __all__ = [
     "Fig4Result",
     "Fig5Result",
     "Fig6Result",
+    "NetsimResult",
     "SyncOverheadResult",
     "Table4Result",
     "run_ablations",
@@ -34,6 +37,7 @@ __all__ = [
     "run_fig4",
     "run_fig5",
     "run_fig6",
+    "run_netsim",
     "run_sync_overhead",
     "run_table4",
 ]

@@ -1,0 +1,467 @@
+"""Contention-aware network fabric.
+
+The pipeline and WSP layers historically gave every transfer a *private*
+:class:`~repro.sim.resources.Channel` — one link per virtual worker per
+stage per direction — so a node's NIC was infinitely parallel and PS
+push/pull storms, activation transfers, and allreduce traffic never
+contended.  This module replaces those private links with one shared
+:class:`Fabric` built from the :class:`~repro.cluster.topology.Cluster`:
+
+* one **PCIe lane** per GPU (the x16 slot the device hangs off),
+* one **host lane** per node (the DMA/memory path of host-resident
+  endpoints — PS shards are staged through host memory),
+* one **PCIe switch** per node (the root-complex/switch fabric all the
+  node's lanes and its NIC funnel through),
+* one **NIC** per node (the 56 Gb/s InfiniBand port — the resource the
+  paper's §7 communication model says is scarce), and
+* one **IB fabric** for the whole cluster (the InfiniBand switch).
+
+A transfer is a :class:`Flow` routed across the multi-hop path between
+its endpoints.  Capacity is FIFO-reserved: the flow starts when *every*
+resource on its path is free, runs at the path's bottleneck rate, and
+occupies each traversed resource for the whole service interval.  The
+unloaded service time therefore equals the dedicated
+:class:`~repro.sim.resources.Channel` model exactly (same bottleneck
+bandwidth, same end-to-end latency), so ``shared`` mode differs from
+``dedicated`` mode *only* by contention — queueing behind other flows on
+shared resources — which is precisely what the fuzz oracle
+``shared makespan >= dedicated makespan`` checks.
+
+Every resource keeps the accounting the invariant oracles and the
+``repro netsim`` report read: occupancy (utilization <= 1 by
+construction, re-verified by :meth:`Fabric.verify`), bytes charged by
+flows (flow conservation: bytes in == bytes out per resource), queueing
+delay, and peak queue depth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.cluster.gpu import GPUDevice
+from repro.cluster.topology import Cluster
+from repro.errors import ConfigurationError, InvariantViolation, SimulationError
+from repro.sim.engine import Simulator
+
+Callback = Callable[[], None]
+
+
+@dataclass(frozen=True)
+class Endpoint:
+    """One end of a flow: a GPU, or a node's host memory (PS shard).
+
+    PS traffic terminates in host memory (TF 1.12 stages tensors through
+    the gRPC process), so it enters the fabric at the node's PCIe switch
+    without traversing any GPU's lane; GPU-to-GPU transfers traverse the
+    lanes on both ends.
+    """
+
+    node_id: int
+    gpu_id: int | None = None
+
+    @staticmethod
+    def gpu(device: GPUDevice) -> "Endpoint":
+        return Endpoint(node_id=device.node_id, gpu_id=device.gpu_id)
+
+    @staticmethod
+    def host(node_id: int) -> "Endpoint":
+        return Endpoint(node_id=node_id, gpu_id=None)
+
+    def __str__(self) -> str:
+        if self.gpu_id is None:
+            return f"host(n{self.node_id})"
+        return f"gpu{self.gpu_id}(n{self.node_id})"
+
+
+@dataclass(frozen=True)
+class FabricSpec:
+    """Capacity model of the shared resources, as multiples of the
+    cluster's effective point-to-point bandwidths.
+
+    Defaults are chosen so the *bottleneck* of every unloaded path equals
+    the dedicated model's link (PCIe lane intra-node, NIC rate
+    cross-node): the switch fabrics are faster than any single lane/port,
+    so they only matter under fan-in.  Scales below 1.0 model congested
+    or oversubscribed hardware — the shared-network fuzz mode draws them
+    to exercise contention paths.
+    """
+
+    #: per-GPU PCIe lane, x `pcie_effective`
+    pcie_lane_scale: float = 1.0
+    #: per-node PCIe switch aggregate, x `pcie_effective`
+    pcie_switch_scale: float = 2.0
+    #: per-node NIC, x `ib_effective`
+    nic_scale: float = 1.0
+    #: whole-cluster IB switch aggregate, x `ib_effective` (None: one
+    #: port per node half-duplex-ish, i.e. half-bisection `nodes / 2`)
+    ib_fabric_scale: float | None = None
+
+    def __post_init__(self) -> None:
+        for name in ("pcie_lane_scale", "pcie_switch_scale", "nic_scale"):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"{name} must be positive")
+        if self.ib_fabric_scale is not None and self.ib_fabric_scale <= 0:
+            raise ConfigurationError("ib_fabric_scale must be positive")
+
+    def min_scale(self) -> float:
+        """Slowest resource class relative to the dedicated model.
+
+        The differential window bound multiplies dedicated per-transfer
+        times by ``1 / min_scale()`` to stay a true worst case when the
+        fuzz generator draws a congested (scale < 1) fabric.
+        """
+        scales = [self.pcie_lane_scale, self.pcie_switch_scale, self.nic_scale]
+        if self.ib_fabric_scale is not None:
+            scales.append(self.ib_fabric_scale)
+        return min(1.0, min(scales))
+
+
+DEFAULT_FABRIC_SPEC = FabricSpec()
+
+
+class SharedLink:
+    """A shared fabric resource with FIFO-reserved capacity.
+
+    Flows reserve non-overlapping service intervals in submission order;
+    ``busy_time`` accumulates exact occupancy, so ``utilization`` can
+    never exceed 1 — the oracle re-checks both properties.
+    """
+
+    def __init__(self, sim: Simulator, bandwidth: float, name: str, kind: str) -> None:
+        if bandwidth <= 0:
+            raise SimulationError(f"{name}: bandwidth must be positive, got {bandwidth}")
+        self.sim = sim
+        self.name = name
+        self.kind = kind  # "pcie_lane" | "pcie_switch" | "nic" | "ib_fabric"
+        self.bandwidth = bandwidth
+        self.busy_time = 0.0
+        self.bytes_moved = 0.0
+        self.flows_carried = 0
+        self.queue_delay_total = 0.0
+        self.max_queue_depth = 0
+        self._free_at = 0.0
+        self._pending_starts: list[float] = []
+
+    @property
+    def free_at(self) -> float:
+        return self._free_at
+
+    def occupy(self, start: float, duration: float, nbytes: float) -> None:
+        """Reserve ``[start, start + duration)`` for one flow.
+
+        ``start`` must not overlap the previous reservation — the fabric
+        guarantees it by starting flows at the max ``free_at`` over their
+        path; violating it means double-booked capacity, which the
+        oracle treats as an invariant violation, not a plain sim error.
+        """
+        now = self.sim.now
+        if start < self._free_at - 1e-12:
+            raise InvariantViolation(
+                f"{self.name}: overlapping reservation at t={start} "
+                f"(free at {self._free_at})"
+            )
+        self.queue_delay_total += max(0.0, min(self._free_at, start) - now)
+        self._pending_starts = [t for t in self._pending_starts if t > now]
+        if start > now:
+            self._pending_starts.append(start)
+        self.max_queue_depth = max(self.max_queue_depth, len(self._pending_starts))
+        self._free_at = start + duration
+        self.busy_time += duration
+        self.bytes_moved += nbytes
+        self.flows_carried += 1
+
+    def utilization(self, elapsed: float | None = None) -> float:
+        """Fraction of time occupied by flow service (reservations that
+        extend past ``elapsed`` are clipped to it)."""
+        window = self.sim.now if elapsed is None else elapsed
+        if window <= 0:
+            return 0.0
+        busy = self.busy_time - max(0.0, self._free_at - window)
+        return max(0.0, busy / window)
+
+
+@dataclass(frozen=True)
+class Flow:
+    """One completed (or in-flight) transfer's routing record."""
+
+    src: Endpoint
+    dst: Endpoint
+    nbytes: float
+    start: float
+    done: float
+    path: tuple[str, ...]  # resource names traversed
+    tag: str = ""
+
+
+class Fabric:
+    """Shared network resources of one cluster, plus flow routing.
+
+    >>> from repro.cluster.catalog import paper_cluster
+    >>> from repro.sim.engine import Simulator
+    >>> sim = Simulator()
+    >>> fabric = Fabric(sim, paper_cluster("VR"))
+    >>> done = []
+    >>> _ = fabric.transfer_gpus(0, 4, 1e6, lambda: done.append(sim.now))
+    >>> sim.run()
+    >>> len(done)
+    1
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cluster: Cluster,
+        spec: FabricSpec = DEFAULT_FABRIC_SPEC,
+    ) -> None:
+        self.sim = sim
+        self.cluster = cluster
+        self.spec = spec
+        ic = cluster.interconnect
+        self.pcie_lane: dict[int, SharedLink] = {
+            gpu.gpu_id: SharedLink(
+                sim, ic.pcie_effective * spec.pcie_lane_scale,
+                f"pcie.gpu{gpu.gpu_id}", "pcie_lane",
+            )
+            for gpu in cluster.gpus
+        }
+        self.host_lane: dict[int, SharedLink] = {
+            node.node_id: SharedLink(
+                sim, ic.pcie_effective * spec.pcie_lane_scale,
+                f"host.n{node.node_id}", "host_lane",
+            )
+            for node in cluster.nodes
+        }
+        self.pcie_switch: dict[int, SharedLink] = {
+            node.node_id: SharedLink(
+                sim, ic.pcie_effective * spec.pcie_switch_scale,
+                f"pcie.switch.n{node.node_id}", "pcie_switch",
+            )
+            for node in cluster.nodes
+        }
+        self.nic: dict[int, SharedLink] = {
+            node.node_id: SharedLink(
+                sim, ic.ib_effective * spec.nic_scale,
+                f"nic.n{node.node_id}", "nic",
+            )
+            for node in cluster.nodes
+        }
+        ib_scale = (
+            spec.ib_fabric_scale
+            if spec.ib_fabric_scale is not None
+            else max(1.0, len(cluster.nodes) / 2.0)
+        )
+        self.ib_fabric = SharedLink(
+            sim, ic.ib_effective * ib_scale, "ib.fabric", "ib_fabric"
+        )
+        self.flows: list[Flow] = []
+        #: total time flows spent waiting for their path, counted once
+        #: per flow (the per-link ``queue_delay_total`` counters instead
+        #: *attribute* waits to resources, for congestion ranking, and
+        #: sum to more than this when paths share several hops)
+        self.queue_delay_total = 0.0
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+
+    def links(self) -> list[SharedLink]:
+        """Every shared resource, in a stable report order."""
+        out = list(self.pcie_lane.values())
+        out.extend(self.host_lane.values())
+        out.extend(self.pcie_switch.values())
+        out.extend(self.nic.values())
+        out.append(self.ib_fabric)
+        return out
+
+    def _endpoint_lane(self, ep: Endpoint) -> SharedLink:
+        if ep.gpu_id is not None:
+            return self.pcie_lane[ep.gpu_id]
+        return self.host_lane[ep.node_id]
+
+    def route(self, src: Endpoint, dst: Endpoint) -> tuple[list[SharedLink], float]:
+        """``(resources traversed, end-to-end latency)`` for src -> dst."""
+        ic = self.cluster.interconnect
+        path: list[SharedLink] = [self._endpoint_lane(src), self.pcie_switch[src.node_id]]
+        if src.node_id == dst.node_id:
+            latency = ic.pcie_latency
+        else:
+            path.append(self.nic[src.node_id])
+            path.append(self.ib_fabric)
+            path.append(self.nic[dst.node_id])
+            path.append(self.pcie_switch[dst.node_id])
+            latency = ic.ib_latency
+        path.append(self._endpoint_lane(dst))
+        # A resource appears once per flow even when both endpoints share
+        # it (same-node host->host shares one host lane; the flow still
+        # serializes with the node's other traffic through lane+switch).
+        seen: set[str] = set()
+        unique = []
+        for link in path:
+            if link.name not in seen:
+                seen.add(link.name)
+                unique.append(link)
+        return unique, latency
+
+    # ------------------------------------------------------------------
+    # transfers
+    # ------------------------------------------------------------------
+
+    def transfer(
+        self,
+        src: Endpoint,
+        dst: Endpoint,
+        nbytes: float,
+        on_complete: Callback | None = None,
+        tag: str = "",
+        rate_cap: float | None = None,
+    ) -> float:
+        """Route one flow; returns its (absolute) completion time.
+
+        The flow starts when every resource on its path is free, runs at
+        the path bottleneck rate, and charges its full occupancy and
+        byte count to each traversed resource.  ``rate_cap`` bounds the
+        flow's rate below the path bottleneck — used when the *sender*
+        is the slow party (e.g. the calibrated achieved rate of a
+        software allreduce stack), so shared-mode service is never
+        faster than the calibrated dedicated model it replaces.
+        """
+        if nbytes < 0:
+            raise SimulationError(f"fabric: negative transfer size {nbytes}")
+        if rate_cap is not None and rate_cap <= 0:
+            raise SimulationError(f"fabric: rate_cap must be positive, got {rate_cap}")
+        now = self.sim.now
+        if src == dst and src.gpu_id is not None:
+            # same-device "transfer" is a no-op, as in the dedicated
+            # model (InterconnectSpec.transfer_time returns 0.0)
+            if on_complete is not None:
+                self.sim.schedule_at(now, on_complete)
+            return now
+        path, latency = self.route(src, dst)
+        bottleneck = min(link.bandwidth for link in path)
+        if rate_cap is not None:
+            bottleneck = min(bottleneck, rate_cap)
+        occupy = nbytes / bottleneck
+        start = max([now] + [link.free_at for link in path])
+        self.queue_delay_total += start - now
+        for link in path:
+            link.occupy(start, occupy, nbytes)
+        done = start + occupy + latency
+        self.flows.append(
+            Flow(
+                src=src, dst=dst, nbytes=nbytes, start=start, done=done,
+                path=tuple(link.name for link in path), tag=tag,
+            )
+        )
+        if on_complete is not None:
+            self.sim.schedule_at(done, on_complete)
+        return done
+
+    def transfer_gpus(
+        self, src_gpu: int, dst_gpu: int, nbytes: float,
+        on_complete: Callback | None = None, tag: str = "",
+    ) -> float:
+        """GPU-to-GPU convenience wrapper over :meth:`transfer`."""
+        src = self.cluster.gpu(src_gpu)
+        dst = self.cluster.gpu(dst_gpu)
+        return self.transfer(Endpoint.gpu(src), Endpoint.gpu(dst), nbytes, on_complete, tag)
+
+    def edge(self, src: Endpoint, dst: Endpoint, name: str) -> "FabricEdge":
+        """A Channel-compatible view of one (src, dst) flow stream."""
+        return FabricEdge(self, src, dst, name)
+
+    # ------------------------------------------------------------------
+    # accounting / verification
+    # ------------------------------------------------------------------
+
+    def queue_stats(self) -> tuple[float, int]:
+        """``(total queueing delay, peak queue depth)``.
+
+        Delay counts each flow's wait exactly once (comparable with the
+        dedicated model's per-channel accounting); depth is the deepest
+        any single resource's wait queue ever got.
+        """
+        depth = max((link.max_queue_depth for link in self.links()), default=0)
+        return self.queue_delay_total, depth
+
+    def congested_links(self, top: int = 5, elapsed: float | None = None) -> list[SharedLink]:
+        """The ``top`` resources by queueing delay (ties by utilization)."""
+        return sorted(
+            self.links(),
+            key=lambda l: (l.queue_delay_total, l.utilization(elapsed)),
+            reverse=True,
+        )[:top]
+
+    def verify(self, elapsed: float | None = None) -> None:
+        """Check flow conservation and per-resource occupancy laws.
+
+        * bytes in == bytes out: the sum of ``nbytes`` over the flows
+          traversing a resource equals the resource's own byte counter;
+        * every byte that entered the fabric is attributed to a path
+          (no orphaned resource traffic);
+        * occupancy never exceeds wall time (utilization <= 1).
+
+        Raises :class:`~repro.errors.InvariantViolation` on the first
+        inconsistency.
+        """
+        window = self.sim.now if elapsed is None else elapsed
+        recomputed: dict[str, float] = {}
+        for flow in self.flows:
+            for name in flow.path:
+                recomputed[name] = recomputed.get(name, 0.0) + flow.nbytes
+        for link in self.links():
+            expected = recomputed.get(link.name, 0.0)
+            if abs(expected - link.bytes_moved) > 1e-6 * max(1.0, expected):
+                raise InvariantViolation(
+                    f"fabric: {link.name} carried {link.bytes_moved:.0f} bytes but "
+                    f"flows account for {expected:.0f} (conservation)"
+                )
+            if window > 0 and link.utilization(window) > 1.0 + 1e-9:
+                raise InvariantViolation(
+                    f"fabric: {link.name} utilization "
+                    f"{link.utilization(window):.6f} > 1 over {window:.6f}s"
+                )
+
+
+class FabricEdge:
+    """Channel-compatible adapter: one (src, dst) stream over the fabric.
+
+    Lets the pipeline engines keep their per-edge bookkeeping
+    (``bytes_moved`` feeds cross-node traffic accounting; queue stats
+    feed the metrics layer) while the actual capacity is shared.
+    """
+
+    def __init__(self, fabric: Fabric, src: Endpoint, dst: Endpoint, name: str) -> None:
+        self.fabric = fabric
+        self.src = src
+        self.dst = dst
+        self.name = name
+        self.bytes_moved = 0.0
+        self.transfers_completed = 0
+
+    def transfer(self, nbytes: float, on_complete: Callback | None = None) -> float:
+        self.bytes_moved += nbytes
+        self.transfers_completed += 1
+        return self.fabric.transfer(self.src, self.dst, nbytes, on_complete, tag=self.name)
+
+
+def utilization_report(
+    fabric: Fabric, elapsed: float | None = None, top: int | None = None
+) -> list[tuple[str, str, float, float, float, int]]:
+    """Rows of ``(name, kind, util, GiB moved, queue delay s, peak depth)``
+    most-utilized first (all resources, or the ``top`` busiest) — the
+    ``repro netsim`` subcommand renders this table."""
+    rows = []
+    for link in fabric.links():
+        rows.append(
+            (
+                link.name,
+                link.kind,
+                link.utilization(elapsed),
+                link.bytes_moved / 2**30,
+                link.queue_delay_total,
+                link.max_queue_depth,
+            )
+        )
+    rows.sort(key=lambda r: r[2], reverse=True)
+    return rows if top is None else rows[:top]

@@ -2,8 +2,10 @@
 
 from repro.parallel.allreduce import (
     cross_node_allreduce_bytes,
+    measure_ring_allreduce,
     ring_allreduce_time,
     ring_bandwidth,
+    simulate_ring_allreduce,
 )
 from repro.parallel.horovod import HorovodMetrics, feasible_gpus, measure_horovod
 from repro.parallel.sync_models import (
@@ -19,7 +21,9 @@ __all__ = [
     "cross_node_allreduce_bytes",
     "feasible_gpus",
     "measure_horovod",
+    "measure_ring_allreduce",
     "ring_allreduce_time",
     "ring_bandwidth",
+    "simulate_ring_allreduce",
     "ssp_iteration_times",
 ]

@@ -32,6 +32,11 @@ class PipelineMetrics:
     cross_node_bytes_per_minibatch: float
     serial_latency: float
     measured_minibatches: int
+    #: total seconds transfers waited behind earlier ones on the stage
+    #: channels, and the deepest any channel's wait queue ever got —
+    #: nonzero whenever activation/gradient traffic outpaces a link
+    queue_delay_total: float = 0.0
+    max_queue_depth: int = 0
 
     @property
     def max_utilization(self) -> float:
@@ -81,6 +86,7 @@ def measure_pipeline(
     utilizations = tuple(
         min(1.0, (b1 - b0) / window) for b0, b1 in zip(busy0, busy1)
     )
+    queue_delay, queue_depth = pipeline.channel_queue_stats()
     return PipelineMetrics(
         model_name=plan.model_name,
         nm=plan.nm,
@@ -92,4 +98,6 @@ def measure_pipeline(
         cross_node_bytes_per_minibatch=pipeline.cross_node_bytes() / total,
         serial_latency=plan.serial_latency,
         measured_minibatches=measured_minibatches,
+        queue_delay_total=queue_delay,
+        max_queue_depth=queue_depth,
     )

@@ -23,7 +23,9 @@ from typing import Callable
 
 from repro.cluster.topology import InterconnectSpec
 from repro.errors import SimulationError
+from repro.netsim.fabric import Fabric, FabricEdge
 from repro.partition.spec import PartitionPlan
+from repro.pipeline.virtual_worker import build_stage_edge
 from repro.sim.engine import Simulator
 from repro.sim.resources import Channel, Processor
 from repro.sim.trace import Trace
@@ -32,8 +34,8 @@ from repro.sim.trace import Trace
 @dataclass
 class _Stage1F1B:
     processor: Processor
-    to_next: Channel | None
-    to_prev: Channel | None
+    to_next: "Channel | FabricEdge | None"
+    to_prev: "Channel | FabricEdge | None"
     fwd_queue: list[int] = field(default_factory=list)
     bwd_queue: list[int] = field(default_factory=list)
     next_fwd: int = 1
@@ -59,24 +61,28 @@ class OneFOneBPipeline:
         limit: int,
         name: str = "1f1b",
         trace: Trace | None = None,
+        fabric: Fabric | None = None,
     ) -> None:
         self.sim = sim
         self.plan = plan
         self.limit = limit
         self.name = name
         self.trace = trace if trace is not None else Trace(enabled=False)
+        self.fabric = fabric
         self.stages: list[_Stage1F1B] = []
         for stage in plan.stages:
             to_next = None
             to_prev = None
             if stage.index < plan.k - 1:
                 nxt = plan.stages[stage.index + 1]
-                bw, lat = interconnect.link_between(stage.gpu, nxt.gpu)
-                to_next = Channel(sim, bw, lat, f"{name}.act{stage.index}")
+                to_next = build_stage_edge(
+                    sim, interconnect, fabric, stage.gpu, nxt.gpu, f"{name}.act{stage.index}"
+                )
             if stage.index > 0:
                 prev = plan.stages[stage.index - 1]
-                bw, lat = interconnect.link_between(stage.gpu, prev.gpu)
-                to_prev = Channel(sim, bw, lat, f"{name}.grad{stage.index}")
+                to_prev = build_stage_edge(
+                    sim, interconnect, fabric, stage.gpu, prev.gpu, f"{name}.grad{stage.index}"
+                )
             self.stages.append(
                 _Stage1F1B(
                     processor=Processor(sim, f"{name}.gpu{stage.index}"),

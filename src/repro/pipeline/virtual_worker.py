@@ -25,6 +25,7 @@ from typing import Callable
 
 from repro.cluster.topology import InterconnectSpec
 from repro.errors import SimulationError, StalenessViolation
+from repro.netsim.fabric import Endpoint, Fabric, FabricEdge
 from repro.partition.spec import PartitionPlan
 from repro.pipeline.tasks import AdmissionGate, OpenGate
 from repro.sim.engine import Simulator
@@ -32,13 +33,33 @@ from repro.sim.resources import Channel, Processor
 from repro.sim.trace import Trace
 
 
+def build_stage_edge(
+    sim: Simulator,
+    interconnect: InterconnectSpec,
+    fabric: Fabric | None,
+    src,
+    dst,
+    name: str,
+) -> "Channel | FabricEdge":
+    """The link carrying stage-boundary traffic from GPU ``src`` to ``dst``.
+
+    Dedicated mode: a private FIFO :class:`Channel` with the point-to-point
+    parameters.  Shared mode: a :class:`FabricEdge` routing every transfer
+    over the cluster's shared lanes, switches, and NICs.
+    """
+    if fabric is not None:
+        return fabric.edge(Endpoint.gpu(src), Endpoint.gpu(dst), name)
+    bandwidth, latency = interconnect.link_between(src, dst)
+    return Channel(sim, bandwidth, latency, name)
+
+
 @dataclass
 class _StageState:
     """Mutable runtime state of one pipeline stage."""
 
     processor: Processor
-    to_next: Channel | None  # activations forward
-    to_prev: Channel | None  # gradients backward
+    to_next: "Channel | FabricEdge | None"  # activations forward
+    to_prev: "Channel | FabricEdge | None"  # gradients backward
     next_fwd: int = 1  # next minibatch id whose forward may run (cond. 1)
     next_bwd: int = 1  # next minibatch id whose backward may run (cond. 2)
     fwd_ready: set[int] = field(default_factory=set)
@@ -62,10 +83,12 @@ class VirtualWorkerPipeline:
         trace: Trace | None = None,
         slocal: int | None = None,
         jitter: float = 0.0,
+        fabric: Fabric | None = None,
     ) -> None:
         self.sim = sim
         self.plan = plan
         self.name = name
+        self.fabric = fabric
         self.gate = gate if gate is not None else OpenGate()
         self.gate.subscribe(self._try_inject)
         self.on_minibatch_done = on_minibatch_done
@@ -87,12 +110,16 @@ class VirtualWorkerPipeline:
             to_prev = None
             if stage.index < plan.k - 1:
                 nxt = plan.stages[stage.index + 1]
-                bandwidth, latency = interconnect.link_between(stage.gpu, nxt.gpu)
-                to_next = Channel(sim, bandwidth, latency, f"{name}.act{stage.index}->{stage.index + 1}")
+                to_next = build_stage_edge(
+                    sim, interconnect, fabric, stage.gpu, nxt.gpu,
+                    f"{name}.act{stage.index}->{stage.index + 1}",
+                )
             if stage.index > 0:
                 prev = plan.stages[stage.index - 1]
-                bandwidth, latency = interconnect.link_between(stage.gpu, prev.gpu)
-                to_prev = Channel(sim, bandwidth, latency, f"{name}.grad{stage.index}->{stage.index - 1}")
+                to_prev = build_stage_edge(
+                    sim, interconnect, fabric, stage.gpu, prev.gpu,
+                    f"{name}.grad{stage.index}->{stage.index - 1}",
+                )
             self.stages.append(
                 _StageState(
                     processor=Processor(sim, f"{name}.gpu{stage.index}"),
@@ -286,3 +313,19 @@ class VirtualWorkerPipeline:
                 if not a.same_node(b):
                     total += state.to_prev.bytes_moved
         return total
+
+    def channel_queue_stats(self) -> tuple[float, int]:
+        """``(total queueing delay, peak queue depth)`` over this worker's
+        stage-boundary links.  In fabric mode the per-edge view is the
+        fabric-wide total (shared resources cannot attribute waits to one
+        edge), so the caller should read the fabric directly instead."""
+        if self.fabric is not None:
+            return self.fabric.queue_stats()
+        total = 0.0
+        depth = 0
+        for state in self.stages:
+            for edge in (state.to_next, state.to_prev):
+                if edge is not None:
+                    total += edge.queue_delay_total
+                    depth = max(depth, edge.max_queue_depth)
+        return total, depth

@@ -14,6 +14,7 @@ from repro.scenarios.generator import (
     Scenario,
     ScenarioSpec,
     build_fuzz_model,
+    congested_fabric_spec,
     generate_scenario,
     materialize,
 )
@@ -30,6 +31,7 @@ __all__ = [
     "ScenarioResult",
     "ScenarioSpec",
     "build_fuzz_model",
+    "congested_fabric_spec",
     "generate_scenario",
     "materialize",
     "run_fuzz",

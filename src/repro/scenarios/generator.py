@@ -24,6 +24,7 @@ from repro.cluster.catalog import paper_cluster
 from repro.cluster.topology import Cluster
 from repro.errors import ConfigurationError, PartitionError
 from repro.models.calibration import DEFAULT_CALIBRATION
+from repro.netsim.fabric import FabricSpec
 from repro.models.graph import ModelGraph, validate_chain
 from repro.models.layers import conv_unit, fc_unit, pool_unit
 from repro.models.profiler import Profiler
@@ -63,6 +64,10 @@ class ScenarioSpec:
     # measurement window (global waves)
     warmup_waves: int
     measured_waves: int
+    #: "dedicated" (historical private links; the default keeps seed
+    #: digests bit-identical) or "shared" (contention-aware fabric with a
+    #: congested topology drawn deterministically from the seed)
+    network_model: str = "dedicated"
 
     def describe(self) -> str:
         return (
@@ -71,6 +76,9 @@ class ScenarioSpec:
             f"Nm={self.nm} D={self.d} place={self.placement} jitter={self.jitter} "
             f"{'push/mb ' if self.push_every_minibatch else ''}"
             f"waves={self.warmup_waves}+{self.measured_waves}"
+            # appended only for shared runs so dedicated output is
+            # byte-identical to the pre-netsim harness
+            f"{' net=shared' if self.network_model == 'shared' else ''}"
         )
 
 
@@ -148,6 +156,25 @@ def materialize(spec: ScenarioSpec) -> Scenario:
     if spec.placement == "local":
         validate_local_placement(plans)
     return Scenario(spec=spec, cluster=cluster, model=model, plans=plans)
+
+
+def congested_fabric_spec(seed: int) -> FabricSpec:
+    """A deterministically-drawn congested fabric for shared-mode fuzzing.
+
+    Drawn from an rng stream *independent* of the scenario draw, so
+    enabling the shared network never perturbs which scenario a seed
+    maps to (dedicated digests stay bit-identical).  Scales at or below
+    1.0 model oversubscribed lanes/NICs; every path stays at least as
+    slow as the dedicated model, which is what the
+    ``shared makespan >= dedicated makespan`` oracle relies on.
+    """
+    rng = random.Random(f"netsim-{seed}")
+    return FabricSpec(
+        pcie_lane_scale=rng.choice([0.5, 0.75, 1.0]),
+        pcie_switch_scale=rng.choice([1.0, 1.5, 2.0]),
+        nic_scale=rng.choice([0.25, 0.5, 1.0]),
+        ib_fabric_scale=rng.choice([None, 0.5, 1.0]),
+    )
 
 
 def _draw_candidate(rng: random.Random, seed: int) -> ScenarioSpec:

@@ -30,8 +30,15 @@ from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from repro.errors import InvariantViolation, ReproError, SimulationError
+from repro.netsim.fabric import DEFAULT_FABRIC_SPEC, FabricSpec
 from repro.pipeline.one_f_one_b import OneFOneBPipeline
-from repro.scenarios.generator import Scenario, ScenarioSpec, generate_scenario, materialize
+from repro.scenarios.generator import (
+    Scenario,
+    ScenarioSpec,
+    congested_fabric_spec,
+    generate_scenario,
+    materialize,
+)
 from repro.sim.engine import Simulator
 from repro.sim.invariants import OneFOneBOracle, default_oracles
 from repro.sim.trace import Trace
@@ -65,6 +72,11 @@ class ScenarioResult:
     window: float  # simulated seconds measured
     events: int
     per_vw_completions: tuple[int, ...]
+    #: end-of-run simulated time (time to the target global version)
+    makespan: float = 0.0
+    #: makespan of the dedicated-network twin run (shared scenarios only;
+    #: the contention oracle requires makespan >= dedicated_makespan)
+    dedicated_makespan: float = 0.0
 
     @property
     def ok(self) -> bool:
@@ -130,6 +142,7 @@ def _check_bounds(
     window: float,
     completions: Sequence[int],
     violations: list[str],
+    fabric_spec: FabricSpec = DEFAULT_FABRIC_SPEC,
 ) -> None:
     spec = scenario.spec
     low, high = wsp_completion_bounds(spec.nm, spec.d, spec.measured_waves)
@@ -146,9 +159,20 @@ def _check_bounds(
                 f"{window:.6f}s, above the compute ceiling {ceiling:.1f}"
             )
     apply_bound = _apply_time_bound(scenario, runtime)
+    syncs = [
+        _sync_time_bound(scenario, runtime, vw) for vw in range(len(scenario.plans))
+    ]
+    if spec.network_model == "shared":
+        # On the shared fabric, every worker's transfers can serialize
+        # behind every other worker's on the same NIC/switch, and the
+        # congested topology runs resources at `min_scale` of the
+        # dedicated bandwidths — the serialized worst case is the *sum*
+        # over workers, rescaled.
+        total_sync = sum(syncs) / fabric_spec.min_scale()
+        syncs = [total_sync] * len(syncs)
     wave_bound = max(
-        wsp_wave_time_bound(plan, _sync_time_bound(scenario, runtime, vw), spec.jitter)
-        for vw, plan in enumerate(scenario.plans)
+        wsp_wave_time_bound(plan, sync, spec.jitter)
+        for plan, sync in zip(scenario.plans, syncs)
     )
     limit = spec.measured_waves * (wave_bound + apply_bound) * WINDOW_SLACK
     if window > limit:
@@ -183,10 +207,38 @@ def _check_1f1b(scenario: Scenario, violations: list[str]) -> str:
     return trace.digest()
 
 
+def _makespan_only(scenario: Scenario, spec: ScenarioSpec, budget: int) -> float:
+    """Time for the *dedicated*-network twin of ``spec`` to reach the
+    target global version (no oracles, no trace — just the clock)."""
+    runtime = HetPipeRuntime(
+        scenario.cluster,
+        scenario.model,
+        list(scenario.plans),
+        d=spec.d,
+        placement=spec.placement,
+        push_every_minibatch=spec.push_every_minibatch,
+        jitter=spec.jitter,
+        network_model="dedicated",
+    )
+    runtime.start()
+    runtime.run_until_global_version(
+        spec.warmup_waves + spec.measured_waves - 1, max_events=budget
+    )
+    return runtime.sim.now
+
+
 def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
-    """Execute one scenario end to end and return its verdict."""
+    """Execute one scenario end to end and return its verdict.
+
+    Shared-network scenarios additionally run their dedicated twin and
+    assert the contention oracle: adding contention (and a congested
+    fabric) can only slow a run down, so the shared makespan must be at
+    least the dedicated one.
+    """
     violations: list[str] = []
     scenario = materialize(spec)
+    shared = spec.network_model == "shared"
+    fabric_spec = congested_fabric_spec(spec.seed) if shared else DEFAULT_FABRIC_SPEC
     trace = Trace(enabled=True)
     runtime = HetPipeRuntime(
         scenario.cluster,
@@ -198,6 +250,8 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
         push_every_minibatch=spec.push_every_minibatch,
         jitter=spec.jitter,
         oracles=default_oracles(),
+        network_model=spec.network_model,
+        fabric_spec=fabric_spec,
     )
     total_waves = spec.warmup_waves + spec.measured_waves
     expected_minibatches = (
@@ -210,6 +264,8 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
     window = 0.0
     completions: tuple[int, ...] = tuple(0 for _ in scenario.plans)
     throughput = 0.0
+    makespan = 0.0
+    dedicated_makespan = 0.0
     try:
         runtime.start()
         runtime.run_until_global_version(spec.warmup_waves - 1, max_events=budget)
@@ -217,6 +273,7 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
         done0 = [stats.minibatches_done for stats in runtime.stats]
         runtime.run_until_global_version(total_waves - 1, max_events=budget)
         window = runtime.sim.now - t0
+        makespan = runtime.sim.now
         completions = tuple(
             stats.minibatches_done - before
             for stats, before in zip(runtime.stats, done0)
@@ -225,7 +282,15 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
             sum(completions) * scenario.model.batch_size / window if window > 0 else 0.0
         )
         runtime.check_invariants()
-        _check_bounds(scenario, runtime, window, completions, violations)
+        _check_bounds(scenario, runtime, window, completions, violations, fabric_spec)
+        if shared:
+            dedicated_makespan = _makespan_only(scenario, spec, budget)
+            if makespan < dedicated_makespan * (1.0 - 1e-9):
+                violations.append(
+                    f"contention: shared makespan {makespan:.6f}s beat the "
+                    f"dedicated twin's {dedicated_makespan:.6f}s (contention "
+                    f"cannot speed a run up)"
+                )
     except (InvariantViolation, SimulationError) as exc:
         violations.append(f"{type(exc).__name__}: {exc}")
 
@@ -241,6 +306,8 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
         window=window,
         events=runtime.sim.events_processed,
         per_vw_completions=completions,
+        makespan=makespan,
+        dedicated_makespan=dedicated_makespan,
     )
 
 
@@ -270,18 +337,27 @@ class FuzzReport:
         return "\n".join(lines)
 
 
-def run_fuzz(seeds: Iterable[int], verbose_log=None) -> FuzzReport:
+def run_fuzz(
+    seeds: Iterable[int], verbose_log=None, network_model: str = "dedicated"
+) -> FuzzReport:
     """Generate and run the scenario for every seed.
 
     ``verbose_log`` (e.g. ``print``) receives one line per scenario.
+    ``network_model="shared"`` reruns the same seeded scenarios on the
+    contention-aware fabric (with a seed-drawn congested topology) under
+    the additional flow-conservation / utilization / makespan oracles;
+    the scenario draw itself is unaffected, so a seed always denotes the
+    same deployment in both modes.
     Generation failures are reported as findings rather than raised —
     the harness's contract is that *any* seed yields a verdict.
     """
+    from dataclasses import replace
+
     report = FuzzReport()
     for seed in seeds:
         try:
             scenario = generate_scenario(seed)
-            result = run_scenario(scenario.spec)
+            result = run_scenario(replace(scenario.spec, network_model=network_model))
         except ReproError as exc:
             result = ScenarioResult(
                 spec=ScenarioSpec(

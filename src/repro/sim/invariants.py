@@ -20,6 +20,11 @@ becomes impossible under the paper's rules:
 * :class:`ConservationOracle` — counts must reconcile: trace-observed
   injections/completions vs. the runtime's stats vs. the pipelines'
   counters vs. the PS push/pull totals.
+* :class:`FabricOracle` — shared-network laws when a contention-aware
+  :class:`~repro.netsim.fabric.Fabric` is attached: flow conservation
+  (bytes in == bytes out per traversed resource), per-resource
+  utilization <= 1, and PS traffic totals matching the fabric's PS flow
+  ledger.  A no-op under the dedicated network model.
 * :class:`OneFOneBOracle` — PipeDream-style dispatch discipline for
   :class:`~repro.pipeline.one_f_one_b.OneFOneBPipeline`: a stage never
   starts a forward while its next in-order backward is ready.
@@ -344,9 +349,62 @@ class ConservationOracle(RuntimeOracle):
                 )
 
 
+class FabricOracle(RuntimeOracle):
+    """Shared-fabric laws: flow conservation and bounded utilization.
+
+    Delegates the per-resource checks to
+    :meth:`~repro.netsim.fabric.Fabric.verify` (bytes charged by flows
+    reconcile with every resource's counters; occupancy never exceeds
+    wall time) and additionally reconciles the parameter server's byte
+    accounting against the fabric's PS-tagged flows — the cross-layer
+    check that no PS traffic bypasses the shared network.
+    """
+
+    def verify_final(self, runtime: "HetPipeRuntime") -> None:
+        fabric = runtime.fabric
+        if fabric is None:
+            return
+        fabric.verify(elapsed=runtime.sim.now)
+        # Cross-layer reconciliations: the flow ledger against byte
+        # counters maintained by *other* layers (the PS's traffic
+        # accounting and the pipeline edges' adapter counters), so a
+        # routing bug that charges the wrong resources — invisible to
+        # Fabric.verify's internal ledger — still trips an oracle.
+        ps_flow_bytes = sum(
+            flow.nbytes for flow in fabric.flows if flow.tag.startswith("ps.")
+        )
+        accounted = runtime.ps.sync_bytes_total
+        if abs(ps_flow_bytes - accounted) > 1e-6 * max(1.0, accounted):
+            raise InvariantViolation(
+                f"fabric: PS flows moved {ps_flow_bytes:.0f} bytes but the PS "
+                f"accounted {accounted:.0f}"
+            )
+        by_tag: dict[str, float] = {}
+        for flow in fabric.flows:
+            by_tag[flow.tag] = by_tag.get(flow.tag, 0.0) + flow.nbytes
+        for pipeline in runtime.pipelines:
+            for state in pipeline.stages:
+                for edge in (state.to_next, state.to_prev):
+                    if edge is None:
+                        continue
+                    routed = by_tag.get(edge.name, 0.0)
+                    if abs(routed - edge.bytes_moved) > 1e-6 * max(1.0, edge.bytes_moved):
+                        raise InvariantViolation(
+                            f"fabric: edge {edge.name} accounted "
+                            f"{edge.bytes_moved:.0f} bytes but flows tagged with "
+                            f"it carried {routed:.0f}"
+                        )
+
+
 def default_oracles() -> list[RuntimeOracle]:
     """The standard always-on suite the fuzz harness attaches to a run."""
-    return [StalenessOracle(), SchedulingOracle(), VersionOracle(), ConservationOracle()]
+    return [
+        StalenessOracle(),
+        SchedulingOracle(),
+        VersionOracle(),
+        ConservationOracle(),
+        FabricOracle(),
+    ]
 
 
 class OneFOneBOracle:

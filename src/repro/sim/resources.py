@@ -142,7 +142,13 @@ class Channel:
         self.bytes_moved = 0.0
         self.transfers_completed = 0
         self.busy_time = 0.0
+        #: total time transfers spent waiting behind earlier ones before
+        #: first occupying the link (``start - submit``)
+        self.queue_delay_total = 0.0
+        #: most transfers ever simultaneously waiting (not yet started)
+        self.max_queue_depth = 0
         self._free_at = 0.0
+        self._pending_starts: deque[float] = deque()
 
     def transfer_time(self, nbytes: float) -> float:
         """Unloaded service time for ``nbytes`` (no queueing)."""
@@ -152,7 +158,14 @@ class Channel:
         """Start a transfer; returns its (absolute) completion time."""
         if nbytes < 0:
             raise SimulationError(f"{self.name}: negative transfer size {nbytes}")
-        start = max(self.sim.now, self._free_at)
+        now = self.sim.now
+        start = max(now, self._free_at)
+        self.queue_delay_total += start - now
+        while self._pending_starts and self._pending_starts[0] <= now:
+            self._pending_starts.popleft()
+        if start > now:
+            self._pending_starts.append(start)
+        self.max_queue_depth = max(self.max_queue_depth, len(self._pending_starts))
         occupy = nbytes / self.bandwidth
         self._free_at = start + occupy
         done = self._free_at + self.latency

@@ -36,6 +36,11 @@ class HetPipeMetrics:
     pipeline_cross_node_bytes_per_minibatch: float
     measured_waves: int
     window: float
+    network_model: str = "dedicated"
+    #: total seconds transfers spent queued behind other transfers over
+    #: the whole run (PS streams + stage channels, or the shared fabric)
+    net_queue_delay_total: float = 0.0
+    net_max_queue_depth: int = 0
 
     @property
     def total_concurrent_minibatches(self) -> int:
@@ -54,6 +59,7 @@ def measure_hetpipe(
     measured_waves: int = 12,
     push_every_minibatch: bool = False,
     jitter: float = 0.0,
+    network_model: str = "dedicated",
 ) -> HetPipeMetrics:
     """Measure aggregate steady-state behaviour of a HetPipe deployment."""
     runtime = HetPipeRuntime(
@@ -65,6 +71,7 @@ def measure_hetpipe(
         calibration=calibration,
         push_every_minibatch=push_every_minibatch,
         jitter=jitter,
+        network_model=network_model,
     )
     runtime.start()
 
@@ -85,6 +92,7 @@ def measure_hetpipe(
     sync_bytes = runtime.ps.sync_bytes_cross_node - sync0
     pipe_bytes = sum(p.cross_node_bytes() for p in runtime.pipelines) - pipe0
 
+    queue_delay, queue_depth = runtime.network_queue_stats()
     total_minibatches = sum(done)
     total_wait = sum(waits)
     total_idle = sum(idles)
@@ -106,4 +114,7 @@ def measure_hetpipe(
         ),
         measured_waves=measured_waves,
         window=window,
+        network_model=network_model,
+        net_queue_delay_total=queue_delay,
+        net_max_queue_depth=queue_depth,
     )

@@ -19,6 +19,7 @@ from typing import Callable
 from repro.cluster.topology import Cluster
 from repro.errors import SimulationError
 from repro.models.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.netsim.fabric import Endpoint, Fabric
 from repro.sim.engine import Simulator
 from repro.sim.resources import Channel, Processor
 from repro.wsp.placement import StagePlacement
@@ -39,10 +40,14 @@ class ParameterServerSim:
         cluster: Cluster,
         num_virtual_workers: int,
         calibration: Calibration = DEFAULT_CALIBRATION,
+        fabric: Fabric | None = None,
     ) -> None:
         self.sim = sim
         self.cluster = cluster
         self.calibration = calibration
+        #: shared network fabric; None keeps the historical dedicated
+        #: per-(worker, stage, direction) gRPC streams
+        self.fabric = fabric
         self.pushed_wave = [-1] * num_virtual_workers
         self.global_version = -1
         self.pushes_completed = 0
@@ -88,6 +93,42 @@ class ParameterServerSim:
                 channel = Channel(self.sim, ic.pcie_effective, ic.pcie_latency, f"ps.vw{vw_index}.s{stage}.{direction}.local")
             self._channels[key] = channel
         return channel
+
+    def _send(
+        self,
+        vw_index: int,
+        stage: int,
+        direction: str,
+        src_node: int,
+        dst_node: int,
+        nbytes: float,
+        on_complete: Callable[[], None] | None,
+    ) -> None:
+        """Move ``nbytes`` from ``src_node`` to ``dst_node`` host memory.
+
+        Dedicated mode uses the per-stream channels above; shared mode
+        routes one flow over the fabric, contending with every other
+        transfer crossing the same lanes, switches, and NICs.
+        """
+        if self.fabric is not None:
+            self.fabric.transfer(
+                Endpoint.host(src_node),
+                Endpoint.host(dst_node),
+                nbytes,
+                on_complete,
+                tag=f"ps.vw{vw_index}.s{stage}.{direction}",
+            )
+            return
+        stream = self._stream(vw_index, stage, direction, dst_node != src_node)
+        stream.transfer(nbytes, on_complete)
+
+    def queue_stats(self) -> tuple[float, int]:
+        """``(total queueing delay, peak queue depth)`` over the PS's own
+        dedicated streams (zeros in fabric mode — the fabric accounts
+        shared queueing itself)."""
+        total = sum(ch.queue_delay_total for ch in self._channels.values())
+        depth = max((ch.max_queue_depth for ch in self._channels.values()), default=0)
+        return total, depth
 
     def _account(self, src_node: int, dst_node: int, nbytes: float) -> None:
         self.sync_bytes_total += nbytes
@@ -155,9 +196,8 @@ class ParameterServerSim:
         for stage, (src_node, dests) in enumerate(sources):
             for shard_node, nbytes in dests:
                 self._account(src_node, shard_node, nbytes)
-                stream = self._stream(vw_index, stage, "push", shard_node != src_node)
-                stream.transfer(
-                    nbytes,
+                self._send(
+                    vw_index, stage, "push", src_node, shard_node, nbytes,
                     (lambda shard_node=shard_node, nbytes=nbytes: transfer_done(shard_node, nbytes)),
                 )
 
@@ -197,9 +237,8 @@ class ParameterServerSim:
         for stage, (src_node, dests) in enumerate(sources):
             for shard_node, nbytes in dests:
                 self._account(src_node, shard_node, nbytes)
-                stream = self._stream(vw_index, stage, "push", shard_node != src_node)
-                stream.transfer(
-                    nbytes,
+                self._send(
+                    vw_index, stage, "push", src_node, shard_node, nbytes,
                     (
                         lambda shard_node=shard_node, nbytes=nbytes: self._apply[shard_node].submit(
                             nbytes / self.calibration.ps_apply_bandwidth
@@ -232,8 +271,7 @@ class ParameterServerSim:
         for stage, (dst_node, dests) in enumerate(sources):
             for shard_node, nbytes in dests:
                 self._account(shard_node, dst_node, nbytes)
-                stream = self._stream(vw_index, stage, "pull", shard_node != dst_node)
-                stream.transfer(nbytes, transfer_done)
+                self._send(vw_index, stage, "pull", shard_node, dst_node, nbytes, transfer_done)
 
     # ------------------------------------------------------------------
     # version subscriptions

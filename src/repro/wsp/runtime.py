@@ -17,6 +17,8 @@ from repro.cluster.topology import Cluster
 from repro.errors import ConfigurationError, SimulationError
 from repro.models.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.models.graph import ModelGraph
+from repro.netsim import NETWORK_MODELS
+from repro.netsim.fabric import DEFAULT_FABRIC_SPEC, Fabric, FabricSpec
 from repro.partition.spec import PartitionPlan
 from repro.pipeline.virtual_worker import VirtualWorkerPipeline
 from repro.sim.engine import Simulator
@@ -78,12 +80,18 @@ class HetPipeRuntime:
         push_every_minibatch: bool = False,
         jitter: float = 0.0,
         oracles: "Sequence[RuntimeOracle]" = (),
+        network_model: str = "dedicated",
+        fabric_spec: FabricSpec = DEFAULT_FABRIC_SPEC,
     ) -> None:
         if not plans:
             raise ConfigurationError("need at least one virtual worker plan")
         nms = {plan.nm for plan in plans}
         if len(nms) > 1:
             raise ConfigurationError(f"Nm must match across virtual workers, got {sorted(nms)}")
+        if network_model not in NETWORK_MODELS:
+            raise ConfigurationError(
+                f"unknown network_model {network_model!r}; expected one of {NETWORK_MODELS}"
+            )
         self.cluster = cluster
         self.model = model
         self.plans = list(plans)
@@ -92,11 +100,18 @@ class HetPipeRuntime:
         self.placement_policy = placement
         self.calibration = calibration
         self.push_every_minibatch = push_every_minibatch
+        self.network_model = network_model
 
         self.sim = Simulator()
+        #: shared contention-aware fabric; None under the dedicated model
+        self.fabric: Fabric | None = (
+            Fabric(self.sim, cluster, fabric_spec) if network_model == "shared" else None
+        )
         self.trace = trace if trace is not None else Trace(enabled=False)
         self.oracles = list(oracles)
-        self.ps = ParameterServerSim(self.sim, cluster, len(self.plans), calibration)
+        self.ps = ParameterServerSim(
+            self.sim, cluster, len(self.plans), calibration, fabric=self.fabric
+        )
         node_ids = [node.node_id for node in cluster.nodes]
         self.placements: list[StagePlacement] = build_placements(model, self.plans, node_ids, placement)
 
@@ -119,6 +134,7 @@ class HetPipeRuntime:
                 on_inject=(lambda p, t, index=index: self._on_inject(index, p, t)),
                 trace=self.trace,
                 jitter=jitter,
+                fabric=self.fabric,
             )
             for state in pipeline.stages:
                 state.processor.on_state_change = (
@@ -263,3 +279,16 @@ class HetPipeRuntime:
 
     def total_minibatches_done(self) -> int:
         return sum(stats.minibatches_done for stats in self.stats)
+
+    def network_queue_stats(self) -> tuple[float, int]:
+        """``(total queueing delay, peak queue depth)`` across the run's
+        network: the shared fabric when one is attached, otherwise the
+        dedicated PS streams plus every pipeline's stage channels."""
+        if self.fabric is not None:
+            return self.fabric.queue_stats()
+        total, depth = self.ps.queue_stats()
+        for pipeline in self.pipelines:
+            t, q = pipeline.channel_queue_stats()
+            total += t
+            depth = max(depth, q)
+        return total, depth

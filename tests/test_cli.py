@@ -27,6 +27,37 @@ class TestParser:
         assert build_parser().parse_args(["all"]).command == "all"
 
 
+class TestNetsimCommand:
+    def test_defaults(self):
+        args = build_parser().parse_args(["netsim"])
+        assert args.model == "vgg19"
+        assert args.nodes == "VRGQ"
+        assert args.alloc == "ED"
+        assert args.nm is None
+        assert args.profile == "grpc_tf112"
+        assert args.top == 8
+
+    def test_flags(self):
+        args = build_parser().parse_args(
+            ["netsim", "--model", "resnet152", "--nodes", "VR", "--alloc", "NP",
+             "--d", "2", "--nm", "3", "--placement", "local",
+             "--profile", "nccl_modern", "--top", "4"]
+        )
+        assert args.nodes == "VR" and args.nm == 3 and args.profile == "nccl_modern"
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["netsim", "--profile", "smoke-signals"])
+
+    def test_netsim_runs(self, capsys):
+        assert main(
+            ["netsim", "--nodes", "VR", "--alloc", "NP", "--nm", "1", "--top", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "congested resources" in out
+        assert "shared fabric" in out
+
+
 @pytest.mark.slow
 class TestDispatch:
     def test_sync_runs(self, capsys):
@@ -45,6 +76,18 @@ class TestFuzzCommand:
             ["fuzz", "--seeds", "7", "--base-seed", "100", "--verbose"]
         )
         assert args.seeds == 7 and args.base_seed == 100 and args.verbose is True
+
+    def test_network_flag(self):
+        assert build_parser().parse_args(["fuzz"]).network == "dedicated"
+        args = build_parser().parse_args(["fuzz", "--network", "shared"])
+        assert args.network == "shared"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fuzz", "--network", "token-ring"])
+
+    def test_shared_network_batch_exits_zero(self, capsys):
+        assert main(["fuzz", "--seeds", "3", "--network", "shared"]) == 0
+        out = capsys.readouterr().out
+        assert "3 scenarios" in out and "0 violations" in out
 
     @pytest.mark.parametrize("seeds", ["0", "-5", "abc"])
     def test_non_positive_or_garbage_seed_count_rejected(self, seeds):

@@ -97,6 +97,29 @@ class TestRunScenario:
         assert result.digest[:12] in result.describe()
 
 
+class TestSharedNetworkScenarios:
+    def test_shared_run_is_clean_and_records_makespans(self):
+        spec = dataclasses.replace(generate_scenario(1).spec, network_model="shared")
+        result = run_scenario(spec)
+        assert result.ok, result.violations
+        assert result.makespan >= result.dedicated_makespan > 0
+        assert "net=shared" in result.spec.describe()
+
+    def test_shared_mode_does_not_perturb_the_scenario_draw(self):
+        dedicated = generate_scenario(4).spec
+        assert dedicated.network_model == "dedicated"
+        assert "net=" not in dedicated.describe()
+
+    def test_shared_replay_is_bit_identical(self):
+        spec = dataclasses.replace(generate_scenario(6).spec, network_model="shared")
+        assert run_scenario(spec).digest == run_scenario(spec).digest
+
+    def test_shared_batch_smoke(self):
+        report = run_fuzz(range(5), network_model="shared")
+        assert report.failures == []
+        assert all(r.makespan >= r.dedicated_makespan for r in report.results)
+
+
 class TestFuzzBatch:
     def test_smoke_batch_is_clean(self):
         report = run_fuzz(range(25))

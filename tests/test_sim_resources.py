@@ -161,3 +161,80 @@ class TestChannel:
         assert completions == sorted(completions)
         # FIFO with no latency: last completion is exactly total bytes / bw
         assert completions[-1] == pytest.approx(sum(sizes) / 1000.0)
+
+    def test_queue_delay_and_depth_accounting(self):
+        sim = Simulator()
+        link = Channel(sim, bandwidth=10.0)
+        link.transfer(10)  # starts immediately, no wait
+        link.transfer(10)  # waits 1s behind the first
+        link.transfer(10)  # waits 2s
+        assert link.queue_delay_total == pytest.approx(3.0)
+        assert link.max_queue_depth == 2  # two transfers waiting at once
+        sim.run()
+
+    def test_unloaded_transfers_record_no_queueing(self):
+        sim = Simulator()
+        link = Channel(sim, bandwidth=10.0, latency=0.5)
+        done = []
+        link.transfer(10, lambda: done.append(sim.now))
+        sim.schedule(10.0, lambda: link.transfer(10, lambda: done.append(sim.now)))
+        sim.run()
+        assert link.queue_delay_total == 0.0
+        assert link.max_queue_depth == 0
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=5.0, allow_nan=False),  # submit gap
+                st.floats(min_value=1.0, max_value=1e5, allow_nan=False),  # size
+            ),
+            min_size=1,
+            max_size=25,
+        ),
+        st.floats(min_value=0.0, max_value=0.1, allow_nan=False),  # latency
+    )
+    def test_property_fifo_occupancy_never_overlaps_and_latency_pipelines(
+        self, submissions, latency
+    ):
+        """Channel FIFO laws, for arbitrary arrival processes:
+
+        * occupancy intervals are disjoint (utilization <= 1 always),
+        * back-to-back transfers pipeline the latency: each completion
+          is exactly its occupancy end + latency,
+        * queue delay totals the per-transfer waits exactly.
+        """
+        bandwidth = 100.0
+        sim = Simulator()
+        link = Channel(sim, bandwidth=bandwidth, latency=latency)
+        intervals: list[tuple[float, float, float]] = []  # (submit, start, end)
+        completions: list[float] = []
+        t = 0.0
+        for gap, nbytes in submissions:
+            t += gap
+
+            def submit(nbytes=nbytes):
+                submit_time = sim.now
+                expected_start = max(sim.now, link._free_at)
+                link.transfer(nbytes, lambda: completions.append(sim.now))
+                intervals.append((submit_time, expected_start, link._free_at))
+
+            sim.schedule_at(t, submit)
+        sim.run()
+
+        assert len(completions) == len(submissions)
+        expected_delay = 0.0
+        prev_end = 0.0
+        for (submit, start, end), done in zip(intervals, completions):
+            # queued transfers never overlap occupancy of earlier ones
+            assert start >= prev_end - 1e-12
+            prev_end = end
+            # latency pipelines: delivered exactly `latency` after the
+            # link frees, regardless of queueing
+            assert done == pytest.approx(end + latency)
+            expected_delay += start - submit
+        assert link.queue_delay_total == pytest.approx(expected_delay)
+        # disjoint occupancy implies utilization can never exceed 1
+        assert link.utilization(prev_end) <= 1.0 + 1e-12
+        assert link.busy_time == pytest.approx(
+            sum(size / bandwidth for _, size in submissions)
+        )
