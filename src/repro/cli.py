@@ -7,7 +7,17 @@ random configurations through the full runtime under invariant oracles
 (see :mod:`repro.scenarios`), optionally on the contention-aware shared
 network (``--network shared``).  ``netsim`` reports per-resource network
 utilization and the top congested links of one deployment under the
-shared fabric (see :mod:`repro.netsim`).
+shared fabric (see :mod:`repro.netsim`).  ``bench`` times the hot paths
+(fuzz throughput, engine micro-ops, plan cache, experiments) and writes
+``BENCH_sweep.json`` — the tracked perf baseline (see
+:mod:`repro.exec.bench`).
+
+Multi-scenario commands accept ``--jobs N`` and fan their independent
+work items across worker processes through :mod:`repro.exec`; output is
+bit-identical to a serial run.  Experiment modules import lazily, per
+subcommand: ``repro fuzz`` / ``repro bench`` startup is itself part of
+the tracked benchmark, so it must not pay for NumPy and the numeric
+trainers it never uses.
 """
 
 from __future__ import annotations
@@ -16,16 +26,6 @@ import argparse
 import sys
 
 from repro.cluster.catalog import DEFAULT_PROFILE, INTERCONNECT_PROFILES
-from repro.experiments import (
-    run_ablations,
-    run_fig3,
-    run_fig4,
-    run_fig5,
-    run_fig6,
-    run_sync_overhead,
-    run_table4,
-)
-from repro.experiments.report import ascii_curve
 
 
 def _positive_int(value: str) -> int:
@@ -43,6 +43,14 @@ def _add_model_arg(parser: argparse.ArgumentParser, default: str = "vgg19") -> N
     )
 
 
+def _add_jobs_arg(parser: argparse.ArgumentParser, default: int | None = 1) -> None:
+    parser.add_argument(
+        "--jobs", type=_positive_int, default=default, metavar="N",
+        help="worker processes for the sweep (default: %(default)s; "
+        "results are bit-identical to --jobs 1)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="hetpipe",
@@ -52,10 +60,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("fig3", help="single-VW throughput/utilization vs Nm")
     _add_model_arg(p)
+    _add_jobs_arg(p)
     p = sub.add_parser("fig4", help="multi-VW throughput per allocation policy")
     _add_model_arg(p)
+    _add_jobs_arg(p)
     p = sub.add_parser("table4", help="throughput while adding whimpy GPUs")
     _add_model_arg(p)
+    _add_jobs_arg(p)
     p = sub.add_parser("fig5", help="ResNet-152 convergence (12 vs 16 GPUs)")
     p.add_argument("--curves", action="store_true", help="print ASCII accuracy curves")
     p = sub.add_parser("fig6", help="VGG-19 convergence vs D")
@@ -83,6 +94,48 @@ def build_parser() -> argparse.ArgumentParser:
         "--network", choices=["dedicated", "shared"], default="dedicated",
         help="network model: historical private links, or the shared "
         "contention-aware fabric with its extra oracles (default: dedicated)",
+    )
+    p.add_argument(
+        "--jobs", type=_positive_int, default=None, metavar="N",
+        help="worker processes (default: one per CPU; per-seed digests "
+        "are bit-identical to --jobs 1)",
+    )
+    p = sub.add_parser(
+        "bench",
+        help="time the hot paths (fuzz throughput, engine/trace micro-ops, "
+        "plan cache, experiments) and write the BENCH_sweep.json baseline",
+    )
+    p.add_argument(
+        "--quick", action="store_true",
+        help="CI-smoke sizes (25 seeds, smaller micro-benchmarks, fig3 only)",
+    )
+    p.add_argument(
+        "--seeds", type=_positive_int, default=None, metavar="N",
+        help="override the fuzz seed count",
+    )
+    p.add_argument(
+        "--jobs", type=_positive_int, default=None, metavar="N",
+        help="worker processes for the parallel fuzz measurement "
+        "(default: one per CPU)",
+    )
+    p.add_argument(
+        "--out", default="", metavar="PATH",
+        help="write the JSON payload here (default: print only; pass "
+        "BENCH_sweep.json explicitly to refresh the committed baseline)",
+    )
+    p.add_argument(
+        "--check", default=None, metavar="BASELINE",
+        help="compare fuzz throughput against a committed baseline JSON "
+        "and exit 1 on regression",
+    )
+    p.add_argument(
+        "--tolerance", type=float, default=0.30, metavar="FRAC",
+        help="allowed fractional throughput regression for --check "
+        "(default: 0.30)",
+    )
+    p.add_argument(
+        "--no-experiments", action="store_true",
+        help="skip the end-to-end figure timings",
     )
     p = sub.add_parser(
         "netsim",
@@ -115,45 +168,69 @@ def build_parser() -> argparse.ArgumentParser:
         "--top", type=_positive_int, default=8,
         help="how many congested resources to list (default: 8)",
     )
-    sub.add_parser("all", help="run every experiment (slow)")
+    p = sub.add_parser("all", help="run every experiment (slow)")
+    _add_jobs_arg(p)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    # Every experiment import happens inside its branch: `repro fuzz` and
+    # `repro bench` must start without touching NumPy or the experiment
+    # harnesses (their startup is part of the tracked benchmark).
     if args.command == "fig3":
-        print(run_fig3(args.model).render())
+        from repro.experiments import run_fig3
+
+        print(run_fig3(args.model, jobs=args.jobs).render())
     elif args.command == "fig4":
-        print(run_fig4(args.model).render())
+        from repro.experiments import run_fig4
+
+        print(run_fig4(args.model, jobs=args.jobs).render())
     elif args.command == "table4":
-        print(run_table4(args.model).render())
+        from repro.experiments import run_table4
+
+        print(run_table4(args.model, jobs=args.jobs).render())
     elif args.command == "fig5":
+        from repro.experiments import run_fig5
+        from repro.experiments.report import ascii_curve
+
         result = run_fig5()
         print(result.render())
         if args.curves:
             for label, run in result.runs.items():
                 print(ascii_curve([(t, a) for t, _, a in run.curve], label=label))
     elif args.command == "fig6":
+        from repro.experiments import run_fig6
+        from repro.experiments.report import ascii_curve
+
         result = run_fig6()
         print(result.render())
         if args.curves:
             for label, run in result.runs.items():
                 print(ascii_curve([(t, a) for t, _, a in run.curve], label=label))
     elif args.command == "sync":
+        from repro.experiments import run_sync_overhead
+
         print(run_sync_overhead(args.model).render())
     elif args.command == "ablations":
+        from repro.experiments import run_ablations
+
         print(run_ablations(args.model).render())
     elif args.command == "fuzz":
-        # imported lazily: the fuzz stack is not needed for figure runs
         from repro.scenarios import run_fuzz
 
         report = run_fuzz(
             range(args.base_seed, args.base_seed + args.seeds),
             verbose_log=print if args.verbose else None,
             network_model=args.network,
+            jobs=args.jobs,
         )
         print(report.summary())
         return 1 if report.failures else 0
+    elif args.command == "bench":
+        from repro.exec.bench import main_bench
+
+        return main_bench(args)
     elif args.command == "netsim":
         from repro.experiments.netsim_report import run_netsim
 
@@ -170,12 +247,22 @@ def main(argv: list[str] | None = None) -> int:
             ).render()
         )
     elif args.command == "all":
+        from repro.experiments import (
+            run_ablations,
+            run_fig3,
+            run_fig4,
+            run_fig5,
+            run_fig6,
+            run_sync_overhead,
+            run_table4,
+        )
+
         for model in ("vgg19", "resnet152"):
-            print(run_fig3(model).render())
+            print(run_fig3(model, jobs=args.jobs).render())
             print()
-            print(run_fig4(model).render())
+            print(run_fig4(model, jobs=args.jobs).render())
             print()
-            print(run_table4(model).render())
+            print(run_table4(model, jobs=args.jobs).render())
             print()
         print(run_fig5().render())
         print()

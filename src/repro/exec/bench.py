@@ -1,0 +1,265 @@
+"""``repro bench``: the tracked performance baseline.
+
+Times the layers whose speed the project actually depends on — fuzz
+throughput (scenarios/sec, serial and parallel), the discrete-event
+engine's micro-ops, streaming trace emission, partition planning with a
+cold vs warm plan cache, and the figure experiments — and writes the
+results to ``BENCH_sweep.json``.  The committed copy of that file is the
+perf trajectory: ``repro bench --check BENCH_sweep.json`` exits non-zero
+when fuzz throughput regresses more than ``--tolerance`` (default 30%)
+against it, which CI runs on every push.
+
+Wall-clock numbers are machine-dependent; the baseline is refreshed by
+re-running ``repro bench --out BENCH_sweep.json`` on the reference
+machine whenever the hardware or the expected performance changes.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from typing import Any, Callable
+
+#: Bump when the JSON layout changes.
+SCHEMA = "hetpipe-bench/1"
+
+#: Default benchmark sizes: full mode tracks the acceptance workload
+#: (100 seeds); quick mode stays in CI-smoke territory.
+FULL_SEEDS = 100
+QUICK_SEEDS = 25
+ENGINE_EVENTS = 200_000
+TRACE_RECORDS = 200_000
+
+
+def _timed(fn: Callable[[], Any]) -> tuple[float, Any]:
+    start = time.perf_counter()
+    value = fn()
+    return time.perf_counter() - start, value
+
+
+def bench_engine(events: int = ENGINE_EVENTS) -> dict[str, float]:
+    """Schedule/execute throughput of the bare event loop."""
+    from repro.sim.engine import Simulator
+
+    sim = Simulator()
+
+    def spin() -> None:
+        remaining = events
+
+        def tick() -> None:
+            nonlocal remaining
+            remaining -= 1
+            if remaining > 0:
+                sim.schedule(1.0, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run_until_idle(max_events=events + 1)
+
+    seconds, _ = _timed(spin)
+    return {
+        "events": float(events),
+        "seconds": seconds,
+        "events_per_sec": events / seconds if seconds > 0 else 0.0,
+    }
+
+
+def bench_trace(records: int = TRACE_RECORDS) -> dict[str, float]:
+    """Streaming-digest emit throughput (storage off, hash on)."""
+    from repro.sim.trace import Trace
+
+    trace = Trace(enabled=False, digest=True)
+
+    def spin() -> None:
+        emit = trace.emit
+        for i in range(records):
+            emit(float(i), "f_start", "vw0.s1", minibatch=i)
+        trace.digest()
+
+    seconds, _ = _timed(spin)
+    return {
+        "records": float(records),
+        "seconds": seconds,
+        "records_per_sec": records / seconds if seconds > 0 else 0.0,
+    }
+
+
+def bench_plan_cache() -> dict[str, float]:
+    """Partition planning with a cold vs warm boundaries cache."""
+    from repro.cluster.catalog import paper_cluster
+    from repro.models import build_vgg19
+    from repro.partition import clear_plan_cache, plan_virtual_worker
+
+    cluster = paper_cluster()
+    model = build_vgg19()
+    gpus = cluster.gpus[0:4]
+
+    def solve_all() -> None:
+        for nm in range(1, 6):
+            plan_virtual_worker(
+                model, gpus, nm, cluster.interconnect, search_orderings=False
+            )
+
+    clear_plan_cache()
+    cold_seconds, _ = _timed(solve_all)
+    warm_seconds, _ = _timed(solve_all)
+    return {
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "speedup": cold_seconds / warm_seconds if warm_seconds > 0 else 0.0,
+    }
+
+
+def bench_fuzz(seeds: int, jobs: int | None = None) -> dict[str, float]:
+    """Fuzz throughput over ``seeds`` scenarios (the headline metric)."""
+    from repro.scenarios import run_fuzz
+
+    seconds, report = _timed(lambda: run_fuzz(range(seeds), jobs=jobs or 1))
+    return {
+        "seeds": float(seeds),
+        "jobs": float(jobs or 1),
+        "seconds": seconds,
+        "scenarios_per_sec": seeds / seconds if seconds > 0 else 0.0,
+        "violations": float(report.total_violations),
+    }
+
+
+def bench_experiments(quick: bool, jobs: int | None = None) -> dict[str, float]:
+    """End-to-end figure regeneration times (vgg19; the slowest model
+    set is the benchmark suite's job, not the trajectory's)."""
+    from repro.experiments import run_fig3, run_fig4, run_table4
+
+    out: dict[str, float] = {}
+    out["fig3_vgg19_seconds"], _ = _timed(lambda: run_fig3("vgg19", jobs=jobs))
+    if not quick:
+        out["fig4_vgg19_seconds"], _ = _timed(lambda: run_fig4("vgg19", jobs=jobs))
+        out["table4_vgg19_seconds"], _ = _timed(lambda: run_table4("vgg19", jobs=jobs))
+    return out
+
+
+def run_bench(
+    quick: bool = False,
+    seeds: int | None = None,
+    jobs: int | None = None,
+    skip_experiments: bool = False,
+) -> dict[str, Any]:
+    """Run the whole suite and return the ``BENCH_sweep.json`` payload."""
+    import os
+
+    seeds = seeds if seeds is not None else (QUICK_SEEDS if quick else FULL_SEEDS)
+    engine_events = ENGINE_EVENTS // 4 if quick else ENGINE_EVENTS
+    trace_records = TRACE_RECORDS // 4 if quick else TRACE_RECORDS
+
+    metrics: dict[str, Any] = {}
+    metrics["engine"] = bench_engine(engine_events)
+    metrics["trace"] = bench_trace(trace_records)
+    metrics["plan_cache"] = bench_plan_cache()
+    metrics["fuzz"] = bench_fuzz(seeds, jobs=1)
+    parallel_jobs = jobs if jobs is not None else (os.cpu_count() or 1)
+    if parallel_jobs > 1:
+        metrics["fuzz_parallel"] = bench_fuzz(seeds, jobs=parallel_jobs)
+    if not skip_experiments:
+        metrics["experiments"] = bench_experiments(quick, jobs=jobs)
+
+    return {
+        "schema": SCHEMA,
+        "quick": quick,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": float(os.cpu_count() or 1),
+        "metrics": metrics,
+    }
+
+
+def render(payload: dict[str, Any]) -> str:
+    """Human-readable summary of a bench payload."""
+    m = payload["metrics"]
+    lines = [
+        f"bench ({'quick' if payload['quick'] else 'full'}) — python "
+        f"{payload['python']}, {int(payload['cpu_count'])} cpu(s)",
+        f"  engine      : {m['engine']['events_per_sec']:>12,.0f} events/s",
+        f"  trace       : {m['trace']['records_per_sec']:>12,.0f} records/s (streaming digest)",
+        f"  plan cache  : {m['plan_cache']['speedup']:>12.1f} x warm vs cold",
+        f"  fuzz        : {m['fuzz']['scenarios_per_sec']:>12.1f} scenarios/s "
+        f"({int(m['fuzz']['seeds'])} seeds, serial)",
+    ]
+    if "fuzz_parallel" in m:
+        lines.append(
+            f"  fuzz --jobs : {m['fuzz_parallel']['scenarios_per_sec']:>12.1f} scenarios/s "
+            f"(jobs={int(m['fuzz_parallel']['jobs'])})"
+        )
+    for key, value in m.get("experiments", {}).items():
+        lines.append(f"  {key:<12}: {value:>12.3f} s")
+    return "\n".join(lines)
+
+
+def check_against(
+    payload: dict[str, Any], baseline_path: str, tolerance: float = 0.30
+) -> tuple[bool, str]:
+    """Compare fuzz throughput against a committed baseline.
+
+    Two comparisons, and the check passes if **either** is within
+    ``tolerance`` of the baseline:
+
+    * **raw** scenarios/sec — exact on the machine the baseline was
+      recorded on;
+    * **machine-normalized** scenarios/sec, dividing by the engine
+      micro-benchmark's events/sec — the committed baseline comes from
+      one machine while CI runs on another, and the bare event loop is
+      a clean proxy for single-core speed, so the ratio transfers.
+
+    A genuine fuzz-path regression (engine unchanged) fails both; a
+    slower/faster host changes both numerator and denominator of the
+    normalized rate and still passes.
+    """
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+    if baseline.get("schema") != SCHEMA:
+        return False, f"baseline {baseline_path} has schema {baseline.get('schema')!r}, expected {SCHEMA!r}"
+    base_rate = baseline["metrics"]["fuzz"]["scenarios_per_sec"]
+    rate = payload["metrics"]["fuzz"]["scenarios_per_sec"]
+    floor = base_rate * (1.0 - tolerance)
+    raw_ok = rate >= floor
+    message = (
+        f"fuzz throughput {rate:.1f} scenarios/s vs baseline {base_rate:.1f} "
+        f"(floor at -{tolerance:.0%}: {floor:.1f})"
+    )
+    base_engine = baseline["metrics"].get("engine", {}).get("events_per_sec", 0.0)
+    engine = payload["metrics"].get("engine", {}).get("events_per_sec", 0.0)
+    if base_engine > 0 and engine > 0:
+        normalized = rate / engine
+        base_normalized = base_rate / base_engine
+        normalized_ok = normalized >= base_normalized * (1.0 - tolerance)
+        message += (
+            f"; engine-normalized {normalized * 1e3:.3f} vs baseline "
+            f"{base_normalized * 1e3:.3f} scenarios/kEvent "
+            f"({'ok' if normalized_ok else 'regressed'})"
+        )
+        return raw_ok or normalized_ok, message
+    return raw_ok, message
+
+
+def write_payload(payload: dict[str, Any], path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def main_bench(args) -> int:
+    """Entry point for the ``repro bench`` subcommand."""
+    payload = run_bench(
+        quick=args.quick,
+        seeds=args.seeds,
+        jobs=args.jobs,
+        skip_experiments=args.no_experiments,
+    )
+    print(render(payload))
+    if args.out:
+        write_payload(payload, args.out)
+        print(f"wrote {args.out}")
+    if args.check:
+        ok, message = check_against(payload, args.check, args.tolerance)
+        print(("OK: " if ok else "REGRESSION: ") + message, file=sys.stderr if not ok else sys.stdout)
+        return 0 if ok else 1
+    return 0

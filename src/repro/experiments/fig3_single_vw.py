@@ -73,44 +73,72 @@ class Fig3Result:
         return "\n".join(lines)
 
 
+def _mix_rows(
+    args: tuple[str, str, Calibration, int, int],
+) -> list[Fig3Row]:
+    """All rows of one GPU mix (the per-worker sweep item).
+
+    Module-level and argument-pure so :func:`repro.exec.sweep_map` can
+    fan mixes out across worker processes; every measurement is a
+    deterministic simulation, so the rows are identical wherever they
+    run.
+    """
+    model_name, mix, calibration, max_nm, measured_minibatches = args
+    model = build_model(model_name)
+    cluster = paper_cluster()
+    profiler = Profiler(calibration)
+    gpus = fig3_virtual_workers(cluster)[mix]
+    cap = max_feasible_nm(
+        model, gpus, cluster.interconnect, calibration, profiler, limit=max_nm
+    )
+    rows: list[Fig3Row] = []
+    base = None
+    for nm in range(1, cap + 1):
+        try:
+            plan = plan_virtual_worker(
+                model, gpus, nm, cluster.interconnect, calibration, profiler,
+                **PAPER_PLANNING,
+            )
+        except PartitionError:
+            break
+        metrics = measure_pipeline(
+            plan, cluster.interconnect, model.batch_size,
+            measured_minibatches=measured_minibatches,
+        )
+        if base is None:
+            base = metrics.throughput
+        rows.append(
+            Fig3Row(
+                mix=mix,
+                nm=nm,
+                throughput=metrics.throughput,
+                normalized=metrics.throughput / base,
+                max_gpu_util=metrics.max_utilization,
+                peak_in_flight=metrics.peak_in_flight,
+            )
+        )
+    return rows
+
+
 def run_fig3(
     model_name: str,
     calibration: Calibration = DEFAULT_CALIBRATION,
     max_nm: int = MAX_NM,
     measured_minibatches: int = 40,
+    jobs: int | None = 1,
 ) -> Fig3Result:
-    """Measure all seven mixes across the feasible Nm range."""
-    model = build_model(model_name)
-    cluster = paper_cluster()
-    profiler = Profiler(calibration)
-    rows: list[Fig3Row] = []
-    for mix, gpus in fig3_virtual_workers(cluster).items():
-        cap = max_feasible_nm(
-            model, gpus, cluster.interconnect, calibration, profiler, limit=max_nm
-        )
-        base = None
-        for nm in range(1, cap + 1):
-            try:
-                plan = plan_virtual_worker(
-                    model, gpus, nm, cluster.interconnect, calibration, profiler,
-                    **PAPER_PLANNING,
-                )
-            except PartitionError:
-                break
-            metrics = measure_pipeline(
-                plan, cluster.interconnect, model.batch_size,
-                measured_minibatches=measured_minibatches,
-            )
-            if base is None:
-                base = metrics.throughput
-            rows.append(
-                Fig3Row(
-                    mix=mix,
-                    nm=nm,
-                    throughput=metrics.throughput,
-                    normalized=metrics.throughput / base,
-                    max_gpu_util=metrics.max_utilization,
-                    peak_in_flight=metrics.peak_in_flight,
-                )
-            )
+    """Measure all seven mixes across the feasible Nm range.
+
+    ``jobs`` distributes the mixes across worker processes (see
+    :mod:`repro.exec`); the rows come back in paper order either way.
+    """
+    from repro.exec import sweep_map
+
+    mixes = list(fig3_virtual_workers(paper_cluster()))
+    per_mix = sweep_map(
+        _mix_rows,
+        [(model_name, mix, calibration, max_nm, measured_minibatches) for mix in mixes],
+        jobs=jobs,
+    )
+    rows = [row for mix_rows in per_mix for row in mix_rows]
     return Fig3Result(model_name=model_name, rows=rows, paper_nm1=PAPER_FIG3_NM1[model_name])

@@ -70,21 +70,22 @@ class Fig4Result:
         )
 
 
-def run_fig4(
-    model_name: str,
-    calibration: Calibration = DEFAULT_CALIBRATION,
-    d: int = 0,
-    measured_waves: int = 8,
-) -> Fig4Result:
-    """Measure Horovod plus the four HetPipe policy bars."""
+def _policy_bar(
+    args: tuple[str, str, str, Calibration, int, int],
+) -> Fig4Bar:
+    """One bar of the figure (the :func:`repro.exec.sweep_map` item).
+
+    ``policy == "horovod"`` measures the AllReduce baseline; anything
+    else is a HetPipe (policy, placement) pair.  Module-level and
+    argument-pure so bars can run in worker processes.
+    """
+    model_name, policy, placement, calibration, d, measured_waves = args
     model = build_model(model_name)
     cluster = paper_cluster()
-    bars: list[Fig4Bar] = []
-
-    try:
-        horovod = measure_horovod(cluster, model, calibration)
-        bars.append(
-            Fig4Bar(
+    if policy == "horovod":
+        try:
+            horovod = measure_horovod(cluster, model, calibration)
+            return Fig4Bar(
                 label="Horovod",
                 nm=None,
                 throughput=horovod.throughput,
@@ -92,34 +93,59 @@ def run_fig4(
                 cross_node_sync_mib_per_wave=horovod.cross_node_bytes_per_minibatch / mib(1),
                 cross_node_pipe_mib_per_minibatch=0.0,
             )
-        )
-    except MemoryCapacityError:
-        bars.append(Fig4Bar("Horovod", None, 0.0, 0, 0.0, 0.0))
+        except MemoryCapacityError:
+            return Fig4Bar("Horovod", None, 0.0, 0, 0.0, 0.0)
+    assignment = allocate(cluster, policy)
+    choice = choose_nm(
+        model, assignment, cluster, calibration, placement=placement, d=d
+    )
+    metrics = measure_hetpipe(
+        cluster,
+        model,
+        choice.plans,
+        d=d,
+        placement=placement,
+        calibration=calibration,
+        measured_waves=measured_waves,
+    )
+    label = f"{policy}-local" if placement == "local" else policy
+    return Fig4Bar(
+        label=label,
+        nm=choice.nm,
+        throughput=metrics.throughput,
+        gpus=assignment.total_gpus,
+        cross_node_sync_mib_per_wave=metrics.sync_cross_node_bytes_per_wave / mib(1),
+        cross_node_pipe_mib_per_minibatch=metrics.pipeline_cross_node_bytes_per_minibatch / mib(1),
+    )
 
-    configs = [("NP", "default"), ("ED", "default"), ("ED", "local"), ("HD", "default")]
-    for policy, placement in configs:
-        assignment = allocate(cluster, policy)
-        choice = choose_nm(
-            model, assignment, cluster, calibration, placement=placement, d=d
-        )
-        metrics = measure_hetpipe(
-            cluster,
-            model,
-            choice.plans,
-            d=d,
-            placement=placement,
-            calibration=calibration,
-            measured_waves=measured_waves,
-        )
-        label = f"{policy}-local" if placement == "local" else policy
-        bars.append(
-            Fig4Bar(
-                label=label,
-                nm=choice.nm,
-                throughput=metrics.throughput,
-                gpus=assignment.total_gpus,
-                cross_node_sync_mib_per_wave=metrics.sync_cross_node_bytes_per_wave / mib(1),
-                cross_node_pipe_mib_per_minibatch=metrics.pipeline_cross_node_bytes_per_minibatch / mib(1),
-            )
-        )
+
+def run_fig4(
+    model_name: str,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+    d: int = 0,
+    measured_waves: int = 8,
+    jobs: int | None = 1,
+) -> Fig4Result:
+    """Measure Horovod plus the four HetPipe policy bars.
+
+    ``jobs`` distributes the bars across worker processes (see
+    :mod:`repro.exec`); bar order is fixed either way.
+    """
+    from repro.exec import sweep_map
+
+    configs = [
+        ("horovod", "default"),
+        ("NP", "default"),
+        ("ED", "default"),
+        ("ED", "local"),
+        ("HD", "default"),
+    ]
+    bars = sweep_map(
+        _policy_bar,
+        [
+            (model_name, policy, placement, calibration, d, measured_waves)
+            for policy, placement in configs
+        ],
+        jobs=jobs,
+    )
     return Fig4Result(model_name=model_name, bars=bars, paper=PAPER_FIG4[model_name])

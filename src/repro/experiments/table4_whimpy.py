@@ -80,46 +80,63 @@ class Table4Result:
         )
 
 
+def _subset_row(args: tuple[str, str, Calibration, int]) -> Table4Row:
+    """One GPU-subset row (the :func:`repro.exec.sweep_map` item).
+
+    Module-level and argument-pure so subsets can run in worker
+    processes; each row is an independent deterministic measurement.
+    """
+    model_name, subset, calibration, measured_waves = args
+    model = build_model(model_name)
+    cluster, assignment = hetpipe_assignment_for_subset(subset)
+    try:
+        hv = measure_horovod(cluster, model, calibration)
+        # The paper's 'X': Horovod cannot use this GPU set in full
+        # (ResNet-152 does not fit the G GPUs at 16).
+        horovod: float | None = hv.throughput if hv.excluded_gpus == 0 else None
+    except MemoryCapacityError:
+        horovod = None
+    choice = choose_nm(model, assignment, cluster, calibration, placement="local")
+    # a single-node VW cannot use 'local' placement benefits/penalties
+    # distinction; placement local is still valid (all shards on the
+    # one node)
+    placement = "local"
+    metrics = measure_hetpipe(
+        cluster,
+        model,
+        choice.plans,
+        d=0,
+        placement=placement,
+        calibration=calibration,
+        measured_waves=measured_waves,
+    )
+    return Table4Row(
+        subset=subset,
+        gpus=assignment.total_gpus,
+        horovod=horovod,
+        hetpipe=metrics.throughput,
+        concurrent=choice.nm * assignment.num_virtual_workers,
+        nm=choice.nm,
+        num_vws=assignment.num_virtual_workers,
+    )
+
+
 def run_table4(
     model_name: str,
     calibration: Calibration = DEFAULT_CALIBRATION,
     measured_waves: int = 8,
+    jobs: int | None = 1,
 ) -> Table4Result:
-    """Measure Horovod and HetPipe(ED-local) on each GPU subset."""
-    model = build_model(model_name)
-    rows: list[Table4Row] = []
-    for subset in SUBSETS:
-        cluster, assignment = hetpipe_assignment_for_subset(subset)
-        try:
-            hv = measure_horovod(cluster, model, calibration)
-            # The paper's 'X': Horovod cannot use this GPU set in full
-            # (ResNet-152 does not fit the G GPUs at 16).
-            horovod: float | None = hv.throughput if hv.excluded_gpus == 0 else None
-        except MemoryCapacityError:
-            horovod = None
-        choice = choose_nm(model, assignment, cluster, calibration, placement="local")
-        # a single-node VW cannot use 'local' placement benefits/penalties
-        # distinction; placement local is still valid (all shards on the
-        # one node)
-        placement = "local"
-        metrics = measure_hetpipe(
-            cluster,
-            model,
-            choice.plans,
-            d=0,
-            placement=placement,
-            calibration=calibration,
-            measured_waves=measured_waves,
-        )
-        rows.append(
-            Table4Row(
-                subset=subset,
-                gpus=assignment.total_gpus,
-                horovod=horovod,
-                hetpipe=metrics.throughput,
-                concurrent=choice.nm * assignment.num_virtual_workers,
-                nm=choice.nm,
-                num_vws=assignment.num_virtual_workers,
-            )
-        )
+    """Measure Horovod and HetPipe(ED-local) on each GPU subset.
+
+    ``jobs`` distributes the subsets across worker processes (see
+    :mod:`repro.exec`); row order is fixed either way.
+    """
+    from repro.exec import sweep_map
+
+    rows = sweep_map(
+        _subset_row,
+        [(model_name, subset, calibration, measured_waves) for subset in SUBSETS],
+        jobs=jobs,
+    )
     return Table4Result(model_name=model_name, rows=rows)

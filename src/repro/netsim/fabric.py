@@ -260,6 +260,14 @@ class Fabric:
         #: *attribute* waits to resources, for congestion ranking, and
         #: sum to more than this when paths share several hops)
         self.queue_delay_total = 0.0
+        #: (src, dst) -> (path, latency, path names, bottleneck rate):
+        #: the topology is static, so a flow stream's multi-hop path is
+        #: computed once and replayed for every subsequent transfer
+        #: instead of being rebuilt per flow
+        self._routes: dict[
+            tuple[Endpoint, Endpoint],
+            tuple[list[SharedLink], float, tuple[str, ...], float],
+        ] = {}
 
     # ------------------------------------------------------------------
     # routing
@@ -280,7 +288,31 @@ class Fabric:
         return self.host_lane[ep.node_id]
 
     def route(self, src: Endpoint, dst: Endpoint) -> tuple[list[SharedLink], float]:
-        """``(resources traversed, end-to-end latency)`` for src -> dst."""
+        """``(resources traversed, end-to-end latency)`` for src -> dst.
+
+        Routes are memoized per endpoint pair (the fabric is static);
+        callers must treat the returned path as read-only.
+        """
+        path, latency, _names, _bottleneck = self._route_entry(src, dst)
+        return path, latency
+
+    def _route_entry(
+        self, src: Endpoint, dst: Endpoint
+    ) -> tuple[list[SharedLink], float, tuple[str, ...], float]:
+        cached = self._routes.get((src, dst))
+        if cached is not None:
+            return cached
+        path, latency = self._compute_route(src, dst)
+        entry = (
+            path,
+            latency,
+            tuple(link.name for link in path),
+            min(link.bandwidth for link in path),
+        )
+        self._routes[(src, dst)] = entry
+        return entry
+
+    def _compute_route(self, src: Endpoint, dst: Endpoint) -> tuple[list[SharedLink], float]:
         ic = self.cluster.interconnect
         path: list[SharedLink] = [self._endpoint_lane(src), self.pcie_switch[src.node_id]]
         if src.node_id == dst.node_id:
@@ -337,12 +369,15 @@ class Fabric:
             if on_complete is not None:
                 self.sim.schedule_at(now, on_complete)
             return now
-        path, latency = self.route(src, dst)
-        bottleneck = min(link.bandwidth for link in path)
+        path, latency, path_names, bottleneck = self._route_entry(src, dst)
         if rate_cap is not None:
             bottleneck = min(bottleneck, rate_cap)
         occupy = nbytes / bottleneck
-        start = max([now] + [link.free_at for link in path])
+        start = now
+        for link in path:
+            free_at = link.free_at
+            if free_at > start:
+                start = free_at
         self.queue_delay_total += start - now
         for link in path:
             link.occupy(start, occupy, nbytes)
@@ -350,7 +385,7 @@ class Fabric:
         self.flows.append(
             Flow(
                 src=src, dst=dst, nbytes=nbytes, start=start, done=done,
-                path=tuple(link.name for link in path), tag=tag,
+                path=path_names, tag=tag,
             )
         )
         if on_complete is not None:

@@ -13,13 +13,20 @@ from repro.partition.spec import PartitionPlan, Stage
 from repro.partition.dp_solver import solve_boundaries
 from repro.partition.bnb import solve_bnb
 from repro.partition.ordering import candidate_orderings
-from repro.partition.planner import max_feasible_nm, plan_virtual_worker
+from repro.partition.planner import (
+    clear_plan_cache,
+    max_feasible_nm,
+    plan_cache_stats,
+    plan_virtual_worker,
+)
 
 __all__ = [
     "PartitionPlan",
     "Stage",
     "candidate_orderings",
+    "clear_plan_cache",
     "max_feasible_nm",
+    "plan_cache_stats",
     "plan_virtual_worker",
     "solve_bnb",
     "solve_boundaries",

@@ -24,7 +24,7 @@ from repro.cluster.gpu import GPUDevice
 from repro.cluster.topology import InterconnectSpec
 from repro.models.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.models.graph import ModelGraph
-from repro.models.memory import gpu_usable_bytes, in_flight_at_stage, stage_memory_bytes
+from repro.models.memory import gpu_usable_bytes, in_flight_at_stage
 from repro.models.profiler import ModelProfile, Profiler
 
 _INF = float("inf")
@@ -47,7 +47,18 @@ class StageEval:
 
 
 class StageEvaluator:
-    """Costs a candidate stage in O(1) using per-GPU-type prefix sums."""
+    """Costs a candidate stage in O(1)-ish time.
+
+    Compute comes from the profiler's per-GPU-type prefix sums; the
+    communication terms are precomputed per (stage, boundary) since they
+    depend only on the boundary layer and the adjacent GPU pair; memory
+    sums run over precomputed per-layer byte tuples (same left-to-right
+    float summation as :func:`~repro.models.memory.stage_memory_bytes`,
+    so results are bit-identical — feasibility decisions cannot drift).
+    The DP calls this O(k * L^2) times per solve, which is why every
+    per-call allocation and attribute chase here shows up in fuzz
+    throughput.
+    """
 
     def __init__(
         self,
@@ -69,6 +80,33 @@ class StageEvaluator:
         ]
         self._usable = [gpu_usable_bytes(gpu.spec, calibration) for gpu in self.gpus]
 
+        layers = model.layers
+        length = len(layers)
+        k = len(self.gpus)
+        self._param_by_layer = tuple(layer.param_bytes for layer in layers)
+        self._stash_by_layer = tuple(layer.stash_bytes for layer in layers)
+        self._workspace_by_layer = tuple(layer.workspace_bytes for layer in layers)
+        self._in_flight = [in_flight_at_stage(nm, s) for s in range(k)]
+        # comm[s][boundary]: receive time of the activation entering at
+        # ``start`` (forward) / the gradient entering at ``stop`` (backward)
+        self._fwd_comm: list[tuple[float, ...] | None] = [None] * k
+        self._bwd_comm: list[tuple[float, ...] | None] = [None] * k
+        for s in range(k):
+            if s > 0:
+                self._fwd_comm[s] = tuple(
+                    interconnect.transfer_time(
+                        model.boundary_bytes(start - 1), self.gpus[s - 1], self.gpus[s]
+                    )
+                    for start in range(length + 1)
+                )
+            if s < k - 1:
+                self._bwd_comm[s] = tuple(
+                    interconnect.transfer_time(
+                        model.boundary_bytes(stop - 1), self.gpus[s + 1], self.gpus[s]
+                    )
+                    for stop in range(1, length + 1)
+                )
+
     @property
     def k(self) -> int:
         return len(self.gpus)
@@ -83,24 +121,28 @@ class StageEvaluator:
     def evaluate(self, start: int, stop: int, stage_index: int) -> StageEval:
         """Evaluate layers ``[start, stop)`` as stage ``stage_index``."""
         profile = self._profiles[stage_index]
-        gpu = self.gpus[stage_index]
         fwd = profile.stage_fwd(start, stop)
         bwd = profile.stage_bwd(start, stop)
 
-        fwd_comm = 0.0
-        if stage_index > 0:
-            fwd_comm = self.interconnect.transfer_time(
-                self.model.boundary_bytes(start - 1), self.gpus[stage_index - 1], gpu
-            )
-        bwd_comm = 0.0
-        if stage_index < self.k - 1:
-            bwd_comm = self.interconnect.transfer_time(
-                self.model.boundary_bytes(stop - 1), self.gpus[stage_index + 1], gpu
-            )
+        fwd_comm_table = self._fwd_comm[stage_index]
+        fwd_comm = fwd_comm_table[start] if fwd_comm_table is not None else 0.0
+        bwd_comm_table = self._bwd_comm[stage_index]
+        bwd_comm = bwd_comm_table[stop - 1] if bwd_comm_table is not None else 0.0
 
-        memory = stage_memory_bytes(
-            self.model.layers[start:stop], self.in_flight(stage_index), self.calibration
-        )
+        # Same arithmetic, in the same order, as stage_memory_bytes over
+        # the layer slice — every operation and its associativity is
+        # preserved, so the float result is bit-identical and feasibility
+        # decisions cannot drift from the reference implementation.
+        cal = self.calibration
+        in_flight = self._in_flight[stage_index]
+        params = sum(self._param_by_layer[start:stop])
+        stash = sum(self._stash_by_layer[start:stop]) * cal.activation_stash_factor
+        if cal.activation_recompute:
+            stash *= cal.recompute_stash_fraction
+        workspace = max(self._workspace_by_layer[start:stop], default=0.0)
+        weight_state = params * cal.weight_state_multiplier
+        weight_versions = params * cal.weight_version_factor * max(0, in_flight - 1)
+        memory = weight_state + weight_versions + stash * in_flight + workspace
         feasible = memory <= self._usable[stage_index]
         return StageEval(
             fwd_compute=fwd,

@@ -10,6 +10,7 @@ memory-feasible ``Nm`` for a virtual worker (§4).
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Sequence
 
 from repro.cluster.gpu import GPUDevice
@@ -21,6 +22,69 @@ from repro.models.profiler import Profiler
 from repro.partition.dp_solver import StageEvaluator, solve_boundaries
 from repro.partition.ordering import candidate_orderings, ordering_signature
 from repro.partition.spec import PartitionPlan, Stage
+
+#: Entries kept in the boundaries cache before the least recently used
+#: one is evicted.  A fuzz batch redraws many equal virtual workers (ED
+#: hands every worker the same GPU mix) and the experiments re-plan the
+#: same (model, ordering, Nm) in ``max_feasible_nm`` and again in
+#: ``choose_nm``; a couple thousand entries covers both comfortably.
+_PLAN_CACHE_MAX = 2048
+
+_boundary_cache: "OrderedDict[tuple, list[int] | None]" = OrderedDict()
+_plan_cache_hits = 0
+_plan_cache_misses = 0
+
+
+def _plan_cache_key(
+    model: ModelGraph,
+    ordering: Sequence[GPUDevice],
+    nm: int,
+    interconnect: InterconnectSpec,
+    calibration: Calibration,
+) -> tuple:
+    """Everything :func:`solve_boundaries` can observe, by value.
+
+    Stage costs depend on the GPU *types* in order, whether adjacent
+    GPUs share a node (or are the same device), the model content, the
+    depth, and the link/calibration constants — not on device ids.  Two
+    virtual workers with the same signature therefore share boundaries
+    (ED allocations produce N identical workers), and a re-planned
+    worker hits even though ``materialize`` rebuilt the model object.
+    """
+    adjacency = tuple(
+        (a.gpu_id == b.gpu_id, a.same_node(b)) for a, b in zip(ordering, ordering[1:])
+    )
+    specs = tuple(gpu.spec for gpu in ordering)
+    return (model, nm, specs, adjacency, interconnect, calibration)
+
+
+def _solve_cached(evaluator: StageEvaluator, key: tuple) -> list[int] | None:
+    global _plan_cache_hits, _plan_cache_misses
+    cached = _boundary_cache.get(key)
+    if cached is not None or key in _boundary_cache:
+        _boundary_cache.move_to_end(key)
+        _plan_cache_hits += 1
+        return cached
+    _plan_cache_misses += 1
+    boundaries = solve_boundaries(evaluator)
+    _boundary_cache[key] = boundaries
+    if len(_boundary_cache) > _PLAN_CACHE_MAX:
+        _boundary_cache.popitem(last=False)
+    return boundaries
+
+
+def plan_cache_stats() -> tuple[int, int, int]:
+    """``(hits, misses, entries)`` of the boundaries cache (diagnostics)."""
+    return _plan_cache_hits, _plan_cache_misses, len(_boundary_cache)
+
+
+def clear_plan_cache() -> None:
+    """Drop all memoized boundaries (tests and benchmarks use this to
+    compare cached against fresh solves)."""
+    global _plan_cache_hits, _plan_cache_misses
+    _boundary_cache.clear()
+    _plan_cache_hits = 0
+    _plan_cache_misses = 0
 
 
 def _plan_from_boundaries(
@@ -68,12 +132,21 @@ def plan_virtual_worker(
     profiler = profiler or Profiler(calibration)
 
     orderings = candidate_orderings(gpus) if search_orderings else iter([tuple(gpus)])
+    # The cache key captures a plain Profiler's inputs (model, GPU
+    # specs, calibration) but cannot see into a custom profiler
+    # subclass (e.g. one replaying measured costs), so those bypass
+    # memoization rather than risk serving another profiler's plan.
+    cacheable = type(profiler) is Profiler
     best: tuple[float, float, tuple, PartitionPlan] | None = None
     for ordering in orderings:
         evaluator = StageEvaluator(
             model, ordering, nm, interconnect, calibration, profiler
         )
-        boundaries = solve_boundaries(evaluator)
+        if cacheable:
+            key = _plan_cache_key(model, ordering, nm, interconnect, calibration)
+            boundaries = _solve_cached(evaluator, key)
+        else:
+            boundaries = solve_boundaries(evaluator)
         if boundaries is None:
             continue
         plan = _plan_from_boundaries(evaluator, boundaries, nm, model)

@@ -90,6 +90,8 @@ class OneFOneBPipeline:
                     to_prev=to_prev,
                 )
             )
+        #: per-stage trace actor names, formatted once (emit is hot)
+        self._actor = tuple(f"{name}.s{s}" for s in range(plan.k))
         self.next_minibatch = 1
         self.active = 0
         self.completed = 0
@@ -113,12 +115,12 @@ class OneFOneBPipeline:
 
     def _enqueue_fwd(self, s: int, p: int) -> None:
         self.stages[s].fwd_queue.append(p)
-        self.trace.emit(self.sim.now, "f_ready", f"{self.name}.s{s}", minibatch=p)
+        self.trace.emit(self.sim.now, "f_ready", self._actor[s], minibatch=p)
         self._dispatch(s)
 
     def _enqueue_bwd(self, s: int, p: int) -> None:
         self.stages[s].bwd_queue.append(p)
-        self.trace.emit(self.sim.now, "b_ready", f"{self.name}.s{s}", minibatch=p)
+        self.trace.emit(self.sim.now, "b_ready", self._actor[s], minibatch=p)
         self._dispatch(s)
 
     def _dispatch(self, s: int) -> None:
@@ -135,7 +137,7 @@ class OneFOneBPipeline:
                 stage.bwd_compute,
                 (lambda s=s, p=p: self._bwd_done(s, p)),
                 tag=("B", p),
-                on_start=(lambda s=s, p=p: self.trace.emit(self.sim.now, "b_start", f"{self.name}.s{s}", minibatch=p)),
+                on_start=(lambda s=s, p=p: self.trace.emit(self.sim.now, "b_start", self._actor[s], minibatch=p)),
             )
         elif state.fwd_queue and state.fwd_queue[0] == state.next_fwd:
             p = state.fwd_queue.pop(0)
@@ -145,18 +147,18 @@ class OneFOneBPipeline:
                     stage.fwd_compute + stage.bwd_compute,
                     (lambda s=s, p=p: self._bwd_done(s, p)),
                     tag=("FB", p),
-                    on_start=(lambda s=s, p=p: self.trace.emit(self.sim.now, "fb_start", f"{self.name}.s{s}", minibatch=p)),
+                    on_start=(lambda s=s, p=p: self.trace.emit(self.sim.now, "fb_start", self._actor[s], minibatch=p)),
                 )
             else:
                 state.processor.submit(
                     stage.fwd_compute,
                     (lambda s=s, p=p: self._fwd_done(s, p)),
                     tag=("F", p),
-                    on_start=(lambda s=s, p=p: self.trace.emit(self.sim.now, "f_start", f"{self.name}.s{s}", minibatch=p)),
+                    on_start=(lambda s=s, p=p: self.trace.emit(self.sim.now, "f_start", self._actor[s], minibatch=p)),
                 )
 
     def _fwd_done(self, s: int, p: int) -> None:
-        self.trace.emit(self.sim.now, "f_done", f"{self.name}.s{s}", minibatch=p)
+        self.trace.emit(self.sim.now, "f_done", self._actor[s], minibatch=p)
         state = self.stages[s]
         nbytes = self.plan.stages[s + 1].activation_in_bytes
         assert state.to_next is not None
@@ -166,7 +168,7 @@ class OneFOneBPipeline:
     def _bwd_done(self, s: int, p: int) -> None:
         last = s == self.plan.k - 1
         self.trace.emit(
-            self.sim.now, "fb_done" if last else "b_done", f"{self.name}.s{s}", minibatch=p
+            self.sim.now, "fb_done" if last else "b_done", self._actor[s], minibatch=p
         )
         state = self.stages[s]
         if s > 0:

@@ -128,6 +128,8 @@ class VirtualWorkerPipeline:
                 )
             )
 
+        #: per-stage trace actor names, formatted once (emit is hot)
+        self._actor = tuple(f"{name}.s{s}" for s in range(plan.k))
         # Admission / completion bookkeeping (minibatch ids are 1-based).
         self.next_minibatch = 1
         self.active = 0  # admitted but not completed
@@ -204,29 +206,30 @@ class VirtualWorkerPipeline:
         state = self.stages[s]
         stage = self.plan.stages[s]
         state.in_flight += 1
-        state.peak_in_flight = max(state.peak_in_flight, state.in_flight)
+        if state.in_flight > state.peak_in_flight:
+            state.peak_in_flight = state.in_flight
         last = s == self.plan.k - 1
         if last:
             # Condition 4: last partition runs fwd+bwd as one task.
             duration = self._jittered(stage.fwd_compute + stage.bwd_compute)
-            self.trace.emit(self.sim.now, "fb_enqueue", f"{self.name}.s{s}", minibatch=p)
+            self.trace.emit(self.sim.now, "fb_enqueue", self._actor[s], minibatch=p)
             state.processor.submit(
                 duration,
                 lambda: self._forward_backward_done(s, p),
                 tag=("FB", p),
-                on_start=(lambda s=s, p=p: self.trace.emit(self.sim.now, "fb_start", f"{self.name}.s{s}", minibatch=p)),
+                on_start=(lambda s=s, p=p: self.trace.emit(self.sim.now, "fb_start", self._actor[s], minibatch=p)),
             )
         else:
-            self.trace.emit(self.sim.now, "f_enqueue", f"{self.name}.s{s}", minibatch=p)
+            self.trace.emit(self.sim.now, "f_enqueue", self._actor[s], minibatch=p)
             state.processor.submit(
                 self._jittered(stage.fwd_compute),
                 lambda: self._forward_done(s, p),
                 tag=("F", p),
-                on_start=(lambda s=s, p=p: self.trace.emit(self.sim.now, "f_start", f"{self.name}.s{s}", minibatch=p)),
+                on_start=(lambda s=s, p=p: self.trace.emit(self.sim.now, "f_start", self._actor[s], minibatch=p)),
             )
 
     def _forward_done(self, s: int, p: int) -> None:
-        self.trace.emit(self.sim.now, "f_done", f"{self.name}.s{s}", minibatch=p)
+        self.trace.emit(self.sim.now, "f_done", self._actor[s], minibatch=p)
         state = self.stages[s]
         nbytes = self.plan.stages[s + 1].activation_in_bytes
         assert state.to_next is not None
@@ -238,7 +241,7 @@ class VirtualWorkerPipeline:
 
     def _forward_backward_done(self, s: int, p: int) -> None:
         """Fused task on the last stage finished; emit gradient."""
-        self.trace.emit(self.sim.now, "fb_done", f"{self.name}.s{s}", minibatch=p)
+        self.trace.emit(self.sim.now, "fb_done", self._actor[s], minibatch=p)
         self._backward_finished(s, p)
 
     def _gradient_arrived(self, s: int, p: int) -> None:
@@ -254,16 +257,16 @@ class VirtualWorkerPipeline:
             state.bwd_ready.remove(p)
             state.next_bwd += 1
             stage = self.plan.stages[s]
-            self.trace.emit(self.sim.now, "b_enqueue", f"{self.name}.s{s}", minibatch=p)
+            self.trace.emit(self.sim.now, "b_enqueue", self._actor[s], minibatch=p)
             state.processor.submit(
                 self._jittered(stage.bwd_compute),
                 (lambda s=s, p=p: self._backward_done(s, p)),
                 tag=("B", p),
-                on_start=(lambda s=s, p=p: self.trace.emit(self.sim.now, "b_start", f"{self.name}.s{s}", minibatch=p)),
+                on_start=(lambda s=s, p=p: self.trace.emit(self.sim.now, "b_start", self._actor[s], minibatch=p)),
             )
 
     def _backward_done(self, s: int, p: int) -> None:
-        self.trace.emit(self.sim.now, "b_done", f"{self.name}.s{s}", minibatch=p)
+        self.trace.emit(self.sim.now, "b_done", self._actor[s], minibatch=p)
         self._backward_finished(s, p)
 
     def _backward_finished(self, s: int, p: int) -> None:

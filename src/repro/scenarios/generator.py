@@ -17,7 +17,8 @@ seed can be re-run bit-identically from just its spec.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from functools import lru_cache
 
 from repro.allocation import allocate
 from repro.cluster.catalog import paper_cluster
@@ -138,7 +139,30 @@ def materialize(spec: ScenarioSpec) -> Scenario:
     Raises :class:`PartitionError` if the spec is infeasible (the
     generator never emits such a spec) and :class:`ConfigurationError`
     for internally-inconsistent specs.
+
+    Materialization is memoized: the fuzz flow builds the same spec
+    several times (the generator's Nm descent, the runner, the dedicated
+    twin), and planning is the expensive part.  The built objects are
+    immutable, so sharing one :class:`Scenario` across runs is safe —
+    every run constructs its own simulator, channels, and processors.
+    The network model plays no part in planning, so specs differing only
+    in ``network_model`` share an entry (re-wrapped with the requested
+    spec).
     """
+    canonical = (
+        spec if spec.network_model == "dedicated"
+        else replace(spec, network_model="dedicated")
+    )
+    scenario = _materialize_cached(canonical)
+    if scenario.spec is spec or scenario.spec == spec:
+        return scenario
+    return Scenario(
+        spec=spec, cluster=scenario.cluster, model=scenario.model, plans=scenario.plans
+    )
+
+
+@lru_cache(maxsize=128)
+def _materialize_cached(spec: ScenarioSpec) -> Scenario:
     cluster = paper_cluster(node_codes=spec.node_codes, gpus_per_node=spec.gpus_per_node)
     model = build_fuzz_model(
         f"fuzz{spec.seed}", spec.batch_size, spec.image_size,
@@ -215,8 +239,6 @@ def _draw_candidate(rng: random.Random, seed: int) -> ScenarioSpec:
 
 def _shrunk(spec: ScenarioSpec) -> ScenarioSpec:
     """Deterministically halve the model so it fits smaller GPU sets."""
-    from dataclasses import replace
-
     return replace(
         spec,
         batch_size=max(4, spec.batch_size // 2),
@@ -234,8 +256,6 @@ def generate_scenario(seed: int) -> Scenario:
     not fit, and the 'local' placement is only kept when the §8.3
     precondition (stage ``s`` on one node across all workers) holds.
     """
-    from dataclasses import replace
-
     rng = random.Random(seed)
     spec = _draw_candidate(rng, seed)
     wants_local = rng.random() < 0.5

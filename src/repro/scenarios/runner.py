@@ -42,7 +42,7 @@ from repro.scenarios.generator import (
 from repro.sim.engine import Simulator
 from repro.sim.invariants import OneFOneBOracle, default_oracles
 from repro.sim.trace import Trace
-from repro.training.theory import (
+from repro.training.envelopes import (
     pipeline_rate_bound,
     wsp_completion_bounds,
     wsp_wave_time_bound,
@@ -187,7 +187,9 @@ def _check_1f1b(scenario: Scenario, violations: list[str]) -> str:
     plan = scenario.plans[0]
     limit = 3 * plan.nm + 2 * plan.k
     sim = Simulator()
-    trace = Trace(enabled=True)
+    # Streaming digest: the oracle subscribes live and the replay hash
+    # folds in at emit time, so no record is ever stored.
+    trace = Trace(enabled=False, digest=True)
     pipeline = OneFOneBPipeline(
         sim, plan, scenario.cluster.interconnect, limit=limit,
         name=f"1f1b{scenario.spec.seed}", trace=trace,
@@ -239,7 +241,11 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
     scenario = materialize(spec)
     shared = spec.network_model == "shared"
     fabric_spec = congested_fabric_spec(spec.seed) if shared else DEFAULT_FABRIC_SPEC
-    trace = Trace(enabled=True)
+    # Storage stays off: the oracles are live subscribers and the digest
+    # is folded in record-by-record, so memory no longer grows with the
+    # run's makespan (the digest value is identical to the stored-record
+    # hash the harness used to compute).
+    trace = Trace(enabled=False, digest=True)
     runtime = HetPipeRuntime(
         scenario.cluster,
         scenario.model,
@@ -337,43 +343,65 @@ class FuzzReport:
         return "\n".join(lines)
 
 
+def _fuzz_one(args: tuple[int, str]) -> ScenarioResult:
+    """Run a single seed end to end (the :func:`sweep_map` work item).
+
+    Module-level and argument-pure so worker processes can import it by
+    reference; generation failures are reported as findings rather than
+    raised — the harness's contract is that *any* seed yields a verdict.
+    """
+    from dataclasses import replace
+
+    seed, network_model = args
+    try:
+        scenario = generate_scenario(seed)
+        return run_scenario(replace(scenario.spec, network_model=network_model))
+    except ReproError as exc:
+        return ScenarioResult(
+            spec=ScenarioSpec(
+                seed=seed, node_codes="?", gpus_per_node=0, allocation="?",
+                batch_size=0, image_size=0, conv_widths=(), fc_dims=(),
+                nm=0, d=0, placement="?", jitter=0.0,
+                push_every_minibatch=False, warmup_waves=0, measured_waves=0,
+            ),
+            digest="",
+            violations=(f"generation: {type(exc).__name__}: {exc}",),
+            throughput=0.0,
+            window=0.0,
+            events=0,
+            per_vw_completions=(),
+        )
+
+
 def run_fuzz(
-    seeds: Iterable[int], verbose_log=None, network_model: str = "dedicated"
+    seeds: Iterable[int],
+    verbose_log=None,
+    network_model: str = "dedicated",
+    jobs: int | None = 1,
 ) -> FuzzReport:
     """Generate and run the scenario for every seed.
 
-    ``verbose_log`` (e.g. ``print``) receives one line per scenario.
+    ``verbose_log`` (e.g. ``print``) receives one line per scenario, in
+    seed order regardless of ``jobs``.
     ``network_model="shared"`` reruns the same seeded scenarios on the
     contention-aware fabric (with a seed-drawn congested topology) under
     the additional flow-conservation / utilization / makespan oracles;
     the scenario draw itself is unaffected, so a seed always denotes the
     same deployment in both modes.
-    Generation failures are reported as findings rather than raised —
-    the harness's contract is that *any* seed yields a verdict.
+    ``jobs`` fans seeds out across worker processes via
+    :func:`repro.exec.sweep_map` (``None`` = one per CPU); every seed is
+    an independent deterministic simulation, so the report — digests
+    included — is bit-identical to a serial run.
     """
-    from dataclasses import replace
+    from repro.exec import sweep_map
 
-    report = FuzzReport()
-    for seed in seeds:
-        try:
-            scenario = generate_scenario(seed)
-            result = run_scenario(replace(scenario.spec, network_model=network_model))
-        except ReproError as exc:
-            result = ScenarioResult(
-                spec=ScenarioSpec(
-                    seed=seed, node_codes="?", gpus_per_node=0, allocation="?",
-                    batch_size=0, image_size=0, conv_widths=(), fc_dims=(),
-                    nm=0, d=0, placement="?", jitter=0.0,
-                    push_every_minibatch=False, warmup_waves=0, measured_waves=0,
-                ),
-                digest="",
-                violations=(f"generation: {type(exc).__name__}: {exc}",),
-                throughput=0.0,
-                window=0.0,
-                events=0,
-                per_vw_completions=(),
-            )
-        report.results.append(result)
-        if verbose_log is not None:
-            verbose_log(result.describe())
-    return report
+    on_result = None
+    if verbose_log is not None:
+        on_result = lambda index, result: verbose_log(result.describe())  # noqa: E731
+    results = sweep_map(
+        _fuzz_one,
+        [(seed, network_model) for seed in seeds],
+        jobs=jobs,
+        on_result=on_result,
+    )
+    return FuzzReport(results=results)

@@ -4,37 +4,59 @@ The engine is callback-based: client code schedules ``(delay, fn)`` pairs
 and the simulator invokes them in timestamp order, breaking ties by
 insertion order so runs are fully reproducible.  There are no threads and
 no wall-clock dependence; simulated time is a plain ``float`` in seconds.
+
+The event queue is a heap of ``(time, seq, event)`` tuples: ``seq`` is a
+monotonically increasing insertion counter, so tuple comparison resolves
+entirely in C on the ``(time, seq)`` prefix and the :class:`Event`
+objects themselves never need to be compared.  Canceled events stay in
+the heap (removing an arbitrary heap entry is O(n)) and are skipped when
+popped; when more than half the queue is dead weight the simulator
+compacts it in one pass, so long runs that cancel heavily (WSP timeout
+storms) do not keep paying to pop corpses.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
 import math
-from dataclasses import dataclass, field
+from heapq import heapify, heappop, heappush
 from typing import Any, Callable
 
 from repro.errors import SimulationError
 
+#: Queues smaller than this are never compacted — the rebuild would cost
+#: more than skipping the few dead entries ever could.
+_COMPACT_MIN_QUEUE = 64
 
-@dataclass(order=True)
+
 class Event:
-    """A scheduled callback.
+    """A scheduled callback (handle returned by :meth:`Simulator.schedule`).
 
-    Events compare by ``(time, seq)`` which is exactly the execution
-    order.  ``seq`` is a monotonically increasing insertion counter so two
-    events at the same timestamp run in the order they were scheduled.
+    The execution order is ``(time, seq)``: two events at the same
+    timestamp run in the order they were scheduled.
     """
 
-    time: float
-    seq: int
-    callback: Callable[..., None] = field(compare=False)
-    args: tuple[Any, ...] = field(compare=False, default=())
-    canceled: bool = field(compare=False, default=False)
+    __slots__ = ("time", "seq", "callback", "args", "canceled", "_sim")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., None],
+        args: tuple[Any, ...],
+        sim: "Simulator",
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.canceled = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Mark the event so the simulator skips it when popped."""
-        self.canceled = True
+        if not self.canceled:
+            self.canceled = True
+            self._sim._note_canceled()
 
 
 class Simulator:
@@ -52,55 +74,87 @@ class Simulator:
     """
 
     def __init__(self) -> None:
-        self._now = 0.0
-        self._queue: list[Event] = []
-        self._counter = itertools.count()
-        self._events_processed = 0
+        #: current simulated time in seconds (read-only by convention;
+        #: a plain attribute because the property trampoline is
+        #: measurable at hot-path call rates)
+        self.now = 0.0
+        #: number of callbacks executed so far (for diagnostics)
+        self.events_processed = 0
+        self._queue: list[tuple[float, int, Event]] = []
+        self._seq = 0
+        self._canceled_in_queue = 0
 
     @property
-    def now(self) -> float:
-        """Current simulated time in seconds."""
-        return self._now
-
-    @property
-    def events_processed(self) -> int:
-        """Number of callbacks executed so far (for diagnostics)."""
-        return self._events_processed
+    def queue_depth(self) -> int:
+        """Heap entries currently held, live or canceled (diagnostics)."""
+        return len(self._queue)
 
     def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> Event:
         """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
         if not math.isfinite(delay):
-            raise SimulationError(f"non-finite delay {delay!r} scheduled at t={self._now}")
+            raise SimulationError(f"non-finite delay {delay!r} scheduled at t={self.now}")
         if delay < 0:
-            raise SimulationError(f"negative delay {delay!r} scheduled at t={self._now}")
-        return self.schedule_at(self._now + delay, callback, *args)
+            raise SimulationError(f"negative delay {delay!r} scheduled at t={self.now}")
+        time = self.now + delay
+        # finite now + finite delay can still overflow to inf; the
+        # never-in-the-past check is the only one safe to skip here
+        if not math.isfinite(time):
+            raise SimulationError(f"non-finite event time {time!r} (now={self.now})")
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time, seq, callback, args, self)
+        heappush(self._queue, (time, seq, event))
+        return event
 
     def schedule_at(self, time: float, callback: Callable[..., None], *args: Any) -> Event:
         """Schedule ``callback(*args)`` at an absolute simulated time."""
         if not math.isfinite(time):
-            raise SimulationError(f"non-finite event time {time!r} (now={self._now})")
-        if time < self._now:
+            raise SimulationError(f"non-finite event time {time!r} (now={self.now})")
+        if time < self.now:
             raise SimulationError(
-                f"event scheduled in the past: t={time} < now={self._now}"
+                f"event scheduled in the past: t={time} < now={self.now}"
             )
-        event = Event(time=time, seq=next(self._counter), callback=callback, args=args)
-        heapq.heappush(self._queue, event)
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time, seq, callback, args, self)
+        heappush(self._queue, (time, seq, event))
         return event
+
+    def _note_canceled(self) -> None:
+        """An event handle was canceled; compact once corpses dominate.
+
+        The counter can overestimate (an event canceled *after* it ran is
+        no longer in the queue) — compaction then simply finds less to
+        remove and resets the count to the truth.
+        """
+        self._canceled_in_queue += 1
+        queue = self._queue
+        if (
+            len(queue) >= _COMPACT_MIN_QUEUE
+            and self._canceled_in_queue * 2 > len(queue)
+        ):
+            self._queue = [entry for entry in queue if not entry[2].canceled]
+            heapify(self._queue)
+            self._canceled_in_queue = 0
 
     def peek(self) -> float | None:
         """Timestamp of the next live event, or ``None`` if the queue is empty."""
-        while self._queue and self._queue[0].canceled:
-            heapq.heappop(self._queue)
-        return self._queue[0].time if self._queue else None
+        queue = self._queue
+        while queue and queue[0][2].canceled:
+            heappop(queue)
+            self._canceled_in_queue -= 1
+        return queue[0][0] if queue else None
 
     def step(self) -> bool:
         """Execute the single next event.  Returns False when none remain."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
+        queue = self._queue
+        while queue:
+            time, _seq, event = heappop(queue)
             if event.canceled:
+                self._canceled_in_queue -= 1
                 continue
-            self._now = event.time
-            self._events_processed += 1
+            self.now = time
+            self.events_processed += 1
             event.callback(*event.args)
             return True
         return False
@@ -120,10 +174,10 @@ class Simulator:
             next_time = self.peek()
             if next_time is None:
                 if until is not None:
-                    self._now = max(self._now, until)
+                    self.now = max(self.now, until)
                 return
             if until is not None and next_time > until:
-                self._now = until
+                self.now = until
                 return
             self.step()
             executed += 1

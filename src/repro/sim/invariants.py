@@ -132,6 +132,13 @@ class _StageOrder:
         self.bwd_done_max = 0
 
 
+#: The record categories the scheduling oracle inspects (set membership
+#: is the per-record fast path — most records are filtered out here).
+_SCHED_CATEGORIES = frozenset(
+    ("f_start", "b_start", "fb_start", "f_done", "b_done", "fb_done")
+)
+
+
 class SchedulingOracle(RuntimeOracle):
     """§4 scheduling conditions, checked live from the trace stream."""
 
@@ -139,6 +146,9 @@ class SchedulingOracle(RuntimeOracle):
         self._stages: dict[str, _StageOrder] = {}
         self._k: dict[str, int] = {}  # vw actor -> stage count
         self._injected: dict[str, int] = {}  # vw actor -> highest injected id
+        #: actor string -> parsed ("vwN", stage) or None; actors repeat
+        #: for every task of a run, so parse each exactly once
+        self._where: dict[str, tuple[str, int] | None] = {}
 
     def bind(self, runtime: "HetPipeRuntime") -> None:
         super().bind(runtime)
@@ -170,11 +180,17 @@ class SchedulingOracle(RuntimeOracle):
                 )
             self._injected[record.actor] = p
             return
-        if category not in ("f_start", "b_start", "fb_start", "f_done", "b_done", "fb_done"):
+        if category not in _SCHED_CATEGORIES:
             return
-        where = self._split(record.actor)
+        actor = record.actor
+        where = self._where.get(actor)
         if where is None:
-            return
+            if actor in self._where:
+                return
+            where = self._split(actor)
+            self._where[actor] = where
+            if where is None:
+                return
         vw, s = where
         k = self._k[vw]
         last = s == k - 1
@@ -426,13 +442,17 @@ class OneFOneBOracle:
         self._next_fwd = {s: 1 for s in range(self.k)}
         self._next_bwd = {s: 1 for s in range(self.k)}
         self.forwards_checked = 0
+        #: actor string -> stage index (or None); parsed once per actor
+        self._stage_cache: dict[str, int | None] = {}
         pipeline.trace.subscribe(self.on_trace)
 
     def _stage_of(self, actor: str) -> int | None:
-        prefix = f"{self.name}.s"
-        if not actor.startswith(prefix):
-            return None
-        return int(actor[len(prefix):])
+        stage = self._stage_cache.get(actor)
+        if stage is None and actor not in self._stage_cache:
+            prefix = f"{self.name}.s"
+            stage = int(actor[len(prefix):]) if actor.startswith(prefix) else None
+            self._stage_cache[actor] = stage
+        return stage
 
     def on_trace(self, record: TraceRecord) -> None:
         s = self._stage_of(record.actor)

@@ -18,7 +18,7 @@ from repro.sim.engine import Simulator
 Callback = Callable[[], None]
 
 
-@dataclass
+@dataclass(slots=True)
 class _Job:
     duration: float
     on_complete: Callback | None
@@ -89,16 +89,28 @@ class Processor:
         self.sim.schedule(job.duration, self._finish, job)
 
     def _finish(self, job: _Job) -> None:
-        assert self._busy_since is not None
-        self.busy_time += self.sim.now - self._busy_since
-        self._busy = False
-        self._busy_since = None
+        now = self.sim.now
+        self.busy_time += now - self._busy_since
         self.jobs_completed += 1
         # Start the next job before the completion callback so that work
         # submitted from the callback queues behind already-waiting jobs,
-        # matching FIFO semantics.
-        self._start_next()
-        self._notify()
+        # matching FIFO semantics.  The common back-to-back case (queue
+        # non-empty) keeps the processor busy with no net state
+        # transition, so the observer is not consulted — this inlines
+        # _start_next + _notify minus the no-op branches.
+        queue = self._queue
+        if queue:
+            nxt = queue.popleft()
+            self._busy_since = now
+            if nxt.on_start is not None:
+                nxt.on_start()
+            self.sim.schedule(nxt.duration, self._finish, nxt)
+        else:
+            self._busy = False
+            self._busy_since = None
+            if self._notified_busy and self.on_state_change is not None:
+                self._notified_busy = False
+                self.on_state_change(False)
         if job.on_complete is not None:
             job.on_complete()
 
@@ -159,13 +171,18 @@ class Channel:
         if nbytes < 0:
             raise SimulationError(f"{self.name}: negative transfer size {nbytes}")
         now = self.sim.now
-        start = max(now, self._free_at)
-        self.queue_delay_total += start - now
-        while self._pending_starts and self._pending_starts[0] <= now:
-            self._pending_starts.popleft()
-        if start > now:
-            self._pending_starts.append(start)
-        self.max_queue_depth = max(self.max_queue_depth, len(self._pending_starts))
+        pending = self._pending_starts
+        while pending and pending[0] <= now:
+            pending.popleft()
+        free_at = self._free_at
+        if free_at > now:
+            start = free_at
+            self.queue_delay_total += start - now
+            pending.append(start)
+            if len(pending) > self.max_queue_depth:
+                self.max_queue_depth = len(pending)
+        else:
+            start = now
         occupy = nbytes / self.bandwidth
         self._free_at = start + occupy
         done = self._free_at + self.latency

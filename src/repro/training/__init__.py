@@ -11,37 +11,74 @@ actual numpy gradient descent replayed in virtual time:
 * :mod:`repro.training.convergence` — time-to-accuracy measurement.
 * :mod:`repro.training.theory` — Theorem 1 / Lemma 1 bounds and the
   empirical regret experiment.
+* :mod:`repro.training.envelopes` — NumPy-free throughput envelopes
+  (the fuzz harness's differential oracles).
+
+Like :mod:`repro` itself, the package namespace resolves lazily so that
+importing a NumPy-free submodule (``repro.training.envelopes``) does not
+pull in the numeric trainers.
 """
 
-from repro.training.bsp_trainer import BSPTrainer, BSPTrainingConfig
-from repro.training.convergence import (
-    ConvergenceResult,
-    smooth_curve,
-    summarize,
-    time_to_accuracy,
-)
-from repro.training.theory import (
-    RegretMeasurement,
-    lemma1_cardinality_bound,
-    measure_regret,
-    regret_bound,
-    theoretical_sigma,
-)
-from repro.training.wsp_trainer import TrainerStats, WSPTrainer, WSPTrainingConfig
+from __future__ import annotations
 
-__all__ = [
-    "BSPTrainer",
-    "BSPTrainingConfig",
-    "ConvergenceResult",
-    "RegretMeasurement",
-    "TrainerStats",
-    "WSPTrainer",
-    "WSPTrainingConfig",
-    "lemma1_cardinality_bound",
-    "measure_regret",
-    "regret_bound",
-    "smooth_curve",
-    "summarize",
-    "theoretical_sigma",
-    "time_to_accuracy",
-]
+from typing import TYPE_CHECKING
+
+_EXPORTS = {
+    "BSPTrainer": "repro.training.bsp_trainer",
+    "BSPTrainingConfig": "repro.training.bsp_trainer",
+    "ConvergenceResult": "repro.training.convergence",
+    "smooth_curve": "repro.training.convergence",
+    "summarize": "repro.training.convergence",
+    "time_to_accuracy": "repro.training.convergence",
+    "RegretMeasurement": "repro.training.theory",
+    "lemma1_cardinality_bound": "repro.training.theory",
+    "measure_regret": "repro.training.theory",
+    "regret_bound": "repro.training.theory",
+    "theoretical_sigma": "repro.training.theory",
+    "pipeline_rate_bound": "repro.training.envelopes",
+    "wsp_completion_bounds": "repro.training.envelopes",
+    "wsp_wave_time_bound": "repro.training.envelopes",
+    "TrainerStats": "repro.training.wsp_trainer",
+    "WSPTrainer": "repro.training.wsp_trainer",
+    "WSPTrainingConfig": "repro.training.wsp_trainer",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro.training' has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_EXPORTS))
+
+
+if TYPE_CHECKING:  # static analyzers see the eager imports
+    from repro.training.bsp_trainer import BSPTrainer, BSPTrainingConfig
+    from repro.training.convergence import (
+        ConvergenceResult,
+        smooth_curve,
+        summarize,
+        time_to_accuracy,
+    )
+    from repro.training.envelopes import (
+        pipeline_rate_bound,
+        wsp_completion_bounds,
+        wsp_wave_time_bound,
+    )
+    from repro.training.theory import (
+        RegretMeasurement,
+        lemma1_cardinality_bound,
+        measure_regret,
+        regret_bound,
+        theoretical_sigma,
+    )
+    from repro.training.wsp_trainer import TrainerStats, WSPTrainer, WSPTrainingConfig

@@ -145,26 +145,58 @@ class HetPipeRuntime:
 
         for oracle in self.oracles:
             oracle.bind(self)
+        # Dispatch only to oracles that actually override a callback: the
+        # trace stream fires tens of thousands of times per run, and a
+        # suite of five oracles with one trace consumer must not pay
+        # five virtual calls per record.
         if self.oracles:
-            self.trace.subscribe(self._notify_trace)
-            self.ps.subscribe_push(self._notify_push)
+            from repro.sim.invariants import RuntimeOracle as _Base
+
+            def overriding(name: str) -> list:
+                return [
+                    oracle
+                    for oracle in self.oracles
+                    if getattr(type(oracle), name) is not getattr(_Base, name)
+                ]
+
+            self._trace_oracles = overriding("on_trace")
+            self._push_oracles = overriding("on_push_recorded")
+            self._inject_oracles = overriding("on_inject")
+            self._done_oracles = overriding("on_minibatch_done")
+            self._pull_oracles = overriding("on_pull_done")
+            if len(self._trace_oracles) == 1:
+                # one consumer: skip the fan-out trampoline per record
+                self.trace.subscribe(self._trace_oracles[0].on_trace)
+            elif self._trace_oracles:
+                self.trace.subscribe(self._notify_trace)
+            if len(self._push_oracles) == 1:
+                self.ps.subscribe_push(self._push_oracles[0].on_push_recorded)
+            elif self._push_oracles:
+                self.ps.subscribe_push(self._notify_push)
+        else:
+            self._trace_oracles = []
+            self._push_oracles = []
+            self._inject_oracles = []
+            self._done_oracles = []
+            self._pull_oracles = []
 
     # ------------------------------------------------------------------
     # oracle plumbing
     # ------------------------------------------------------------------
 
     def _notify_trace(self, record) -> None:
-        for oracle in self.oracles:
+        for oracle in self._trace_oracles:
             oracle.on_trace(record)
 
     def _notify_push(self, vw: int, wave: int, global_version: int) -> None:
-        for oracle in self.oracles:
+        for oracle in self._push_oracles:
             oracle.on_push_recorded(vw, wave, global_version)
 
     def _on_inject(self, vw: int, p: int, now: float) -> None:
-        pulled = self.gates[vw].pulled_version
-        for oracle in self.oracles:
-            oracle.on_inject(vw, p, pulled, now)
+        if self._inject_oracles:
+            pulled = self.gates[vw].pulled_version
+            for oracle in self._inject_oracles:
+                oracle.on_inject(vw, p, pulled, now)
 
     def check_invariants(self) -> None:
         """End-of-run reconciliation pass over all attached oracles.
@@ -203,7 +235,7 @@ class HetPipeRuntime:
 
     def _on_minibatch_done(self, vw: int, p: int, now: float) -> None:
         self.stats[vw].minibatches_done += 1
-        for oracle in self.oracles:
+        for oracle in self._done_oracles:
             oracle.on_minibatch_done(vw, p, now)
         if self.push_every_minibatch:
             self._push_update(vw, p, wave_complete=(p % self.nm == 0))
@@ -252,7 +284,7 @@ class HetPipeRuntime:
             self._wait_started[vw] = None
         self.stats[vw].pulls += 1
         self.trace.emit(now, "pull_done", f"vw{vw}", version=version)
-        for oracle in self.oracles:
+        for oracle in self._pull_oracles:
             oracle.on_pull_done(vw, version, now)
         self.gates[vw].advance(version)
 
@@ -267,10 +299,12 @@ class HetPipeRuntime:
     def run_until_global_version(self, target: int, max_events: int = 20_000_000) -> None:
         """Advance the simulation until wave ``target`` is globally done."""
         executed = 0
-        while self.ps.global_version < target:
-            if not self.sim.step():
+        ps = self.ps
+        step = self.sim.step
+        while ps.global_version < target:
+            if not step():
                 raise SimulationError(
-                    f"simulation quiesced at global version {self.ps.global_version} "
+                    f"simulation quiesced at global version {ps.global_version} "
                     f"before reaching {target} (deadlock?)"
                 )
             executed += 1

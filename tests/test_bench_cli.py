@@ -1,0 +1,139 @@
+"""``repro bench``: payload schema, regression check, CLI exit codes."""
+
+import json
+
+import pytest
+
+from repro.exec.bench import (
+    SCHEMA,
+    bench_engine,
+    bench_plan_cache,
+    bench_trace,
+    check_against,
+    render,
+    run_bench,
+    write_payload,
+)
+
+
+@pytest.fixture(scope="module")
+def payload():
+    """One tiny full run shared by the schema tests."""
+    return run_bench(quick=True, seeds=2, jobs=1, skip_experiments=True)
+
+
+class TestPayload:
+    def test_schema_and_required_keys(self, payload):
+        assert payload["schema"] == SCHEMA
+        metrics = payload["metrics"]
+        assert metrics["fuzz"]["seeds"] == 2
+        assert metrics["fuzz"]["scenarios_per_sec"] > 0
+        assert metrics["fuzz"]["violations"] == 0
+        assert metrics["engine"]["events_per_sec"] > 0
+        assert metrics["trace"]["records_per_sec"] > 0
+        assert metrics["plan_cache"]["speedup"] > 1.0, "warm cache must beat cold"
+
+    def test_render_mentions_headline_metrics(self, payload):
+        text = render(payload)
+        assert "scenarios/s" in text and "events/s" in text
+
+    def test_payload_round_trips_as_json(self, payload, tmp_path):
+        path = tmp_path / "bench.json"
+        write_payload(payload, str(path))
+        assert json.loads(path.read_text())["schema"] == SCHEMA
+
+
+class TestRegressionCheck:
+    def _baseline(self, tmp_path, rate):
+        path = tmp_path / "baseline.json"
+        path.write_text(
+            json.dumps(
+                {"schema": SCHEMA, "metrics": {"fuzz": {"scenarios_per_sec": rate}}}
+            )
+        )
+        return str(path)
+
+    def _payload(self, rate):
+        return {"schema": SCHEMA, "metrics": {"fuzz": {"scenarios_per_sec": rate}}}
+
+    def test_within_tolerance_passes(self, tmp_path):
+        ok, message = check_against(
+            self._payload(80.0), self._baseline(tmp_path, 100.0), tolerance=0.30
+        )
+        assert ok and "80.0" in message
+
+    def test_beyond_tolerance_fails(self, tmp_path):
+        ok, _ = check_against(
+            self._payload(60.0), self._baseline(tmp_path, 100.0), tolerance=0.30
+        )
+        assert not ok
+
+    def test_improvement_passes(self, tmp_path):
+        ok, _ = check_against(
+            self._payload(500.0), self._baseline(tmp_path, 100.0), tolerance=0.30
+        )
+        assert ok
+
+    def test_schema_mismatch_fails(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "other/9", "metrics": {}}))
+        ok, message = check_against(self._payload(100.0), str(path))
+        assert not ok and "schema" in message
+
+    def _with_engine(self, fuzz_rate, engine_rate):
+        return {
+            "schema": SCHEMA,
+            "metrics": {
+                "fuzz": {"scenarios_per_sec": fuzz_rate},
+                "engine": {"events_per_sec": engine_rate},
+            },
+        }
+
+    def test_slower_host_passes_via_engine_normalization(self, tmp_path):
+        """A uniformly slower machine fails raw but passes normalized."""
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps(self._with_engine(100.0, 1_000_000.0)))
+        ok, message = check_against(
+            self._with_engine(50.0, 500_000.0), str(path), tolerance=0.30
+        )
+        assert ok and "normalized" in message
+
+    def test_fuzz_only_regression_fails_both_comparisons(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps(self._with_engine(100.0, 1_000_000.0)))
+        ok, _ = check_against(
+            self._with_engine(60.0, 1_000_000.0), str(path), tolerance=0.30
+        )
+        assert not ok
+
+
+class TestMicroBenches:
+    def test_engine_bench_counts_every_event(self):
+        result = bench_engine(events=500)
+        assert result["events"] == 500
+
+    def test_trace_bench_runs(self):
+        assert bench_trace(records=500)["records_per_sec"] > 0
+
+    def test_plan_cache_bench_reports_speedup(self):
+        assert bench_plan_cache()["cold_seconds"] > 0
+
+
+class TestCli:
+    def test_bench_cli_writes_payload_and_checks(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "BENCH_sweep.json"
+        code = main([
+            "bench", "--quick", "--seeds", "2", "--jobs", "1",
+            "--no-experiments", "--out", str(out),
+        ])
+        assert code == 0
+        assert json.loads(out.read_text())["schema"] == SCHEMA
+        # checking against itself always passes
+        code = main([
+            "bench", "--quick", "--seeds", "2", "--jobs", "1",
+            "--no-experiments", "--out", "", "--check", str(out),
+        ])
+        assert code == 0
+        assert "OK:" in capsys.readouterr().out

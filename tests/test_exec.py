@@ -1,0 +1,100 @@
+"""Sweep executor: deterministic striping, parallel == serial output."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.exec import resolve_jobs, stripe_indices, sweep_map
+from repro.scenarios import run_fuzz
+
+
+def _square(x):
+    return x * x
+
+
+def _boom(x):
+    if x == 3:
+        raise ValueError("item 3 exploded")
+    return x
+
+
+class TestStripes:
+    def test_round_robin_deal(self):
+        assert stripe_indices(10, 4) == [[0, 4, 8], [1, 5, 9], [2, 6], [3, 7]]
+
+    def test_covers_every_index_exactly_once(self):
+        for n in (0, 1, 5, 17):
+            for jobs in (1, 2, 3, 8):
+                flat = sorted(i for s in stripe_indices(n, jobs) for i in s)
+                assert flat == list(range(n))
+
+    def test_no_empty_stripes(self):
+        assert stripe_indices(2, 8) == [[0], [1]]
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            stripe_indices(4, 0)
+
+
+class TestResolveJobs:
+    def test_explicit_value_passes_through(self):
+        assert resolve_jobs(3) == 3
+
+    def test_none_means_cpu_count(self):
+        import os
+
+        assert resolve_jobs(None) == (os.cpu_count() or 1)
+
+    def test_zero_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_jobs(0)
+
+
+class TestSweepMap:
+    def test_serial_results_in_order(self):
+        assert sweep_map(_square, range(7), jobs=1) == [i * i for i in range(7)]
+
+    def test_parallel_equals_serial(self):
+        serial = sweep_map(_square, range(11), jobs=1)
+        parallel = sweep_map(_square, range(11), jobs=4)
+        assert parallel == serial
+
+    def test_more_jobs_than_items(self):
+        assert sweep_map(_square, [5], jobs=8) == [25]
+        assert sweep_map(_square, [], jobs=8) == []
+
+    def test_on_result_fires_in_item_order_serial_and_parallel(self):
+        for jobs in (1, 3):
+            seen = []
+            sweep_map(_square, range(6), jobs=jobs, on_result=lambda i, r: seen.append((i, r)))
+            assert seen == [(i, i * i) for i in range(6)]
+
+    def test_worker_exception_propagates(self):
+        with pytest.raises(ValueError):
+            sweep_map(_boom, range(6), jobs=2)
+        with pytest.raises(ValueError):
+            sweep_map(_boom, range(6), jobs=1)
+
+
+class TestFuzzParallelDeterminism:
+    """The acceptance check: ``--jobs 4`` digests == ``--jobs 1`` digests."""
+
+    def test_fifty_seeds_bit_identical_across_jobs(self):
+        serial = run_fuzz(range(50), jobs=1)
+        parallel = run_fuzz(range(50), jobs=4)
+        assert [r.spec.seed for r in parallel.results] == list(range(50))
+        assert [r.digest for r in parallel.results] == [
+            r.digest for r in serial.results
+        ]
+        assert [r.violations for r in parallel.results] == [
+            r.violations for r in serial.results
+        ]
+        assert parallel.total_violations == 0
+
+    def test_verbose_log_lines_identical_across_jobs(self):
+        lines = {}
+        for jobs in (1, 2):
+            buffer = []
+            run_fuzz(range(6), verbose_log=buffer.append, jobs=jobs)
+            lines[jobs] = buffer
+        assert lines[1] == lines[2]
+        assert len(lines[1]) == 6

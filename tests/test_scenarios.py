@@ -188,3 +188,28 @@ class TestDifferentialBounds:
         plausible = tuple(max(low, 1) for _ in scenario.plans)
         _check_bounds(scenario, runtime, 1e9, plausible, violations)
         assert any("livelock" in v for v in violations)
+
+
+class TestRunnerTraceMemory:
+    """The fuzz runner must stream oracles/digests, never store records."""
+
+    def test_run_scenario_keeps_trace_storage_off(self, monkeypatch):
+        import repro.scenarios.runner as runner_module
+        from repro.sim.trace import Trace
+
+        created = []
+
+        class RecordingTrace(Trace):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                created.append(self)
+
+        monkeypatch.setattr(runner_module, "Trace", RecordingTrace)
+        scenario = generate_scenario(0)
+        result = run_scenario(scenario.spec)
+        assert result.ok
+        assert created, "runner built no traces?"
+        for trace in created:
+            assert trace.enabled is False, "storage must stay off (memory)"
+            assert trace._hasher is not None, "digest must stream instead"
+            assert len(trace) == 0

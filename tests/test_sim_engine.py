@@ -168,3 +168,69 @@ class TestNonFiniteTimes:
             sim.schedule(float("nan"), hits.append, "bad")
         sim.run()
         assert hits == ["ok"] and sim.now == 1.0
+
+
+class TestCanceledCompaction:
+    """The heap drops dead entries once they dominate the queue."""
+
+    def test_mass_cancellation_compacts_queue(self):
+        sim = Simulator()
+        keep = [sim.schedule(float(i), lambda: None) for i in range(10)]
+        doomed = [sim.schedule(100.0 + i, lambda: None) for i in range(200)]
+        assert sim.queue_depth == 210
+        for event in doomed:
+            event.cancel()
+        # Compaction triggered mid-cancellation: only live events remain.
+        assert sim.queue_depth < 110
+        del keep
+
+    def test_order_preserved_across_compaction(self):
+        sim = Simulator()
+        hits = []
+        live = [(5.0 + i, i) for i in range(30)]
+        for time, tag in live:
+            sim.schedule(time, hits.append, tag)
+        doomed = [sim.schedule(1000.0, lambda: None) for _ in range(300)]
+        for event in doomed:
+            event.cancel()
+        sim.run()
+        assert hits == [tag for _, tag in live]
+
+    def test_double_cancel_is_idempotent(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert sim._canceled_in_queue == 1
+        sim.run()
+        assert sim.events_processed == 1
+
+    def test_cancel_after_run_does_not_corrupt_counter(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.run()
+        event.cancel()  # already executed; counter may overestimate...
+        for i in range(5):
+            sim.schedule(float(i + 2), lambda: None)
+        sim.run()  # ...but the queue still drains fully
+        assert sim.events_processed == 6
+
+    def test_small_queues_never_compact(self):
+        sim = Simulator()
+        doomed = [sim.schedule(1.0 + i, lambda: None) for i in range(10)]
+        for event in doomed:
+            event.cancel()
+        # below _COMPACT_MIN_QUEUE: lazily skipped at pop time instead
+        assert sim.queue_depth == 10
+        assert sim.step() is False
+        assert sim.queue_depth == 0
+
+
+def test_schedule_rejects_overflow_to_infinity():
+    """finite now + finite delay can overflow; must raise, not enqueue."""
+    sim = Simulator()
+    sim.schedule_at(1e308, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule(1e308, lambda: None)
