@@ -100,6 +100,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes (default: one per CPU; per-seed digests "
         "are bit-identical to --jobs 1)",
     )
+    p.add_argument(
+        "--fidelity", choices=["full", "fast_forward"], default="full",
+        help="full: bit-identical replay digests (hetpipe-trace/1); "
+        "fast_forward: coalesce confirmed steady-state cycles under the "
+        "semantic-equivalence contract (hetpipe-trace/2 digests; every "
+        "scenario that coalesced also runs its full-fidelity twin and "
+        "any contract deviation is a violation) (default: full)",
+    )
+    p.add_argument(
+        "--no-verify-equivalence", dest="verify_equivalence",
+        action="store_false", default=None,
+        help="under --fidelity fast_forward, skip the full-fidelity twin "
+        "runs (pure speed; the contract is then only spot-checked by CI)",
+    )
+    p.add_argument(
+        "--waves-scale", type=_positive_int, default=1, metavar="K",
+        help="multiply every scenario's measured window by K (long-"
+        "horizon fuzzing; K>1 changes digests at either fidelity) "
+        "(default: 1)",
+    )
     p = sub.add_parser(
         "bench",
         help="time the hot paths (fuzz throughput, engine/trace micro-ops, "
@@ -136,6 +156,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--no-experiments", action="store_true",
         help="skip the end-to-end figure timings",
+    )
+    p.add_argument(
+        "--profile", action="store_true",
+        help="run the suite under cProfile and write the top-25 "
+        "cumulative functions next to the --out path (BENCH_profile.txt) "
+        "so perf PRs can attribute regressions without ad-hoc scripts",
     )
     p = sub.add_parser(
         "netsim",
@@ -224,6 +250,9 @@ def main(argv: list[str] | None = None) -> int:
             verbose_log=print if args.verbose else None,
             network_model=args.network,
             jobs=args.jobs,
+            fidelity=args.fidelity,
+            verify_equivalence=args.verify_equivalence,
+            waves_scale=args.waves_scale,
         )
         print(report.summary())
         return 1 if report.failures else 0

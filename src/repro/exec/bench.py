@@ -22,8 +22,11 @@ import sys
 import time
 from typing import Any, Callable
 
-#: Bump when the JSON layout changes.
-SCHEMA = "hetpipe-bench/1"
+#: Bump when the JSON layout changes.  /2 adds per-mode fuzz event
+#: counts (events_simulated / events_fast_forwarded), the
+#: ``fuzz_fast_forward`` metric, and the long-horizon full-vs-coalesced
+#: pair demonstrating the asymptotic event-count reduction.
+SCHEMA = "hetpipe-bench/2"
 
 #: Default benchmark sizes: full mode tracks the acceptance workload
 #: (100 seeds); quick mode stays in CI-smoke territory.
@@ -31,6 +34,13 @@ FULL_SEEDS = 100
 QUICK_SEEDS = 25
 ENGINE_EVENTS = 200_000
 TRACE_RECORDS = 200_000
+
+#: Long-horizon workload: deterministic (jitter-free) seeds — the
+#: regime the fast-forward core targets, and the only one its 1e-9
+#: semantic contract permits coalescing — with the measured window
+#: scaled up so steady-state cycles dominate.
+LONG_HORIZON_SCALE = 16
+LONG_HORIZON_SEEDS = 10
 
 
 def _timed(fn: Callable[[], Any]) -> tuple[float, Any]:
@@ -111,17 +121,101 @@ def bench_plan_cache() -> dict[str, float]:
     }
 
 
-def bench_fuzz(seeds: int, jobs: int | None = None) -> dict[str, float]:
-    """Fuzz throughput over ``seeds`` scenarios (the headline metric)."""
+def _clear_scenario_caches() -> None:
+    """Reset the memoized scenario materialization *and* the partition
+    planner's boundaries cache so every fuzz measurement starts cold —
+    otherwise whichever fidelity runs second would be timed against a
+    warm cache."""
+    from repro.partition import clear_plan_cache
+    from repro.scenarios import generator
+
+    generator._materialize_cached.cache_clear()
+    clear_plan_cache()
+
+
+def bench_fuzz(
+    seeds: int, jobs: int | None = None, fidelity: str = "full"
+) -> dict[str, float]:
+    """Fuzz throughput over ``seeds`` scenarios (the headline metric).
+
+    ``fidelity="fast_forward"`` measures the coalescing engine itself:
+    equivalence twins stay off (they are a correctness gate, not part of
+    a scenario's cost — ``repro fuzz --fidelity fast_forward`` runs them).
+    """
     from repro.scenarios import run_fuzz
 
-    seconds, report = _timed(lambda: run_fuzz(range(seeds), jobs=jobs or 1))
+    _clear_scenario_caches()
+    seconds, report = _timed(
+        lambda: run_fuzz(
+            range(seeds), jobs=jobs or 1, fidelity=fidelity,
+            verify_equivalence=False if fidelity == "fast_forward" else None,
+        )
+    )
     return {
         "seeds": float(seeds),
         "jobs": float(jobs or 1),
         "seconds": seconds,
         "scenarios_per_sec": seeds / seconds if seconds > 0 else 0.0,
         "violations": float(report.total_violations),
+        "events_simulated": float(report.events_simulated),
+        "events_fast_forwarded": float(report.events_fast_forwarded),
+    }
+
+
+def _long_horizon_seeds(count: int) -> list[int]:
+    """The first ``count`` seeds whose scenarios draw zero task jitter."""
+    from repro.scenarios.generator import generate_scenario
+
+    picked: list[int] = []
+    seed = 0
+    while len(picked) < count:
+        if generate_scenario(seed).spec.jitter == 0.0:
+            picked.append(seed)
+        seed += 1
+    return picked
+
+
+def bench_fuzz_long_horizon(
+    quick: bool, scale: int = LONG_HORIZON_SCALE, count: int = LONG_HORIZON_SEEDS
+) -> dict[str, Any]:
+    """Full vs fast-forward on the long-horizon deterministic workload.
+
+    This is where macro-event coalescing is asymptotically faster: the
+    full run costs O(minibatches) while the coalesced run costs
+    O(warmup + drain + detected cycles), so the gap widens with the
+    ``scale`` factor.  Reported alongside the event counts so the
+    reduction itself — not just wall clock — is tracked.
+    """
+    from repro.scenarios import run_fuzz
+
+    if quick:
+        scale, count = max(2, scale // 4), max(3, count // 2)
+    seeds = _long_horizon_seeds(count)
+    _clear_scenario_caches()
+    full_seconds, full = _timed(
+        lambda: run_fuzz(seeds, jobs=1, waves_scale=scale)
+    )
+    _clear_scenario_caches()
+    ff_seconds, ff = _timed(
+        lambda: run_fuzz(
+            seeds, jobs=1, fidelity="fast_forward",
+            verify_equivalence=False, waves_scale=scale,
+        )
+    )
+    return {
+        "seeds": float(len(seeds)),
+        "waves_scale": float(scale),
+        "full_seconds": full_seconds,
+        "full_scenarios_per_sec": len(seeds) / full_seconds if full_seconds > 0 else 0.0,
+        "full_events_simulated": float(full.events_simulated),
+        "fast_forward_seconds": ff_seconds,
+        "fast_forward_scenarios_per_sec": (
+            len(seeds) / ff_seconds if ff_seconds > 0 else 0.0
+        ),
+        "fast_forward_events_simulated": float(ff.events_simulated),
+        "fast_forward_events_coalesced": float(ff.events_fast_forwarded),
+        "speedup": full_seconds / ff_seconds if ff_seconds > 0 else 0.0,
+        "violations": float(full.total_violations + ff.total_violations),
     }
 
 
@@ -156,6 +250,8 @@ def run_bench(
     metrics["trace"] = bench_trace(trace_records)
     metrics["plan_cache"] = bench_plan_cache()
     metrics["fuzz"] = bench_fuzz(seeds, jobs=1)
+    metrics["fuzz_fast_forward"] = bench_fuzz(seeds, jobs=1, fidelity="fast_forward")
+    metrics["fuzz_long_horizon"] = bench_fuzz_long_horizon(quick)
     parallel_jobs = jobs if jobs is not None else (os.cpu_count() or 1)
     if parallel_jobs > 1:
         metrics["fuzz_parallel"] = bench_fuzz(seeds, jobs=parallel_jobs)
@@ -184,6 +280,25 @@ def render(payload: dict[str, Any]) -> str:
         f"  fuzz        : {m['fuzz']['scenarios_per_sec']:>12.1f} scenarios/s "
         f"({int(m['fuzz']['seeds'])} seeds, serial)",
     ]
+    ff = m.get("fuzz_fast_forward")
+    if ff:
+        base = m["fuzz"]["scenarios_per_sec"]
+        speedup = ff["scenarios_per_sec"] / base if base > 0 else 0.0
+        total = ff["events_simulated"] + ff["events_fast_forwarded"]
+        share = ff["events_fast_forwarded"] / total if total else 0.0
+        lines.append(
+            f"  fuzz ff     : {ff['scenarios_per_sec']:>12.1f} scenarios/s "
+            f"({speedup:.2f}x full; {share:.0%} of events coalesced)"
+        )
+    lh = m.get("fuzz_long_horizon")
+    if lh:
+        lines.append(
+            f"  fuzz long   : {lh['fast_forward_scenarios_per_sec']:>12.1f} scenarios/s "
+            f"fast-forward vs {lh['full_scenarios_per_sec']:.1f} full "
+            f"({lh['speedup']:.2f}x at waves x{int(lh['waves_scale'])}, "
+            f"{int(lh['fast_forward_events_coalesced'])} of "
+            f"{int(lh['full_events_simulated'])} events coalesced)"
+        )
     if "fuzz_parallel" in m:
         lines.append(
             f"  fuzz --jobs : {m['fuzz_parallel']['scenarios_per_sec']:>12.1f} scenarios/s "
@@ -225,6 +340,30 @@ def check_against(
         f"fuzz throughput {rate:.1f} scenarios/s vs baseline {base_rate:.1f} "
         f"(floor at -{tolerance:.0%}: {floor:.1f})"
     )
+    # Event-count deltas ride along (informational): wall clock varies
+    # with the host, but simulated/coalesced event counts are exact, so
+    # they attribute a throughput change to event-count changes vs
+    # per-event cost changes.  Counts are normalized per scenario — the
+    # quick and full workloads run different seed batches.
+    for metric, simulated_key, coalesced_key in (
+        ("fuzz", "events_simulated", "events_fast_forwarded"),
+        ("fuzz_fast_forward", "events_simulated", "events_fast_forwarded"),
+        ("fuzz_long_horizon", "fast_forward_events_simulated", "fast_forward_events_coalesced"),
+    ):
+        base_metric = baseline["metrics"].get(metric, {})
+        cur_metric = payload["metrics"].get(metric, {})
+        base_events = base_metric.get(simulated_key)
+        cur_events = cur_metric.get(simulated_key)
+        base_seeds = base_metric.get("seeds", 0.0)
+        cur_seeds = cur_metric.get("seeds", 0.0)
+        if base_events and cur_events and base_seeds and cur_seeds:
+            base_per = base_events / base_seeds
+            cur_per = cur_events / cur_seeds
+            message += (
+                f"; {metric} {cur_per:.0f} events/scenario vs {base_per:.0f} "
+                f"({(cur_per - base_per) / base_per:+.1%}, "
+                f"{cur_metric.get(coalesced_key, 0.0) / cur_seeds:.0f}/scenario coalesced)"
+            )
     base_engine = baseline["metrics"].get("engine", {}).get("events_per_sec", 0.0)
     engine = payload["metrics"].get("engine", {}).get("events_per_sec", 0.0)
     if base_engine > 0 and engine > 0:
@@ -246,14 +385,37 @@ def write_payload(payload: dict[str, Any], path: str) -> None:
         fh.write("\n")
 
 
+def profile_path_for(out: str) -> str:
+    """Where ``--profile`` writes: next to ``--out`` (or the cwd)."""
+    import os
+
+    directory = os.path.dirname(out) if out else ""
+    return os.path.join(directory, "BENCH_profile.txt") if directory else "BENCH_profile.txt"
+
+
 def main_bench(args) -> int:
     """Entry point for the ``repro bench`` subcommand."""
-    payload = run_bench(
+    run = lambda: run_bench(  # noqa: E731
         quick=args.quick,
         seeds=args.seeds,
         jobs=args.jobs,
         skip_experiments=args.no_experiments,
     )
+    if getattr(args, "profile", False):
+        import cProfile
+        import io
+        import pstats
+
+        profiler = cProfile.Profile()
+        payload = profiler.runcall(run)
+        stream = io.StringIO()
+        pstats.Stats(profiler, stream=stream).sort_stats("cumulative").print_stats(25)
+        path = profile_path_for(args.out)
+        with open(path, "w") as fh:
+            fh.write(stream.getvalue())
+        print(f"wrote {path} (cProfile, top-25 cumulative)")
+    else:
+        payload = run()
     print(render(payload))
     if args.out:
         write_payload(payload, args.out)

@@ -96,6 +96,11 @@ class OneFOneBPipeline:
         self.active = 0
         self.completed = 0
         self.done_times: dict[int, float] = {}
+        #: fast-forward id translation (public id == raw id + mb_offset);
+        #: 0 under full fidelity — see VirtualWorkerPipeline.mb_offset
+        self.mb_offset = 0
+        #: minibatches coalesced by fast-forward skips (diagnostics)
+        self.minibatches_fast_forwarded = 0
         self._started = False
 
     # ------------------------------------------------------------------
@@ -107,7 +112,7 @@ class OneFOneBPipeline:
         self._admit()
 
     def _admit(self) -> None:
-        while self.active < self.plan.nm and self.next_minibatch <= self.limit:
+        while self.active < self.plan.nm and self.next_minibatch + self.mb_offset <= self.limit:
             p = self.next_minibatch
             self.next_minibatch += 1
             self.active += 1
@@ -115,12 +120,12 @@ class OneFOneBPipeline:
 
     def _enqueue_fwd(self, s: int, p: int) -> None:
         self.stages[s].fwd_queue.append(p)
-        self.trace.emit(self.sim.now, "f_ready", self._actor[s], minibatch=p)
+        self.trace.emit(self.sim.now, "f_ready", self._actor[s], minibatch=p + self.mb_offset)
         self._dispatch(s)
 
     def _enqueue_bwd(self, s: int, p: int) -> None:
         self.stages[s].bwd_queue.append(p)
-        self.trace.emit(self.sim.now, "b_ready", self._actor[s], minibatch=p)
+        self.trace.emit(self.sim.now, "b_ready", self._actor[s], minibatch=p + self.mb_offset)
         self._dispatch(s)
 
     def _dispatch(self, s: int) -> None:
@@ -137,7 +142,7 @@ class OneFOneBPipeline:
                 stage.bwd_compute,
                 (lambda s=s, p=p: self._bwd_done(s, p)),
                 tag=("B", p),
-                on_start=(lambda s=s, p=p: self.trace.emit(self.sim.now, "b_start", self._actor[s], minibatch=p)),
+                on_start=(lambda s=s, p=p: self.trace.emit(self.sim.now, "b_start", self._actor[s], minibatch=p + self.mb_offset)),
             )
         elif state.fwd_queue and state.fwd_queue[0] == state.next_fwd:
             p = state.fwd_queue.pop(0)
@@ -147,18 +152,18 @@ class OneFOneBPipeline:
                     stage.fwd_compute + stage.bwd_compute,
                     (lambda s=s, p=p: self._bwd_done(s, p)),
                     tag=("FB", p),
-                    on_start=(lambda s=s, p=p: self.trace.emit(self.sim.now, "fb_start", self._actor[s], minibatch=p)),
+                    on_start=(lambda s=s, p=p: self.trace.emit(self.sim.now, "fb_start", self._actor[s], minibatch=p + self.mb_offset)),
                 )
             else:
                 state.processor.submit(
                     stage.fwd_compute,
                     (lambda s=s, p=p: self._fwd_done(s, p)),
                     tag=("F", p),
-                    on_start=(lambda s=s, p=p: self.trace.emit(self.sim.now, "f_start", self._actor[s], minibatch=p)),
+                    on_start=(lambda s=s, p=p: self.trace.emit(self.sim.now, "f_start", self._actor[s], minibatch=p + self.mb_offset)),
                 )
 
     def _fwd_done(self, s: int, p: int) -> None:
-        self.trace.emit(self.sim.now, "f_done", self._actor[s], minibatch=p)
+        self.trace.emit(self.sim.now, "f_done", self._actor[s], minibatch=p + self.mb_offset)
         state = self.stages[s]
         nbytes = self.plan.stages[s + 1].activation_in_bytes
         assert state.to_next is not None
@@ -168,7 +173,8 @@ class OneFOneBPipeline:
     def _bwd_done(self, s: int, p: int) -> None:
         last = s == self.plan.k - 1
         self.trace.emit(
-            self.sim.now, "fb_done" if last else "b_done", self._actor[s], minibatch=p
+            self.sim.now, "fb_done" if last else "b_done", self._actor[s],
+            minibatch=p + self.mb_offset,
         )
         state = self.stages[s]
         if s > 0:
@@ -176,12 +182,52 @@ class OneFOneBPipeline:
             assert state.to_prev is not None
             state.to_prev.transfer(nbytes, lambda: self._enqueue_bwd(s - 1, p))
         else:
+            pub = p + self.mb_offset
             self.completed += 1
             self.active -= 1
-            self.done_times[p] = self.sim.now
-            self.trace.emit(self.sim.now, "minibatch_done", self.name, minibatch=p)
+            self.done_times[pub] = self.sim.now
+            self.trace.emit(self.sim.now, "minibatch_done", self.name, minibatch=pub)
             self._admit()
         self._dispatch(s)
+
+    # ------------------------------------------------------------------
+    # steady-state fast-forward (see repro.sim.fastforward)
+    # ------------------------------------------------------------------
+
+    def ff_counters(self) -> tuple:
+        """Cumulative counters whose per-cycle deltas define steady state.
+
+        Watermarks report in public numbering (raw + ``mb_offset``) so
+        post-skip boundaries match the detector's rebased history — see
+        VirtualWorkerPipeline.ff_counters.
+        """
+        offset = self.mb_offset
+        values = [self.completed, self.next_minibatch + offset]
+        for state in self.stages:
+            values.append(state.next_fwd + offset)
+            values.append(state.next_bwd + offset)
+        return tuple(values)
+
+    def ff_levels(self, now: float) -> tuple:
+        """Structural state that must repeat exactly across cycles."""
+        levels: list = [self.active]
+        for state in self.stages:
+            levels.append(
+                (
+                    state.dispatching,
+                    tuple(p - state.next_fwd for p in state.fwd_queue),
+                    tuple(p - state.next_bwd for p in state.bwd_queue),
+                )
+            )
+        return tuple(levels)
+
+    def ff_advance(self, cycles: int, deltas: tuple, dt: float) -> None:
+        """Account ``cycles`` coalesced cycles: completions and the public
+        id translation advance; raw scheduling state stays untouched."""
+        advanced = cycles * deltas[0]
+        self.completed += advanced
+        self.mb_offset += advanced
+        self.minibatches_fast_forwarded += advanced
 
 
 def measure_1f1b_pipeline(
@@ -190,15 +236,29 @@ def measure_1f1b_pipeline(
     batch_size: int,
     warmup_minibatches: int | None = None,
     measured_minibatches: int = 60,
+    fidelity: str = "full",
 ) -> float:
-    """Throughput (images/s) of ``plan`` under 1F1B dispatch."""
+    """Throughput (images/s) of ``plan`` under 1F1B dispatch.
+
+    ``fidelity="fast_forward"`` coalesces confirmed steady-state cycles
+    (the 1F1B pipeline is deterministic, so long measurement windows
+    collapse to warmup + detection + drain); the measured window is
+    identical to the full run within the 1e-9 semantic contract because
+    coalesced completion times are filled from the confirmed cycle.
+    """
+    from repro.sim.fastforward import run_pipeline_fast_forward, validate_fidelity
+
+    validate_fidelity(fidelity)
     if warmup_minibatches is None:
         warmup_minibatches = 4 * plan.nm + 2 * plan.k
     total = warmup_minibatches + measured_minibatches
     sim = Simulator()
     pipeline = OneFOneBPipeline(sim, plan, interconnect, limit=total)
     pipeline.start()
-    sim.run_until_idle()
+    if fidelity == "fast_forward":
+        run_pipeline_fast_forward(pipeline, total)
+    else:
+        sim.run_until_idle()
     if pipeline.completed != total:
         raise SimulationError(
             f"1F1B pipeline stalled at {pipeline.completed}/{total} minibatches"

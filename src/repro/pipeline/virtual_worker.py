@@ -138,6 +138,14 @@ class VirtualWorkerPipeline:
         self.done_times: dict[int, float] = {}
         #: completed count observed at each minibatch's injection
         self.staleness_ledger: dict[int, int] = {}
+        #: fast-forward id translation: a steady-state skip advances the
+        #: *public* minibatch numbering (trace records, ledgers, gate and
+        #: callback ids) by the coalesced count while in-flight events
+        #: keep their raw ids — public id == raw id + mb_offset.  Always
+        #: 0 under full fidelity, so the mapping is the identity there.
+        self.mb_offset = 0
+        #: minibatches coalesced by fast-forward skips (diagnostics)
+        self.minibatches_fast_forwarded = 0
         self._running = False
 
     # ------------------------------------------------------------------
@@ -158,24 +166,27 @@ class VirtualWorkerPipeline:
     def _try_inject(self) -> None:
         if not self._running:
             return
-        while self.active < self.plan.nm and self.gate.may_start(self.next_minibatch):
+        while self.active < self.plan.nm and self.gate.may_start(
+            self.next_minibatch + self.mb_offset
+        ):
             self._inject(self.next_minibatch)
             self.next_minibatch += 1
 
     def _inject(self, p: int) -> None:
-        # Local staleness check (§4): weights for p must include updates
-        # from minibatches 1 .. p - (slocal + 1).
-        if self.completed < p - 1 - self.slocal:
+        pub = p + self.mb_offset
+        # Local staleness check (§4): weights for pub must include updates
+        # from minibatches 1 .. pub - (slocal + 1).
+        if self.completed < pub - 1 - self.slocal:
             raise StalenessViolation(
-                f"{self.name}: minibatch {p} injected with only "
+                f"{self.name}: minibatch {pub} injected with only "
                 f"{self.completed} local updates (slocal={self.slocal})"
             )
         self.active += 1
-        self.inject_times[p] = self.sim.now
-        self.staleness_ledger[p] = self.completed
-        self.trace.emit(self.sim.now, "inject", self.name, minibatch=p)
+        self.inject_times[pub] = self.sim.now
+        self.staleness_ledger[pub] = self.completed
+        self.trace.emit(self.sim.now, "inject", self.name, minibatch=pub)
         if self.on_inject is not None:
-            self.on_inject(p, self.sim.now)
+            self.on_inject(pub, self.sim.now)
         self._forward_arrived(0, p)
 
     # ------------------------------------------------------------------
@@ -209,27 +220,29 @@ class VirtualWorkerPipeline:
         if state.in_flight > state.peak_in_flight:
             state.peak_in_flight = state.in_flight
         last = s == self.plan.k - 1
+        # Trace ids translate raw -> public at *emit* time (a fast-forward
+        # skip between enqueue and start advances mb_offset).
         if last:
             # Condition 4: last partition runs fwd+bwd as one task.
             duration = self._jittered(stage.fwd_compute + stage.bwd_compute)
-            self.trace.emit(self.sim.now, "fb_enqueue", self._actor[s], minibatch=p)
+            self.trace.emit(self.sim.now, "fb_enqueue", self._actor[s], minibatch=p + self.mb_offset)
             state.processor.submit(
                 duration,
                 lambda: self._forward_backward_done(s, p),
                 tag=("FB", p),
-                on_start=(lambda s=s, p=p: self.trace.emit(self.sim.now, "fb_start", self._actor[s], minibatch=p)),
+                on_start=(lambda s=s, p=p: self.trace.emit(self.sim.now, "fb_start", self._actor[s], minibatch=p + self.mb_offset)),
             )
         else:
-            self.trace.emit(self.sim.now, "f_enqueue", self._actor[s], minibatch=p)
+            self.trace.emit(self.sim.now, "f_enqueue", self._actor[s], minibatch=p + self.mb_offset)
             state.processor.submit(
                 self._jittered(stage.fwd_compute),
                 lambda: self._forward_done(s, p),
                 tag=("F", p),
-                on_start=(lambda s=s, p=p: self.trace.emit(self.sim.now, "f_start", self._actor[s], minibatch=p)),
+                on_start=(lambda s=s, p=p: self.trace.emit(self.sim.now, "f_start", self._actor[s], minibatch=p + self.mb_offset)),
             )
 
     def _forward_done(self, s: int, p: int) -> None:
-        self.trace.emit(self.sim.now, "f_done", self._actor[s], minibatch=p)
+        self.trace.emit(self.sim.now, "f_done", self._actor[s], minibatch=p + self.mb_offset)
         state = self.stages[s]
         nbytes = self.plan.stages[s + 1].activation_in_bytes
         assert state.to_next is not None
@@ -241,7 +254,7 @@ class VirtualWorkerPipeline:
 
     def _forward_backward_done(self, s: int, p: int) -> None:
         """Fused task on the last stage finished; emit gradient."""
-        self.trace.emit(self.sim.now, "fb_done", self._actor[s], minibatch=p)
+        self.trace.emit(self.sim.now, "fb_done", self._actor[s], minibatch=p + self.mb_offset)
         self._backward_finished(s, p)
 
     def _gradient_arrived(self, s: int, p: int) -> None:
@@ -257,16 +270,16 @@ class VirtualWorkerPipeline:
             state.bwd_ready.remove(p)
             state.next_bwd += 1
             stage = self.plan.stages[s]
-            self.trace.emit(self.sim.now, "b_enqueue", self._actor[s], minibatch=p)
+            self.trace.emit(self.sim.now, "b_enqueue", self._actor[s], minibatch=p + self.mb_offset)
             state.processor.submit(
                 self._jittered(stage.bwd_compute),
                 (lambda s=s, p=p: self._backward_done(s, p)),
                 tag=("B", p),
-                on_start=(lambda s=s, p=p: self.trace.emit(self.sim.now, "b_start", self._actor[s], minibatch=p)),
+                on_start=(lambda s=s, p=p: self.trace.emit(self.sim.now, "b_start", self._actor[s], minibatch=p + self.mb_offset)),
             )
 
     def _backward_done(self, s: int, p: int) -> None:
-        self.trace.emit(self.sim.now, "b_done", self._actor[s], minibatch=p)
+        self.trace.emit(self.sim.now, "b_done", self._actor[s], minibatch=p + self.mb_offset)
         self._backward_finished(s, p)
 
     def _backward_finished(self, s: int, p: int) -> None:
@@ -284,13 +297,57 @@ class VirtualWorkerPipeline:
         # The last-stage bookkeeping treats the fused FB as both passes;
         # here stage 0's backward completed, so p has fully drained and
         # its local update is applied to w_local (§4).
+        pub = p + self.mb_offset
         self.completed += 1
         self.active -= 1
-        self.done_times[p] = self.sim.now
-        self.trace.emit(self.sim.now, "minibatch_done", self.name, minibatch=p)
+        self.done_times[pub] = self.sim.now
+        self.trace.emit(self.sim.now, "minibatch_done", self.name, minibatch=pub)
         if self.on_minibatch_done is not None:
-            self.on_minibatch_done(p, self.sim.now)
+            self.on_minibatch_done(pub, self.sim.now)
         self._try_inject()
+
+    # ------------------------------------------------------------------
+    # steady-state fast-forward (see repro.sim.fastforward)
+    # ------------------------------------------------------------------
+
+    def ff_counters(self) -> tuple:
+        """Cumulative counters whose per-cycle deltas define steady state.
+
+        Watermarks are reported in *public* numbering (raw value +
+        ``mb_offset``): a skip leaves the raw scheduling state untouched
+        but jumps the offset, and public values are what advance by
+        exactly one cycle delta per boundary across a skip — which is
+        what lets :meth:`SteadyStateDetector.rebase` keep chained skips
+        confirming instantly.
+        """
+        offset = self.mb_offset
+        values = [self.completed, self.next_minibatch + offset]
+        for state in self.stages:
+            values.append(state.next_fwd + offset)
+            values.append(state.next_bwd + offset)
+        return tuple(values)
+
+    def ff_levels(self, now: float) -> tuple:
+        """Structural state that must repeat exactly across cycles."""
+        levels: list = [self.active]
+        for state in self.stages:
+            levels.append(
+                (
+                    state.in_flight,
+                    state.peak_in_flight,
+                    tuple(sorted(p - state.next_fwd for p in state.fwd_ready)),
+                    tuple(sorted(p - state.next_bwd for p in state.bwd_ready)),
+                )
+            )
+        return tuple(levels)
+
+    def ff_advance(self, cycles: int, deltas: tuple, dt: float) -> None:
+        """Account ``cycles`` coalesced cycles: completions and the public
+        id translation advance; raw scheduling state stays untouched."""
+        advanced = cycles * deltas[0]
+        self.completed += advanced
+        self.mb_offset += advanced
+        self.minibatches_fast_forwarded += advanced
 
     # ------------------------------------------------------------------
     # observability

@@ -40,7 +40,9 @@ from repro.scenarios.generator import (
     materialize,
 )
 from repro.sim.engine import Simulator
-from repro.sim.invariants import OneFOneBOracle, default_oracles
+from repro.sim.equivalence import compare_fingerprints, semantic_fingerprint
+from repro.sim.fastforward import run_pipeline_fast_forward, validate_fidelity
+from repro.sim.invariants import OneFOneBOracle, StalenessOracle, default_oracles
 from repro.sim.trace import Trace
 from repro.training.envelopes import (
     pipeline_rate_bound,
@@ -77,6 +79,17 @@ class ScenarioResult:
     #: makespan of the dedicated-network twin run (shared scenarios only;
     #: the contention oracle requires makespan >= dedicated_makespan)
     dedicated_makespan: float = 0.0
+    #: fidelity the scenario ran under ("full" or "fast_forward")
+    fidelity: str = "full"
+    #: heap events actually dispatched (main runtime + 1F1B cross-check;
+    #: the equivalence twin's events are verification overhead, not the
+    #: scenario's cost, and are excluded)
+    events_simulated: int = 0
+    #: events coalesced analytically by steady-state skips
+    events_fast_forwarded: int = 0
+    #: whether the full-fidelity twin ran and the semantic fingerprints
+    #: were compared (fast_forward runs only)
+    equivalence_checked: bool = False
 
     @property
     def ok(self) -> bool:
@@ -84,11 +97,14 @@ class ScenarioResult:
 
     def describe(self) -> str:
         status = "ok" if self.ok else f"FAIL({len(self.violations)})"
-        return (
+        line = (
             f"[{status:>8}] {self.spec.describe()} "
             f"-> {self.throughput:8.1f} img/s, {self.events} events, "
             f"digest {self.digest[:12]}"
         )
+        if self.fidelity != "full":
+            line += f" ff={self.events_fast_forwarded}"
+        return line
 
 
 def _sync_time_bound(scenario: Scenario, runtime: HetPipeRuntime, vw: int) -> float:
@@ -182,22 +198,33 @@ def _check_bounds(
         )
 
 
-def _check_1f1b(scenario: Scenario, violations: list[str]) -> str:
-    """Run the 1F1B variant on plan 0 under its dispatch oracle."""
+def _check_1f1b(
+    scenario: Scenario, violations: list[str], fidelity: str = "full"
+) -> tuple[str, int, int]:
+    """Run the 1F1B variant on plan 0 under its dispatch oracle.
+
+    Returns ``(digest, events_simulated, events_fast_forwarded)``.  The
+    1F1B pipeline is deterministic (no jitter), so under the
+    fast_forward fidelity its steady-state cycles always coalesce.
+    """
     plan = scenario.plans[0]
     limit = 3 * plan.nm + 2 * plan.k
     sim = Simulator()
     # Streaming digest: the oracle subscribes live and the replay hash
     # folds in at emit time, so no record is ever stored.
-    trace = Trace(enabled=False, digest=True)
+    trace = Trace(enabled=False, digest=True, schema=1 if fidelity == "full" else 2)
     pipeline = OneFOneBPipeline(
         sim, plan, scenario.cluster.interconnect, limit=limit,
         name=f"1f1b{scenario.spec.seed}", trace=trace,
     )
     oracle = OneFOneBOracle(pipeline)
+    budget = EVENTS_PER_MINIBATCH * limit * plan.k
     try:
         pipeline.start()
-        sim.run_until_idle(max_events=EVENTS_PER_MINIBATCH * limit * plan.k)
+        if fidelity == "fast_forward":
+            run_pipeline_fast_forward(pipeline, limit, max_events=budget)
+        else:
+            sim.run_until_idle(max_events=budget)
         if pipeline.completed != limit:
             violations.append(
                 f"1f1b: pipeline quiesced at {pipeline.completed}/{limit} minibatches"
@@ -206,7 +233,7 @@ def _check_1f1b(scenario: Scenario, violations: list[str]) -> str:
             violations.append("1f1b: oracle observed no forward dispatches")
     except ReproError as exc:
         violations.append(f"1f1b: {exc}")
-    return trace.digest()
+    return trace.digest(), sim.events_processed, sim.events_fast_forwarded
 
 
 def _makespan_only(scenario: Scenario, spec: ScenarioSpec, budget: int) -> float:
@@ -229,24 +256,16 @@ def _makespan_only(scenario: Scenario, spec: ScenarioSpec, budget: int) -> float
     return runtime.sim.now
 
 
-def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
-    """Execute one scenario end to end and return its verdict.
-
-    Shared-network scenarios additionally run their dedicated twin and
-    assert the contention oracle: adding contention (and a congested
-    fabric) can only slow a run down, so the shared makespan must be at
-    least the dedicated one.
-    """
-    violations: list[str] = []
-    scenario = materialize(spec)
-    shared = spec.network_model == "shared"
-    fabric_spec = congested_fabric_spec(spec.seed) if shared else DEFAULT_FABRIC_SPEC
-    # Storage stays off: the oracles are live subscribers and the digest
-    # is folded in record-by-record, so memory no longer grows with the
-    # run's makespan (the digest value is identical to the stored-record
-    # hash the harness used to compute).
-    trace = Trace(enabled=False, digest=True)
-    runtime = HetPipeRuntime(
+def _build_runtime(
+    scenario: Scenario,
+    spec: ScenarioSpec,
+    fidelity: str,
+    trace: Trace,
+    oracles,
+    fabric_spec: FabricSpec,
+) -> HetPipeRuntime:
+    """The WSP runtime for one scenario run (main or equivalence twin)."""
+    return HetPipeRuntime(
         scenario.cluster,
         scenario.model,
         list(scenario.plans),
@@ -255,10 +274,67 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
         trace=trace,
         push_every_minibatch=spec.push_every_minibatch,
         jitter=spec.jitter,
-        oracles=default_oracles(),
+        oracles=oracles,
         network_model=spec.network_model,
         fabric_spec=fabric_spec,
+        fidelity=fidelity,
     )
+
+
+def _drive_main(
+    runtime: HetPipeRuntime, spec: ScenarioSpec, budget: int
+) -> tuple[float, tuple[int, ...], float]:
+    """Drive a built runtime through warmup + the measured window.
+
+    Returns ``(window, completions, makespan)``.
+    """
+    total_waves = spec.warmup_waves + spec.measured_waves
+    runtime.start()
+    runtime.run_until_global_version(spec.warmup_waves - 1, max_events=budget)
+    t0 = runtime.sim.now
+    done0 = [stats.minibatches_done for stats in runtime.stats]
+    runtime.run_until_global_version(total_waves - 1, max_events=budget)
+    window = runtime.sim.now - t0
+    completions = tuple(
+        stats.minibatches_done - before
+        for stats, before in zip(runtime.stats, done0)
+    )
+    return window, completions, runtime.sim.now
+
+
+def run_scenario(
+    spec: ScenarioSpec,
+    fidelity: str = "full",
+    verify_equivalence: bool | None = None,
+) -> ScenarioResult:
+    """Execute one scenario end to end and return its verdict.
+
+    Shared-network scenarios additionally run their dedicated twin and
+    assert the contention oracle: adding contention (and a congested
+    fabric) can only slow a run down, so the shared makespan must be at
+    least the dedicated one.
+
+    ``fidelity="full"`` (the default) is the historical bit-identical
+    contract: digests hash every raw record under ``hetpipe-trace/1``.
+    ``fidelity="fast_forward"`` coalesces confirmed steady-state cycles
+    and hashes under the semantic ``hetpipe-trace/2`` schema; with
+    ``verify_equivalence`` (the default under fast_forward) the full-
+    fidelity twin also runs and any deviation of makespan, utilization,
+    counts, or staleness statistics beyond 1e-9 relative is reported as
+    an ``equivalence:`` violation.
+    """
+    validate_fidelity(fidelity)
+    if verify_equivalence is None:
+        verify_equivalence = fidelity == "fast_forward"
+    violations: list[str] = []
+    scenario = materialize(spec)
+    shared = spec.network_model == "shared"
+    fabric_spec = congested_fabric_spec(spec.seed) if shared else DEFAULT_FABRIC_SPEC
+    # Storage stays off: the oracles are live subscribers and the digest
+    # is folded in record-by-record, so memory no longer grows with the
+    # run's makespan (the digest value is identical to the stored-record
+    # hash the harness used to compute).
+    trace = Trace(enabled=False, digest=True, schema=1 if fidelity == "full" else 2)
     total_waves = spec.warmup_waves + spec.measured_waves
     expected_minibatches = (
         len(scenario.plans) * (total_waves + spec.d + 3) * spec.nm
@@ -272,18 +348,12 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
     throughput = 0.0
     makespan = 0.0
     dedicated_makespan = 0.0
+    equivalence_checked = False
+    runtime = _build_runtime(
+        scenario, spec, fidelity, trace, default_oracles(), fabric_spec
+    )
     try:
-        runtime.start()
-        runtime.run_until_global_version(spec.warmup_waves - 1, max_events=budget)
-        t0 = runtime.sim.now
-        done0 = [stats.minibatches_done for stats in runtime.stats]
-        runtime.run_until_global_version(total_waves - 1, max_events=budget)
-        window = runtime.sim.now - t0
-        makespan = runtime.sim.now
-        completions = tuple(
-            stats.minibatches_done - before
-            for stats, before in zip(runtime.stats, done0)
-        )
+        window, completions, makespan = _drive_main(runtime, spec, budget)
         throughput = (
             sum(completions) * scenario.model.batch_size / window if window > 0 else 0.0
         )
@@ -297,23 +367,57 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
                     f"dedicated twin's {dedicated_makespan:.6f}s (contention "
                     f"cannot speed a run up)"
                 )
+        if (
+            fidelity == "fast_forward"
+            and verify_equivalence
+            and runtime.sim.events_fast_forwarded > 0
+        ):
+            # The semantic-equivalence oracle: the full-fidelity twin of
+            # the same spec must agree on every contract observable.
+            # Runs only when the main run actually coalesced something —
+            # a run that never skipped (jitter, shared fabric, refused
+            # cycles) *is* the full trajectory, and re-simulating it to
+            # compare two bit-identical runs proves nothing.
+            twin = _build_runtime(
+                scenario, spec, "full", Trace(enabled=False),
+                [StalenessOracle()], fabric_spec,
+            )
+            twin_window, _, _ = _drive_main(twin, spec, budget)
+            violations.extend(
+                compare_fingerprints(
+                    semantic_fingerprint(twin), semantic_fingerprint(runtime)
+                )
+            )
+            scale = max(abs(twin_window), abs(window), 1e-12)
+            if abs(twin_window - window) > 1e-9 * scale:
+                violations.append(
+                    f"equivalence: measured window full={twin_window!r} "
+                    f"fast_forward={window!r}"
+                )
+            equivalence_checked = True
     except (InvariantViolation, SimulationError) as exc:
         violations.append(f"{type(exc).__name__}: {exc}")
 
-    pipe_digest = _check_1f1b(scenario, violations)
+    pipe_digest, pipe_events, pipe_ff = _check_1f1b(scenario, violations, fidelity)
     combined = hashlib.sha256(
         (trace.digest() + pipe_digest).encode()
     ).hexdigest()
+    main_events = runtime.sim.events_processed
+    main_ff = runtime.sim.events_fast_forwarded
     return ScenarioResult(
         spec=spec,
         digest=combined,
         violations=tuple(violations),
         throughput=throughput,
         window=window,
-        events=runtime.sim.events_processed,
+        events=main_events,
         per_vw_completions=completions,
         makespan=makespan,
         dedicated_makespan=dedicated_makespan,
+        fidelity=fidelity,
+        events_simulated=main_events + pipe_events,
+        events_fast_forwarded=main_ff + pipe_ff,
+        equivalence_checked=equivalence_checked,
     )
 
 
@@ -331,11 +435,41 @@ class FuzzReport:
     def total_violations(self) -> int:
         return sum(len(r.violations) for r in self.results)
 
+    @property
+    def events_simulated(self) -> int:
+        return sum(r.events_simulated for r in self.results)
+
+    @property
+    def events_fast_forwarded(self) -> int:
+        return sum(r.events_fast_forwarded for r in self.results)
+
+    @property
+    def equivalence_checks(self) -> int:
+        return sum(1 for r in self.results if r.equivalence_checked)
+
+    @property
+    def equivalence_failures(self) -> int:
+        return sum(
+            1
+            for r in self.results
+            if any(v.startswith("equivalence:") for v in r.violations)
+        )
+
     def summary(self) -> str:
         lines = [
             f"fuzz: {len(self.results)} scenarios, "
             f"{len(self.failures)} failing, {self.total_violations} violations"
         ]
+        if any(r.fidelity != "full" for r in self.results):
+            simulated = self.events_simulated
+            coalesced = self.events_fast_forwarded
+            total = simulated + coalesced
+            share = coalesced / total if total else 0.0
+            lines.append(
+                f"fast-forward: {coalesced} of {total} events coalesced "
+                f"({share:.1%}); {self.equivalence_checks} equivalence checks, "
+                f"{self.equivalence_failures} failures"
+            )
         for result in self.failures:
             lines.append(f"  seed {result.spec.seed}: {result.spec.describe()}")
             for violation in result.violations:
@@ -343,7 +477,7 @@ class FuzzReport:
         return "\n".join(lines)
 
 
-def _fuzz_one(args: tuple[int, str]) -> ScenarioResult:
+def _fuzz_one(args: tuple[int, str, str, bool | None, int]) -> ScenarioResult:
     """Run a single seed end to end (the :func:`sweep_map` work item).
 
     Module-level and argument-pure so worker processes can import it by
@@ -352,10 +486,15 @@ def _fuzz_one(args: tuple[int, str]) -> ScenarioResult:
     """
     from dataclasses import replace
 
-    seed, network_model = args
+    seed, network_model, fidelity, verify_equivalence, waves_scale = args
     try:
         scenario = generate_scenario(seed)
-        return run_scenario(replace(scenario.spec, network_model=network_model))
+        spec = replace(scenario.spec, network_model=network_model)
+        if waves_scale != 1:
+            spec = replace(spec, measured_waves=spec.measured_waves * waves_scale)
+        return run_scenario(
+            spec, fidelity=fidelity, verify_equivalence=verify_equivalence
+        )
     except ReproError as exc:
         return ScenarioResult(
             spec=ScenarioSpec(
@@ -370,6 +509,7 @@ def _fuzz_one(args: tuple[int, str]) -> ScenarioResult:
             window=0.0,
             events=0,
             per_vw_completions=(),
+            fidelity=fidelity,
         )
 
 
@@ -378,6 +518,9 @@ def run_fuzz(
     verbose_log=None,
     network_model: str = "dedicated",
     jobs: int | None = 1,
+    fidelity: str = "full",
+    verify_equivalence: bool | None = None,
+    waves_scale: int = 1,
 ) -> FuzzReport:
     """Generate and run the scenario for every seed.
 
@@ -392,15 +535,27 @@ def run_fuzz(
     :func:`repro.exec.sweep_map` (``None`` = one per CPU); every seed is
     an independent deterministic simulation, so the report — digests
     included — is bit-identical to a serial run.
+    ``fidelity="fast_forward"`` coalesces steady-state cycles under the
+    semantic-equivalence contract; ``verify_equivalence`` (defaulting to
+    on under fast_forward) also runs every scenario's full-fidelity twin
+    and reports contract deviations as violations.
+    ``waves_scale`` multiplies each scenario's measured window — the
+    long-horizon workload where coalescing is asymptotically faster.
+    Digests at the default scale 1 and fidelity "full" are bit-identical
+    to the historical harness.
     """
     from repro.exec import sweep_map
 
+    validate_fidelity(fidelity)
     on_result = None
     if verbose_log is not None:
         on_result = lambda index, result: verbose_log(result.describe())  # noqa: E731
     results = sweep_map(
         _fuzz_one,
-        [(seed, network_model) for seed in seeds],
+        [
+            (seed, network_model, fidelity, verify_equivalence, waves_scale)
+            for seed in seeds
+        ],
         jobs=jobs,
         on_result=on_result,
     )

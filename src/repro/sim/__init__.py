@@ -10,17 +10,34 @@ a deliberately small, deterministic event-driven simulator:
   (PCIe lane, InfiniBand NIC) with traffic accounting.
 * :class:`~repro.sim.trace.Trace` — structured event recording used by the
   metrics layer and by tests asserting ordering invariants.
+* :mod:`~repro.sim.fastforward` — steady-state macro-event coalescing
+  (the ``fidelity="fast_forward"`` mode) and its cycle detector.
+* :mod:`~repro.sim.equivalence` — the semantic-equivalence contract that
+  replaces bit-identical digests for coalesced runs.
 """
 
 from repro.sim.engine import Event, Simulator
+from repro.sim.equivalence import compare_fingerprints, semantic_fingerprint
+from repro.sim.fastforward import (
+    FIDELITY_MODES,
+    FastForwardSummary,
+    SteadyStateDetector,
+    run_pipeline_fast_forward,
+)
 from repro.sim.resources import Channel, Processor
 from repro.sim.trace import Trace, TraceRecord
 
 __all__ = [
     "Channel",
     "Event",
+    "FIDELITY_MODES",
+    "FastForwardSummary",
     "Processor",
     "Simulator",
+    "SteadyStateDetector",
     "Trace",
     "TraceRecord",
+    "compare_fingerprints",
+    "run_pipeline_fast_forward",
+    "semantic_fingerprint",
 ]

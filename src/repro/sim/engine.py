@@ -80,6 +80,9 @@ class Simulator:
         self.now = 0.0
         #: number of callbacks executed so far (for diagnostics)
         self.events_processed = 0
+        #: events analytically coalesced by fast-forward skips instead of
+        #: being dispatched (see :mod:`repro.sim.fastforward`)
+        self.events_fast_forwarded = 0
         self._queue: list[tuple[float, int, Event]] = []
         self._seq = 0
         self._canceled_in_queue = 0
@@ -136,6 +139,34 @@ class Simulator:
             self._queue = [entry for entry in queue if not entry[2].canceled]
             heapify(self._queue)
             self._canceled_in_queue = 0
+
+    def fast_forward(self, dt: float, events_coalesced: int = 0) -> None:
+        """Translate the clock and every pending event by ``dt`` seconds.
+
+        This is the engine half of a steady-state skip: periodic dynamics
+        are invariant under time translation, so shifting ``now`` and all
+        queued timestamps by the same amount reproduces the state the
+        simulation would reach after the coalesced cycles — provided the
+        *caller* has verified periodicity and bulk-updated all client
+        state (see :mod:`repro.sim.fastforward`).  The uniform shift
+        preserves both heap order and same-timestamp sequence order, so
+        no re-heapify is needed.
+        """
+        if not math.isfinite(dt):
+            raise SimulationError(f"non-finite fast-forward {dt!r} at t={self.now}")
+        if dt < 0:
+            raise SimulationError(f"negative fast-forward {dt!r} at t={self.now}")
+        if events_coalesced < 0:
+            raise SimulationError(
+                f"negative events_coalesced {events_coalesced} at t={self.now} "
+                f"(corrupted cycle detection?)"
+            )
+        self.now += dt
+        queue = self._queue
+        for i, (time, seq, event) in enumerate(queue):
+            event.time = time + dt
+            queue[i] = (time + dt, seq, event)
+        self.events_fast_forwarded += events_coalesced
 
     def peek(self) -> float | None:
         """Timestamp of the next live event, or ``None`` if the queue is empty."""

@@ -46,6 +46,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.errors import InvariantViolation
+from repro.sim.fastforward import FastForwardSummary
 from repro.sim.trace import TraceRecord
 from repro.wsp.staleness import global_staleness, local_staleness, missing_updates
 
@@ -83,6 +84,14 @@ class RuntimeOracle:
 
     def on_trace(self, record: TraceRecord) -> None:
         """Raw trace record (scheduling-level events)."""
+
+    def on_fast_forward(self, summary: FastForwardSummary) -> None:
+        """A steady-state skip coalesced ``summary.cycles`` cycles.
+
+        The skipped region is a confirmed repetition of cycles the oracle
+        already observed and accepted, so subclasses bulk-advance their
+        expectations rather than re-checking what cannot have changed.
+        """
 
     def verify_final(self, runtime: "HetPipeRuntime") -> None:
         """End-of-run reconciliation (called by ``check_invariants``)."""
@@ -243,6 +252,23 @@ class SchedulingOracle(RuntimeOracle):
                 state.fwd_done_max = max(state.fwd_done_max, p)  # fused task contains the forward
             state.bwd_done_max = max(state.bwd_done_max, p)
 
+    def on_fast_forward(self, summary: FastForwardSummary) -> None:
+        """Advance every stage's order/causality watermarks by the
+        coalesced minibatches — public ids jump across a skip while the
+        per-stage discipline inside the skipped cycles is a confirmed
+        repeat of what was already checked."""
+        for vw_index, advanced in enumerate(summary.minibatches):
+            if advanced == 0:
+                continue
+            vw = f"vw{vw_index}"
+            self._injected[vw] = self._injected.get(vw, 0) + advanced
+            for s in range(self._k[vw]):
+                state = self._state(f"{vw}.s{s}")
+                state.next_fwd += advanced
+                state.next_bwd += advanced
+                state.fwd_done_max += advanced
+                state.bwd_done_max += advanced
+
 
 class VersionOracle(RuntimeOracle):
     """PS clock laws: in-order waves, monotone minimum global version."""
@@ -278,6 +304,16 @@ class VersionOracle(RuntimeOracle):
         if version > self._global:
             raise InvariantViolation(
                 f"versions: vw{vw} pulled version {version} beyond global {self._global}"
+            )
+
+    def on_fast_forward(self, summary: FastForwardSummary) -> None:
+        for vw, waves in enumerate(summary.waves):
+            self._pushed[vw] += waves
+        self._global += summary.versions
+        if self._global != min(self._pushed):
+            raise InvariantViolation(
+                f"versions: fast-forward left global version {self._global} != "
+                f"min(pushed)={min(self._pushed)} (pushed waves {self._pushed})"
             )
 
     def verify_final(self, runtime: "HetPipeRuntime") -> None:
@@ -321,6 +357,14 @@ class ConservationOracle(RuntimeOracle):
                 f"conservation: vw{vw} completed {self._done[vw]} minibatches "
                 f"but only {self._injected[vw]} were injected"
             )
+
+    def on_fast_forward(self, summary: FastForwardSummary) -> None:
+        # A skipped cycle injects exactly as many minibatches as it
+        # completes (the in-flight level repeating is part of the
+        # confirmed signature), so both ledgers advance together.
+        for vw, advanced in enumerate(summary.minibatches):
+            self._injected[vw] += advanced
+            self._done[vw] += advanced
 
     def verify_final(self, runtime: "HetPipeRuntime") -> None:
         for vw, (pipeline, stats) in enumerate(zip(runtime.pipelines, runtime.stats)):
@@ -455,6 +499,16 @@ class OneFOneBOracle:
         return stage
 
     def on_trace(self, record: TraceRecord) -> None:
+        if record.category == "fast_forward" and record.actor == self.name:
+            # A steady-state skip advanced the public numbering; shift
+            # every expectation by the coalesced minibatches (pending
+            # ready-queue entries are part of the repeating pattern).
+            advanced = record.detail["minibatches"]
+            for s in range(self.k):
+                self._next_fwd[s] += advanced
+                self._next_bwd[s] += advanced
+                self._bwd_ready[s] = [p + advanced for p in self._bwd_ready[s]]
+            return
         s = self._stage_of(record.actor)
         if s is None:
             return

@@ -49,6 +49,33 @@ def _digest_line(time: float, category: str, actor: str, detail: dict[str, Any])
     return f"{time!r}|{category}|{actor}|{sorted(detail.items())!r}\n".encode()
 
 
+#: Digest schema versions.  Schema 1 is the historical contract: every
+#: record hashes and two runs of the same scenario must agree bit for
+#: bit.  Schema 2 (``hetpipe-trace/2``) is the fast-forward contract:
+#: only *semantic* records — minibatch/wave lifecycle plus the
+#: ``fast_forward`` macro summaries that stand in for coalesced raw
+#: records — fold into the hash, so a coalesced run stays replayable
+#: (same scenario, same fidelity => same digest) without pretending to
+#: be event-for-event identical to a full run.
+TRACE_SCHEMAS = (1, 2)
+
+#: The schema-2 tag seeding the hash, so v1 and v2 digests of the same
+#: stream can never collide silently.
+SCHEMA_2_TAG = b"hetpipe-trace/2\n"
+
+#: Record categories hashed under schema 2: per-minibatch lifecycle,
+#: WSP synchronization, and fast-forward cycle summaries.
+SEMANTIC_CATEGORIES = frozenset(
+    ("inject", "minibatch_done", "wave_push", "pull_done", "fast_forward")
+)
+
+#: Cap on the per-(category, actor, key) digest-line memo.  High-
+#: cardinality actor names (one per stage per uniquely-named pipeline)
+#: could otherwise grow the memo without bound across a long sweep;
+#: sites past the cap hash through the direct, unmemoized path.
+DIGEST_MIDS_MAX = 4096
+
+
 class Trace:
     """Append-only record store with simple filtered views.
 
@@ -69,14 +96,22 @@ class Trace:
     modes produce identical digests for identical runs.
     """
 
-    def __init__(self, enabled: bool = True, digest: bool = False) -> None:
+    def __init__(self, enabled: bool = True, digest: bool = False, schema: int = 1) -> None:
+        if schema not in TRACE_SCHEMAS:
+            raise ValueError(f"unknown trace schema {schema!r}; expected one of {TRACE_SCHEMAS}")
         self.enabled = enabled
+        self.schema = schema
         self.records: list[TraceRecord] = []
         self._subscribers: list[Callable[[TraceRecord], None]] = []
         self._hasher = hashlib.sha256() if digest else None
+        if self._hasher is not None and schema == 2:
+            self._hasher.update(SCHEMA_2_TAG)
+        #: schema 1 hashes every record; schema 2 only the semantic ones
+        self._digest_all = schema == 1
         #: (category, actor, key) -> precomputed middle of the digest
         #: line; the tuple repeats for every task a stage ever runs, so
-        #: the string is assembled once per distinct site
+        #: the string is assembled once per distinct site (bounded by
+        #: DIGEST_MIDS_MAX; overflow sites hash without the memo)
         self._digest_mids: dict[tuple[str, str, str], str] = {}
 
     def subscribe(self, observer: Callable[[TraceRecord], None]) -> None:
@@ -85,7 +120,7 @@ class Trace:
 
     def emit(self, time: float, category: str, actor: str, **detail: Any) -> None:
         hasher = self._hasher
-        if hasher is not None:
+        if hasher is not None and (self._digest_all or category in SEMANTIC_CATEGORIES):
             # Almost every record carries exactly one detail pair; its
             # line is assembled from a per-(category, actor, key) cached
             # middle instead of sorting and repr-ing a list.  The output
@@ -93,10 +128,12 @@ class Trace:
             if len(detail) == 1:
                 [(key, value)] = detail.items()
                 site = (category, actor, key)
-                mid = self._digest_mids.get(site)
+                mids = self._digest_mids
+                mid = mids.get(site)
                 if mid is None:
                     mid = f"|{category}|{actor}|[({key!r}, "
-                    self._digest_mids[site] = mid
+                    if len(mids) < DIGEST_MIDS_MAX:
+                        mids[site] = mid
                 hasher.update(f"{time!r}{mid}{value!r})]\n".encode())
             else:
                 hasher.update(
@@ -152,6 +189,9 @@ class Trace:
         if self._hasher is not None:
             return self._hasher.hexdigest()
         h = hashlib.sha256()
+        if self.schema == 2:
+            h.update(SCHEMA_2_TAG)
         for r in self.records:
-            h.update(_digest_line(r.time, r.category, r.actor, r.detail))
+            if self._digest_all or r.category in SEMANTIC_CATEGORIES:
+                h.update(_digest_line(r.time, r.category, r.actor, r.detail))
         return h.hexdigest()

@@ -29,6 +29,9 @@ from repro.wsp.placement import StagePlacement
 class _VersionWaiter:
     desired: int
     callback: Callable[[], None]
+    #: virtual worker awaiting the version, when known — a fast-forward
+    #: skip advances ``desired`` by that worker's coalesced waves
+    vw: int | None = None
 
 
 class ParameterServerSim:
@@ -277,15 +280,88 @@ class ParameterServerSim:
     # version subscriptions
     # ------------------------------------------------------------------
 
-    def when_version(self, desired: int, callback: Callable[[], None]) -> None:
-        """Run ``callback`` once ``global_version >= desired`` (maybe now)."""
+    def when_version(
+        self, desired: int, callback: Callable[[], None], vw: int | None = None
+    ) -> None:
+        """Run ``callback`` once ``global_version >= desired`` (maybe now).
+
+        ``vw`` tags the waiter with the virtual worker it belongs to so a
+        steady-state fast-forward skip can retarget pending waits.
+        """
         if self.global_version >= desired:
             callback()
             return
-        self._waiters.append(_VersionWaiter(desired, callback))
+        self._waiters.append(_VersionWaiter(desired, callback, vw))
 
     def _fire_waiters(self) -> None:
         ready = [w for w in self._waiters if self.global_version >= w.desired]
         self._waiters = [w for w in self._waiters if self.global_version < w.desired]
         for waiter in ready:
             waiter.callback()
+
+    # ------------------------------------------------------------------
+    # steady-state fast-forward (see repro.sim.fastforward)
+    # ------------------------------------------------------------------
+
+    def ff_counters(self) -> tuple:
+        """Cumulative counters whose per-cycle deltas define steady state.
+
+        Layout (the runtime driver indexes into it): four traffic/opcount
+        scalars, one ``pushed_wave`` entry per virtual worker, then the
+        global version.
+        """
+        return (
+            self.pushes_completed,
+            self.pulls_completed,
+            self.sync_bytes_total,
+            self.sync_bytes_cross_node,
+            *self.pushed_wave,
+            self.global_version,
+        )
+
+    def ff_levels(self, now: float) -> tuple:
+        """Structural state that must repeat exactly across cycles."""
+        return (
+            tuple(self._push_in_flight),
+            tuple(len(backlog) for backlog in self._push_backlog),
+            tuple(
+                sorted(
+                    (-1 if w.vw is None else w.vw, w.desired - self.global_version)
+                    for w in self._waiters
+                )
+            ),
+        )
+
+    def ff_advance(self, cycles: int, deltas: tuple, dt: float) -> None:
+        """Apply ``cycles`` cycles' clock and traffic advancement.
+
+        Pending version waiters and backlogged waves are retargeted by
+        their worker's coalesced wave count — the wait relationship is
+        part of the periodic pattern, so it shifts with it.
+        """
+        self.pushes_completed += cycles * deltas[0]
+        self.pulls_completed += cycles * deltas[1]
+        self.sync_bytes_total += cycles * deltas[2]
+        self.sync_bytes_cross_node += cycles * deltas[3]
+        num = len(self.pushed_wave)
+        wave_deltas = deltas[4 : 4 + num]
+        for vw in range(num):
+            self.pushed_wave[vw] += cycles * wave_deltas[vw]
+        self.global_version += cycles * deltas[4 + num]
+        for waiter in self._waiters:
+            if waiter.vw is None:
+                raise SimulationError(
+                    "fast-forward over an untagged version waiter; "
+                    "when_version(..., vw=...) is required under fast_forward"
+                )
+            waiter.desired += cycles * wave_deltas[waiter.vw]
+        if any(self._push_backlog):
+            # Unreachable by construction: a backlog entry implies its
+            # worker's push is in flight, and the runtime driver refuses
+            # to skip while any push is in flight (the in-flight wave is
+            # closure-captured and cannot be retargeted).  Fail loudly
+            # rather than mask a future eligibility bug.
+            raise SimulationError(
+                "fast-forward over a non-empty push backlog; skips must "
+                "be refused while any push is in flight"
+            )

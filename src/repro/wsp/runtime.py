@@ -22,6 +22,15 @@ from repro.netsim.fabric import DEFAULT_FABRIC_SPEC, Fabric, FabricSpec
 from repro.partition.spec import PartitionPlan
 from repro.pipeline.virtual_worker import VirtualWorkerPipeline
 from repro.sim.engine import Simulator
+from repro.sim.fastforward import (
+    FastForwardSummary,
+    SteadyStateDetector,
+    advance_components,
+    collect_counters,
+    collect_shape,
+    pipeline_components,
+    validate_fidelity,
+)
 from repro.sim.trace import Trace
 from repro.wsp.parameter_server import ParameterServerSim
 from repro.wsp.placement import StagePlacement, build_placements
@@ -82,7 +91,9 @@ class HetPipeRuntime:
         oracles: "Sequence[RuntimeOracle]" = (),
         network_model: str = "dedicated",
         fabric_spec: FabricSpec = DEFAULT_FABRIC_SPEC,
+        fidelity: str = "full",
     ) -> None:
+        validate_fidelity(fidelity)
         if not plans:
             raise ConfigurationError("need at least one virtual worker plan")
         nms = {plan.nm for plan in plans}
@@ -101,6 +112,8 @@ class HetPipeRuntime:
         self.calibration = calibration
         self.push_every_minibatch = push_every_minibatch
         self.network_model = network_model
+        self.fidelity = fidelity
+        self.jitter = jitter
 
         self.sim = Simulator()
         #: shared contention-aware fabric; None under the dedicated model
@@ -179,6 +192,17 @@ class HetPipeRuntime:
             self._inject_oracles = []
             self._done_oracles = []
             self._pull_oracles = []
+
+        # Steady-state fast-forward: armed only under the fast_forward
+        # fidelity, and only for regimes whose cycles can repeat exactly
+        # — task jitter is aperiodic by construction, and the shared
+        # fabric keeps a per-flow ledger that a skip cannot summarize.
+        # Ineligible runs silently execute at full fidelity.
+        self._ff = (
+            _RuntimeFastForward(self)
+            if fidelity == "fast_forward" and jitter == 0.0 and self.fabric is None
+            else None
+        )
 
     # ------------------------------------------------------------------
     # oracle plumbing
@@ -264,7 +288,7 @@ class HetPipeRuntime:
         stats.wave_times.append(self.sim.now)
         desired = desired_version_after_wave(wave, self.d)
         self._wait_started[vw] = self.sim.now
-        self.ps.when_version(desired, lambda: self._begin_pull(vw))
+        self.ps.when_version(desired, lambda: self._begin_pull(vw), vw=vw)
 
     def _begin_pull(self, vw: int) -> None:
         plan = self.plans[vw]
@@ -297,10 +321,19 @@ class HetPipeRuntime:
             pipeline.start()
 
     def run_until_global_version(self, target: int, max_events: int = 20_000_000) -> None:
-        """Advance the simulation until wave ``target`` is globally done."""
+        """Advance the simulation until wave ``target`` is globally done.
+
+        Under the fast_forward fidelity, every global-version advance is
+        a cycle boundary: once the steady-state detector confirms a
+        repeating cycle, the remaining cycles up to ``target`` are applied
+        analytically instead of being simulated (the skip lands exactly
+        on the boundary semantics a full run would stop at).
+        """
         executed = 0
         ps = self.ps
         step = self.sim.step
+        ff = self._ff
+        last_version = ps.global_version
         while ps.global_version < target:
             if not step():
                 raise SimulationError(
@@ -310,6 +343,9 @@ class HetPipeRuntime:
             executed += 1
             if executed > max_events:
                 raise SimulationError(f"exceeded {max_events} events")
+            if ff is not None and ps.global_version > last_version:
+                ff.on_boundary(target)
+                last_version = ps.global_version
 
     def total_minibatches_done(self) -> int:
         return sum(stats.minibatches_done for stats in self.stats)
@@ -326,3 +362,165 @@ class HetPipeRuntime:
             total += t
             depth = max(depth, q)
         return total, depth
+
+
+class _RuntimeFastForward:
+    """Steady-state macro-event coalescing for one :class:`HetPipeRuntime`.
+
+    Cycle boundaries are global-version advances: in steady state the
+    whole coupled system — every virtual worker's pipeline, the
+    parameter-server shards, gates, and the pending event queue — repeats
+    a fixed pattern per global wave (or a small super-cycle of waves when
+    heterogeneous workers interleave with a longer period).  The per-
+    boundary signature covers *all* of that state, so cross-VW
+    interactions whose phases do not repeat (e.g., staleness admissions
+    that would diverge) simply never confirm a cycle, and the run falls
+    back to full simulation with no correctness cliff.
+
+    On a confirmed cycle the skip is one clock translation plus O(state)
+    bulk updates: simulator queue times shift by ``N * dt``, cumulative
+    counters advance by ``N`` cycle deltas, public minibatch/wave/version
+    numberings jump while raw in-flight event ids stay put (the
+    pipelines' ``mb_offset`` translation), pending version waits are
+    retargeted, live oracles are told via ``on_fast_forward``, and one
+    ``fast_forward`` macro record stands in for the coalesced raw trace.
+    """
+
+    def __init__(self, runtime: HetPipeRuntime) -> None:
+        self.runtime = runtime
+        self.detector = SteadyStateDetector()
+        self.skips_applied = 0
+        #: pipelines and their stage resources, in fixed order; the PS's
+        #: lazily-created streams are appended per boundary (a stream
+        #: appearing mid-run changes the vector length, which the
+        #: detector treats as a mismatch — exactly right)
+        self._pipe_comps: list = []
+        #: flat counter-vector offset of each pipeline's own counters
+        #: (slot 0 there is its completed count)
+        self._pipe_offsets: list[int] = []
+        flat = 0
+        for pipeline in runtime.pipelines:
+            self._pipe_offsets.append(flat)
+            for comp in pipeline_components(pipeline):
+                self._pipe_comps.append(comp)
+                flat += len(comp.ff_counters())
+
+    def _components(self) -> list:
+        ps = self.runtime.ps
+        return [
+            *self._pipe_comps,
+            *ps._apply.values(),
+            *ps._channels.values(),
+            ps,
+        ]
+
+    def _counters(self, comps: list) -> tuple:
+        runtime = self.runtime
+        values = list(collect_counters(runtime.sim, comps))
+        for gate in runtime.gates:
+            values.append(gate.pulled_version)
+        for stats in runtime.stats:
+            values.append(stats.minibatches_done)
+            values.append(stats.waves_pushed)
+            values.append(stats.pulls)
+            values.append(stats.waiting_time)
+            values.append(stats.idle_in_wait)
+        return tuple(values)
+
+    def _shape(self, comps: list) -> tuple:
+        runtime = self.runtime
+        now = runtime.sim.now
+        levels, fingerprint = collect_shape(runtime.sim, comps)
+        runtime_levels = (
+            tuple(runtime._busy_count),
+            tuple(-1.0 if t is None else now - t for t in runtime._all_idle_since),
+            tuple(-1.0 if t is None else now - t for t in runtime._wait_started),
+        )
+        return (levels + (runtime_levels,), fingerprint)
+
+    def on_boundary(self, target: int) -> None:
+        """A global-version advance just executed; detect and maybe skip."""
+        runtime = self.runtime
+        ps = runtime.ps
+        comps = self._components()
+        cycle = self.detector.observe(
+            runtime.sim.now, self._counters(comps), self._shape(comps)
+        )
+        if cycle is None:
+            return
+        sizes = [len(comp.ff_counters()) for comp in comps]
+        total_comp = sum(sizes)
+        num_vw = len(runtime.plans)
+        deltas = cycle.deltas
+        ps_start = 1 + total_comp - sizes[-1]
+        versions_per_cycle = deltas[ps_start + 4 + num_vw]
+        if versions_per_cycle <= 0:
+            return
+        cycles = (target - ps.global_version) // versions_per_cycle
+        if cycles <= 0:
+            return
+        # A push in flight at the boundary has its wave number captured
+        # in transfer-completion closures, which a skip cannot retarget
+        # (recording it afterwards would regress pushed_wave).  Refuse —
+        # the run simply stays at full fidelity for this cycle.
+        if any(ps._push_in_flight):
+            return
+        # Public ids jump by whole waves: each worker's coalesced
+        # minibatches must be exactly Nm times its coalesced waves, or
+        # the push phase would drift across the skip.
+        per_vw_minibatches = tuple(
+            deltas[1 + offset] for offset in self._pipe_offsets
+        )
+        per_vw_waves = tuple(deltas[ps_start + 4 + vw] for vw in range(num_vw))
+        if any(
+            mb != runtime.nm * waves
+            for mb, waves in zip(per_vw_minibatches, per_vw_waves)
+        ):
+            return
+
+        dt = cycles * cycle.dt
+        runtime.sim.fast_forward(dt, events_coalesced=cycles * deltas[0])
+        advance_components(comps, sizes, cycles, deltas[1 : 1 + total_comp], dt)
+        offset = 1 + total_comp
+        for gate in runtime.gates:
+            gate.pulled_version += cycles * deltas[offset]
+            offset += 1
+        for stats in runtime.stats:
+            stats.minibatches_done += cycles * deltas[offset]
+            stats.waves_pushed += cycles * deltas[offset + 1]
+            stats.pulls += cycles * deltas[offset + 2]
+            stats.waiting_time += cycles * deltas[offset + 3]
+            stats.idle_in_wait += cycles * deltas[offset + 4]
+            offset += 5
+        runtime._all_idle_since = [
+            None if t is None else t + dt for t in runtime._all_idle_since
+        ]
+        runtime._wait_started = [
+            None if t is None else t + dt for t in runtime._wait_started
+        ]
+        self.skips_applied += 1
+        summary = FastForwardSummary(
+            time=runtime.sim.now,
+            dt=dt,
+            cycles=cycles,
+            period=cycle.period,
+            events_coalesced=cycles * deltas[0],
+            minibatches=tuple(cycles * mb for mb in per_vw_minibatches),
+            waves=tuple(cycles * waves for waves in per_vw_waves),
+            versions=cycles * versions_per_cycle,
+        )
+        for oracle in runtime.oracles:
+            oracle.on_fast_forward(summary)
+        runtime.trace.emit(
+            runtime.sim.now,
+            "fast_forward",
+            "runtime",
+            cycles=cycles,
+            period=cycle.period,
+            dt=dt,
+            minibatches=summary.minibatches,
+            waves=summary.waves,
+            versions=summary.versions,
+            events=summary.events_coalesced,
+        )
+        self.detector.rebase(dt, tuple(cycles * d for d in deltas))
