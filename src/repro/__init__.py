@@ -32,6 +32,17 @@ from typing import TYPE_CHECKING
 
 #: public name -> submodule that defines it
 _EXPORTS = {
+    "ClusterSpec": "repro.api",
+    "ExperimentSpec": "repro.api",
+    "FidelitySpec": "repro.api",
+    "ModelSpec": "repro.api",
+    "NetworkSpec": "repro.api",
+    "PipelineSpec": "repro.api",
+    "RunSpec": "repro.api",
+    "SweepSpec": "repro.api",
+    "SpecError": "repro.errors",
+    "UnknownNameError": "repro.errors",
+    "measure_run": "repro.wsp",
     "VirtualWorkerAssignment": "repro.allocation",
     "allocate": "repro.allocation",
     "Cluster": "repro.cluster",
@@ -103,6 +114,18 @@ def __dir__() -> list[str]:
 
 if TYPE_CHECKING:  # static analyzers see the eager imports
     from repro.allocation import VirtualWorkerAssignment, allocate
+    from repro.api import (
+        ClusterSpec,
+        ExperimentSpec,
+        FidelitySpec,
+        ModelSpec,
+        NetworkSpec,
+        PipelineSpec,
+        RunSpec,
+        SweepSpec,
+    )
+    from repro.errors import SpecError, UnknownNameError
+    from repro.wsp import measure_run
     from repro.cluster import (
         Cluster,
         GPUDevice,

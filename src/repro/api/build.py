@@ -1,0 +1,242 @@
+"""Spec -> built objects: the bridge from :class:`RunSpec` to the system.
+
+:func:`build_scenario` turns a scenario-kind :class:`RunSpec` into the
+same :class:`~repro.scenarios.generator.Scenario` value object the fuzz
+harness runs — cluster, model graph, and one partition plan per virtual
+worker — resolving every open-ended name (model builder, calibration,
+interconnect profile, planner) through :mod:`repro.api.registry`.
+
+Two paths, one result type:
+
+* **fuzz-representable** specs (synthetic model, "dp" planner, default
+  calibration and profile — everything the seeded generator can emit)
+  round-trip through :class:`~repro.scenarios.generator.ScenarioSpec`
+  and the generator's memoized ``materialize``.  This is deliberate:
+  the fuzz flow builds the same spec several times per seed, and
+  sharing that cache keeps spec-driven runs *bit-identical* (digests
+  included) to the historical ScenarioSpec path.
+* everything else (catalog models by name, alternative planners,
+  non-default calibrations/profiles) is built here with its own
+  memoization, producing a ``Scenario`` whose ``spec`` field is the
+  derived :class:`ScenarioSpec` view the runner reads its knobs from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from functools import lru_cache
+
+from repro.api.registry import CALIBRATIONS, MODELS, PLANNERS, PROFILES
+from repro.api.spec import (
+    ClusterSpec,
+    FidelitySpec,
+    ModelSpec,
+    NetworkSpec,
+    PipelineSpec,
+    RunSpec,
+)
+from repro.errors import SpecError
+
+
+def run_to_scenario_spec(run: RunSpec):
+    """The :class:`ScenarioSpec` view of a scenario-kind ``run``.
+
+    Knobs map one-to-one; ``fidelity.waves_scale`` is folded into
+    ``measured_waves`` (the scenario runner's long-horizon convention).
+    Catalog models have no synthetic knobs, so their view carries
+    ``batch_size=0`` and empty layer tuples — the runner takes the real
+    batch size from the built model graph.
+    """
+    from repro.scenarios.generator import ScenarioSpec
+
+    if run.kind != "scenario":
+        raise SpecError(f"expected a scenario spec, got kind={run.kind!r}")
+    if run.pipeline.nm is None:
+        raise SpecError("a scenario run needs a concrete pipeline.nm")
+    model = run.model
+    assert model is not None  # enforced by RunSpec validation
+    return ScenarioSpec(
+        seed=run.seed,
+        node_codes=run.cluster.node_codes,
+        gpus_per_node=run.cluster.gpus_per_node,
+        allocation=run.pipeline.allocation,
+        batch_size=model.batch_size if model.is_synthetic else 0,
+        image_size=model.image_size if model.is_synthetic else 0,
+        conv_widths=model.conv_widths,
+        fc_dims=model.fc_dims,
+        nm=run.pipeline.nm,
+        d=run.pipeline.d,
+        placement=run.pipeline.placement,
+        jitter=run.pipeline.jitter,
+        push_every_minibatch=run.pipeline.push_every_minibatch,
+        warmup_waves=run.pipeline.warmup_waves,
+        measured_waves=run.pipeline.measured_waves * run.fidelity.waves_scale,
+        network_model=run.network.model,
+    )
+
+
+def scenario_spec_to_run(
+    spec,
+    fidelity: str = "full",
+    verify_equivalence: bool | None = None,
+    waves_scale: int = 1,
+) -> RunSpec:
+    """Lift a legacy :class:`ScenarioSpec` into the typed API.
+
+    ``waves_scale`` moves *out* of ``measured_waves`` and into the
+    fidelity section, so the RunSpec states the base window and the
+    scale separately; :func:`run_to_scenario_spec` folds them back.
+    ``spec.measured_waves`` must therefore be the unscaled window.
+    """
+    return RunSpec(
+        kind="scenario",
+        seed=spec.seed,
+        cluster=ClusterSpec(
+            node_codes=spec.node_codes, gpus_per_node=spec.gpus_per_node
+        ),
+        model=ModelSpec(
+            name=f"fuzz{spec.seed}",
+            batch_size=spec.batch_size,
+            image_size=spec.image_size,
+            conv_widths=spec.conv_widths,
+            fc_dims=spec.fc_dims,
+        ),
+        pipeline=PipelineSpec(
+            nm=spec.nm,
+            d=spec.d,
+            allocation=spec.allocation,
+            placement=spec.placement,
+            push_every_minibatch=spec.push_every_minibatch,
+            jitter=spec.jitter,
+            warmup_waves=spec.warmup_waves,
+            measured_waves=spec.measured_waves,
+        ),
+        network=NetworkSpec(model=spec.network_model),
+        fidelity=FidelitySpec(
+            fidelity=fidelity,
+            verify_equivalence=verify_equivalence,
+            waves_scale=waves_scale,
+        ),
+    )
+
+
+def _is_fuzz_representable(run: RunSpec) -> bool:
+    """True when the seeded generator's materialization covers ``run``.
+
+    The generator names every synthetic model ``fuzz<seed>`` (its
+    ``ScenarioSpec`` carries no name field), so only specs declaring
+    exactly that name may share its cache — any other name must build
+    through the general path or surfaces reporting ``model_name`` would
+    silently swap identities.
+    """
+    return (
+        run.model is not None
+        and run.model.is_synthetic
+        and run.model.name == f"fuzz{run.seed}"
+        and run.pipeline.planner == "dp"
+        and run.calibration == "default"
+        and run.cluster.profile == "grpc_tf112"
+    )
+
+
+def build_cluster(spec: ClusterSpec):
+    """The :class:`~repro.cluster.topology.Cluster` a cluster spec names."""
+    from repro.cluster.catalog import paper_cluster
+
+    return paper_cluster(
+        node_codes=spec.node_codes,
+        gpus_per_node=spec.gpus_per_node,
+        interconnect=PROFILES.get(spec.profile),
+    )
+
+
+def build_model(spec: ModelSpec):
+    """The :class:`~repro.models.graph.ModelGraph` a model spec names."""
+    if spec.is_synthetic:
+        from repro.scenarios.generator import build_fuzz_model
+
+        return build_fuzz_model(
+            spec.name, spec.batch_size, spec.image_size,
+            spec.conv_widths, spec.fc_dims,
+        )
+    return MODELS.get(spec.name)()
+
+
+def build_scenario(run: RunSpec):
+    """Cluster + model + per-VW plans for a scenario-kind ``run``.
+
+    Deterministic and memoized; the same spec always yields identical
+    (shared, immutable) objects.  Raises
+    :class:`~repro.errors.UnknownNameError` for unresolvable names and
+    :class:`~repro.errors.PartitionError` for infeasible deployments.
+    """
+    from repro.scenarios.generator import Scenario, materialize
+
+    sspec = run_to_scenario_spec(run)
+    if _is_fuzz_representable(run):
+        return materialize(sspec)
+    # Cache key: only what planning can observe — the cluster, model,
+    # calibration, and the pipeline's nm/allocation/planner/placement
+    # (placement gates validate_local_placement).  Everything else —
+    # seed, network model, fidelity, oracle suite, staleness bound,
+    # window sizes, push cadence, jitter — plays no part in building,
+    # so specs differing only in those share one entry (a sweep over
+    # fidelity, seeds, or measured_waves re-plans nothing); the derived
+    # ScenarioSpec is re-wrapped below with the requested run's fields.
+    canonical = replace(
+        run,
+        seed=0,
+        pipeline=replace(
+            run.pipeline,
+            d=0,
+            push_every_minibatch=False,
+            jitter=0.0,
+            warmup_waves=2,
+            measured_waves=8,
+        ),
+        network=NetworkSpec(),
+        fidelity=FidelitySpec(),
+        oracles="default",
+    )
+    built = _build_general_cached(canonical)
+    if built.spec == sspec:
+        return built
+    return Scenario(
+        spec=sspec, cluster=built.cluster, model=built.model, plans=built.plans
+    )
+
+
+@lru_cache(maxsize=64)
+def _build_general_cached(run: RunSpec):
+    """The registry-resolving build path (planning is the expensive part).
+
+    Keyed on the dedicated-network canonical spec: the network model
+    plays no part in planning (mirrors the generator's memoization).
+    """
+    from repro.allocation import allocate
+    from repro.models.profiler import Profiler
+    from repro.scenarios.generator import Scenario
+    from repro.wsp.placement import validate_local_placement
+
+    cluster = build_cluster(run.cluster)
+    model = build_model(run.model)
+    calibration = CALIBRATIONS.get(run.calibration)()
+    planner = PLANNERS.get(run.pipeline.planner)
+    assignment = allocate(cluster, run.pipeline.allocation)
+    profiler = Profiler(calibration)
+    plans = tuple(
+        planner(
+            model, vw, run.pipeline.nm, cluster.interconnect, calibration, profiler
+        )
+        for vw in assignment.virtual_workers
+    )
+    if run.pipeline.placement == "local":
+        validate_local_placement(plans)
+    return Scenario(
+        spec=run_to_scenario_spec(run), cluster=cluster, model=model, plans=plans
+    )
+
+
+def build_calibration(name: str):
+    """The :class:`~repro.models.calibration.Calibration` ``name`` maps to."""
+    return CALIBRATIONS.get(name)()

@@ -1,0 +1,172 @@
+"""Spec-driven execution: ``repro run`` / ``repro sweep`` behind one API.
+
+:func:`run` executes a single concrete :class:`RunSpec`:
+
+* ``kind="scenario"`` drives the spec through the full fuzz runner
+  (:func:`repro.scenarios.runner.run_scenario`) — invariant oracles,
+  differential bounds, 1F1B cross-check — and returns its
+  :class:`~repro.scenarios.runner.ScenarioResult`;
+* ``kind="experiment"`` regenerates a paper figure/table through the
+  experiment registry and returns the experiment's result object
+  (whatever the legacy subcommand would have printed via ``render()``).
+
+:func:`run_sweep` expands a spec's ``sweep`` grid and fans the points
+across worker processes with :func:`repro.exec.sweep_map` — the same
+executor the fuzz batches use, so results come back **in point order
+and bit-identical to a serial run**, each tagged with its point's
+``spec_hash``.  This is the CI-facing planner-search entry point: a
+grid over ``pipeline.planner`` / ``pipeline.nm`` (or any other spec
+field) runs anywhere ``repro`` runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.api.registry import EXPERIMENTS, MODELS
+from repro.api.spec import RunSpec, axis_assignments, expand_sweep
+from repro.errors import SpecError
+
+
+def run(spec: RunSpec, jobs: int | None = 1):
+    """Execute one concrete spec; see the module docstring for kinds."""
+    if spec.sweep is not None:
+        raise SpecError(
+            "spec has a sweep section; use run_sweep() / `repro sweep` for grids"
+        )
+    if spec.kind == "experiment":
+        experiment = spec.experiment
+        assert experiment is not None  # enforced by RunSpec validation
+        MODELS.get(experiment.model)  # typed miss before any work starts
+        return EXPERIMENTS.get(experiment.name)(experiment.model, jobs)
+    from repro.scenarios.runner import run_scenario
+
+    return run_scenario(spec)
+
+
+@dataclass(frozen=True)
+class SweepPointResult:
+    """One merged sweep point: provenance plus the headline outcome."""
+
+    index: int
+    spec_hash: str
+    label: str  # the swept axis assignments, e.g. "pipeline.planner=dp"
+    kind: str
+    ok: bool
+    summary: str  # one-line outcome (throughput/digest or render digest)
+    violations: tuple[str, ...] = ()
+
+    def describe(self) -> str:
+        status = "ok" if self.ok else f"FAIL({len(self.violations)})"
+        label = f" {self.label}" if self.label else ""
+        return f"[{self.index:>3} {status:>8}] spec={self.spec_hash[:12]}{label} -> {self.summary}"
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """All points of one grid, in expansion order."""
+
+    grid_hash: str
+    points: tuple[SweepPointResult, ...]
+
+    @property
+    def failures(self) -> tuple[SweepPointResult, ...]:
+        return tuple(p for p in self.points if not p.ok)
+
+    def summary_line(self) -> str:
+        return (
+            f"sweep: {len(self.points)} points, {len(self.failures)} failing "
+            f"(grid {self.grid_hash[:12]})"
+        )
+
+    def failure_lines(self) -> list[str]:
+        return [
+            f"  point {point.index}: {violation}"
+            for point in self.failures
+            for violation in point.violations
+        ]
+
+    def render(self) -> str:
+        lines = [self.summary_line()]
+        lines.extend(point.describe() for point in self.points)
+        lines.extend(self.failure_lines())
+        return "\n".join(lines)
+
+
+def _sweep_point(args: tuple[int, str, str]) -> SweepPointResult:
+    """Run one expanded point (the :func:`repro.exec.sweep_map` item).
+
+    Module-level and argument-pure — the point travels as canonical
+    JSON so worker processes rebuild it with full validation.  Errors
+    are contained per point: an infeasible deployment (PartitionError
+    on a too-deep Nm, say) is a normal planner-search outcome and must
+    fail its own point, not abort the grid.
+    """
+    from repro.errors import ReproError
+
+    index, point_json, label = args
+    point = RunSpec.from_json(point_json)
+    try:
+        if point.kind == "experiment":
+            import hashlib
+
+            rendered = run(point, jobs=1).render()
+            return SweepPointResult(
+                index=index,
+                spec_hash=point.spec_hash,
+                label=label,
+                kind=point.kind,
+                ok=True,
+                summary=f"render sha256 {hashlib.sha256(rendered.encode()).hexdigest()[:12]}",
+            )
+        result = run(point, jobs=1)
+        return SweepPointResult(
+            index=index,
+            spec_hash=point.spec_hash,
+            label=label,
+            kind=point.kind,
+            ok=result.ok,
+            summary=(
+                f"{result.throughput:8.1f} img/s, {result.events} events, "
+                f"digest {result.digest[:12]}"
+            ),
+            violations=tuple(result.violations),
+        )
+    except ReproError as exc:
+        return SweepPointResult(
+            index=index,
+            spec_hash=point.spec_hash,
+            label=label,
+            kind=point.kind,
+            ok=False,
+            summary="failed before producing a result",
+            violations=(f"{type(exc).__name__}: {exc}",),
+        )
+
+
+def run_sweep(
+    spec: RunSpec, jobs: int | None = 1, on_result=None
+) -> SweepResult:
+    """Expand ``spec``'s grid and run every point deterministically.
+
+    ``jobs`` fans points across worker processes (``None`` = one per
+    CPU); the merged results are in expansion order and bit-identical
+    to ``jobs=1`` — per-point ``spec_hash`` values are computed from the
+    canonical spec JSON, so they are stable across runs, hosts, and
+    worker counts.  ``on_result`` (e.g. ``print``-driven) receives each
+    :class:`SweepPointResult` in order as it merges.
+    """
+    from repro.exec import sweep_map
+
+    if spec.sweep is None:
+        raise SpecError("spec has no sweep section; use run() for single points")
+    points = expand_sweep(spec)
+    items = [
+        (index, point.to_json(indent=None), axis_assignments(spec, point))
+        for index, point in enumerate(points)
+    ]
+    callback = None
+    if on_result is not None:
+        callback = lambda i, result: on_result(result)  # noqa: E731
+    results = sweep_map(_sweep_point, items, jobs=jobs, on_result=callback)
+    return SweepResult(grid_hash=spec.spec_hash, points=tuple(results))

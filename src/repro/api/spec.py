@@ -1,0 +1,614 @@
+"""Typed, serializable run specifications (the ``hetpipe-spec/1`` schema).
+
+HetPipe's design space is a cross-product — cluster composition x
+partition planner x DP/WSP staleness bound x network model x fidelity —
+and every entry point used to re-plumb that space as ad-hoc kwargs.
+This module is the single declarative description of one point (or one
+grid) in that space:
+
+* :class:`ClusterSpec`, :class:`ModelSpec`, :class:`PipelineSpec`,
+  :class:`NetworkSpec`, :class:`FidelitySpec`, :class:`ExperimentSpec`,
+  and :class:`SweepSpec` are frozen section dataclasses, each validating
+  itself in ``__post_init__``;
+* :class:`RunSpec` composes them and adds the canonical JSON round-trip
+  (:meth:`RunSpec.to_json` / :meth:`RunSpec.from_json`) and a stable
+  :attr:`RunSpec.spec_hash` — the sha256 of the canonical form, so a
+  hash identifies *the configuration*, independent of key order or
+  formatting in the file it came from;
+* :func:`expand_sweep` turns a spec with a ``sweep`` section into the
+  ordered list of concrete points (cartesian product, later axes vary
+  fastest), each carrying its own ``spec_hash``.
+
+Name *resolution* (model builders, calibrations, planners, interconnect
+profiles) deliberately does not happen here: this module validates
+structure and closed literal sets only, so a spec file can be parsed,
+hashed, and diffed without importing any heavy machinery.  Names are
+resolved against :mod:`repro.api.registry` at build time, where an
+unknown name raises :class:`repro.errors.UnknownNameError` listing the
+available entries.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field, fields, replace
+from typing import Any
+
+from repro.errors import SpecError
+
+#: Schema tag written into every serialized spec and folded into
+#: ``spec_hash``.  Bump on layout changes so hashes from different
+#: schemas can never collide silently.
+SPEC_SCHEMA = "hetpipe-spec/1"
+
+#: Closed literal sets (validated structurally; everything open-ended —
+#: model names, calibrations, planners, profiles — is a registry lookup
+#: at build time instead).
+ALLOCATION_POLICIES = ("NP", "ED", "HD")
+PLACEMENT_POLICIES = ("default", "local")
+NETWORK_MODELS = ("dedicated", "shared")
+FIDELITIES = ("full", "fast_forward")
+RUN_KINDS = ("scenario", "experiment")
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise SpecError(message)
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A paper-style testbed: one GPU type per node, N GPUs each.
+
+    ``node_codes`` is one Table-1 catalog letter per node (e.g.
+    ``"VRGQ"``); ``profile`` names an interconnect calibration profile
+    (resolved via :data:`repro.api.registry.PROFILES`).
+    """
+
+    node_codes: str = "VRGQ"
+    gpus_per_node: int = 4
+    profile: str = "grpc_tf112"
+
+    def __post_init__(self) -> None:
+        _require(
+            isinstance(self.node_codes, str) and len(self.node_codes) >= 1,
+            f"cluster.node_codes must be a non-empty string, got {self.node_codes!r}",
+        )
+        _require(
+            isinstance(self.gpus_per_node, int) and self.gpus_per_node >= 1,
+            f"cluster.gpus_per_node must be an int >= 1, got {self.gpus_per_node!r}",
+        )
+        _require(
+            isinstance(self.profile, str) and bool(self.profile),
+            f"cluster.profile must be a non-empty string, got {self.profile!r}",
+        )
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """A workload: either a catalog model by name, or a synthetic chain.
+
+    With only ``name`` set, the name is resolved against
+    :data:`repro.api.registry.MODELS` at build time ("vgg19",
+    "resnet152", ...).  With the synthetic knobs set (all four of
+    ``batch_size``, ``image_size``, ``conv_widths``, ``fc_dims``), the
+    fuzz generator's conv->pool->fc chain builder is used instead and
+    ``name`` is just a label.
+    """
+
+    name: str
+    batch_size: int | None = None
+    image_size: int | None = None
+    conv_widths: tuple[int, ...] = ()
+    fc_dims: tuple[int, ...] = ()
+
+    @property
+    def is_synthetic(self) -> bool:
+        return bool(self.conv_widths)
+
+    def __post_init__(self) -> None:
+        _require(
+            isinstance(self.name, str) and bool(self.name),
+            f"model.name must be a non-empty string, got {self.name!r}",
+        )
+        object.__setattr__(self, "conv_widths", tuple(self.conv_widths))
+        object.__setattr__(self, "fc_dims", tuple(self.fc_dims))
+        synthetic_knobs = (
+            self.batch_size is not None,
+            self.image_size is not None,
+            bool(self.conv_widths),
+        )
+        _require(
+            not (self.fc_dims and not any(synthetic_knobs)),
+            "model: fc_dims without the other synthetic knobs "
+            "(batch_size, image_size, conv_widths) names no model",
+        )
+        if any(synthetic_knobs):
+            _require(
+                all(synthetic_knobs),
+                "model: a synthetic chain needs batch_size, image_size, and "
+                "conv_widths together (only some were given); a catalog model "
+                "takes just a name",
+            )
+            _require(
+                isinstance(self.batch_size, int) and self.batch_size >= 1,
+                f"model.batch_size must be an int >= 1, got {self.batch_size!r}",
+            )
+            _require(
+                isinstance(self.image_size, int) and self.image_size >= 1,
+                f"model.image_size must be an int >= 1, got {self.image_size!r}",
+            )
+            for label, dims in (("conv_widths", self.conv_widths), ("fc_dims", self.fc_dims)):
+                _require(
+                    all(isinstance(d, int) and d >= 1 for d in dims),
+                    f"model.{label} must contain ints >= 1, got {dims!r}",
+                )
+
+
+@dataclass(frozen=True)
+class PipelineSpec:
+    """Pipeline-parallel + WSP knobs for one deployment."""
+
+    nm: int | None = None  # None = pick analytically (experiments only)
+    d: int = 0
+    allocation: str = "ED"
+    placement: str = "default"
+    planner: str = "dp"
+    push_every_minibatch: bool = False
+    jitter: float = 0.0
+    warmup_waves: int = 2
+    measured_waves: int = 8
+
+    def __post_init__(self) -> None:
+        _require(
+            self.nm is None or (isinstance(self.nm, int) and self.nm >= 1),
+            f"pipeline.nm must be an int >= 1 or null, got {self.nm!r}",
+        )
+        _require(
+            isinstance(self.d, int) and self.d >= 0,
+            f"pipeline.d must be an int >= 0, got {self.d!r}",
+        )
+        _require(
+            self.allocation in ALLOCATION_POLICIES,
+            f"pipeline.allocation must be one of {list(ALLOCATION_POLICIES)}, "
+            f"got {self.allocation!r}",
+        )
+        _require(
+            self.placement in PLACEMENT_POLICIES,
+            f"pipeline.placement must be one of {list(PLACEMENT_POLICIES)}, "
+            f"got {self.placement!r}",
+        )
+        _require(
+            isinstance(self.planner, str) and bool(self.planner),
+            f"pipeline.planner must be a non-empty string, got {self.planner!r}",
+        )
+        _require(
+            isinstance(self.jitter, (int, float)) and 0.0 <= float(self.jitter) < 1.0,
+            f"pipeline.jitter must be in [0, 1), got {self.jitter!r}",
+        )
+        object.__setattr__(self, "jitter", float(self.jitter))
+        _require(
+            isinstance(self.warmup_waves, int) and self.warmup_waves >= 1,
+            f"pipeline.warmup_waves must be an int >= 1, got {self.warmup_waves!r}",
+        )
+        _require(
+            isinstance(self.measured_waves, int) and self.measured_waves >= 1,
+            f"pipeline.measured_waves must be an int >= 1, got {self.measured_waves!r}",
+        )
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Communication model: historical private links or the shared fabric."""
+
+    model: str = "dedicated"
+
+    def __post_init__(self) -> None:
+        _require(
+            self.model in NETWORK_MODELS,
+            f"network.model must be one of {list(NETWORK_MODELS)}, got {self.model!r}",
+        )
+
+
+@dataclass(frozen=True)
+class FidelitySpec:
+    """Simulation fidelity contract for the run."""
+
+    fidelity: str = "full"
+    verify_equivalence: bool | None = None
+    waves_scale: int = 1
+
+    def __post_init__(self) -> None:
+        _require(
+            self.fidelity in FIDELITIES,
+            f"fidelity.fidelity must be one of {list(FIDELITIES)}, got {self.fidelity!r}",
+        )
+        _require(
+            self.verify_equivalence is None or isinstance(self.verify_equivalence, bool),
+            f"fidelity.verify_equivalence must be true/false/null, "
+            f"got {self.verify_equivalence!r}",
+        )
+        _require(
+            isinstance(self.waves_scale, int) and self.waves_scale >= 1,
+            f"fidelity.waves_scale must be an int >= 1, got {self.waves_scale!r}",
+        )
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A paper figure/table regeneration, by registry name."""
+
+    name: str
+    model: str = "vgg19"
+
+    def __post_init__(self) -> None:
+        _require(
+            isinstance(self.name, str) and bool(self.name),
+            f"experiment.name must be a non-empty string, got {self.name!r}",
+        )
+        _require(
+            isinstance(self.model, str) and bool(self.model),
+            f"experiment.model must be a non-empty string, got {self.model!r}",
+        )
+
+
+@dataclass(frozen=True)
+class SweepAxis:
+    """One grid axis: a dotted field path and the values it sweeps."""
+
+    path: str
+    values: tuple[Any, ...]
+
+    def __post_init__(self) -> None:
+        _require(
+            isinstance(self.path, str) and bool(self.path),
+            f"sweep axis path must be a non-empty string, got {self.path!r}",
+        )
+        object.__setattr__(self, "values", tuple(self.values))
+        _require(
+            len(self.values) >= 1,
+            f"sweep axis {self.path!r} needs at least one value",
+        )
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A grid over a base :class:`RunSpec` (cartesian product of axes)."""
+
+    axes: tuple[SweepAxis, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "axes", tuple(self.axes))
+        _require(len(self.axes) >= 1, "sweep.axes must list at least one axis")
+        paths = [axis.path for axis in self.axes]
+        _require(
+            len(set(paths)) == len(paths),
+            f"sweep.axes paths must be unique, got {paths}",
+        )
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One fully-described run (or, with ``sweep`` set, a grid of them)."""
+
+    kind: str = "scenario"
+    seed: int = 0
+    cluster: ClusterSpec = field(default_factory=ClusterSpec)
+    model: ModelSpec | None = None
+    pipeline: PipelineSpec = field(default_factory=PipelineSpec)
+    network: NetworkSpec = field(default_factory=NetworkSpec)
+    fidelity: FidelitySpec = field(default_factory=FidelitySpec)
+    calibration: str = "default"
+    oracles: str = "default"
+    experiment: ExperimentSpec | None = None
+    sweep: SweepSpec | None = None
+
+    def __post_init__(self) -> None:
+        _require(
+            self.kind in RUN_KINDS,
+            f"kind must be one of {list(RUN_KINDS)}, got {self.kind!r}",
+        )
+        _require(
+            isinstance(self.seed, int) and self.seed >= 0,
+            f"seed must be an int >= 0, got {self.seed!r}",
+        )
+        _require(
+            isinstance(self.calibration, str) and bool(self.calibration),
+            f"calibration must be a non-empty string, got {self.calibration!r}",
+        )
+        _require(
+            isinstance(self.oracles, str) and bool(self.oracles),
+            f"oracles must be a non-empty string, got {self.oracles!r}",
+        )
+        if self.kind == "scenario":
+            _require(
+                self.model is not None,
+                "a scenario spec needs a model section",
+            )
+            _require(
+                self.experiment is None,
+                "a scenario spec cannot carry an experiment section",
+            )
+            # Sweep grids may leave nm to be filled by an axis; concrete
+            # scenario points are checked again at build time.
+            if self.sweep is None:
+                _require(
+                    self.pipeline.nm is not None,
+                    "a scenario spec needs a concrete pipeline.nm "
+                    "(analytic selection is an experiment-level feature)",
+                )
+        else:
+            _require(
+                self.experiment is not None,
+                "an experiment spec needs an experiment section",
+            )
+
+    # ------------------------------------------------------------------
+    # canonical serialization
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-JSON-types dict, schema tag included (tuples -> lists)."""
+        payload = _asdict_plain(self)
+        payload["schema"] = SPEC_SCHEMA
+        return payload
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """Canonical JSON: sorted keys, deterministic formatting."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent) + (
+            "\n" if indent is not None else ""
+        )
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "RunSpec":
+        """Parse and validate; unknown or ill-typed keys raise
+        :class:`~repro.errors.SpecError` with the offending path."""
+        if not isinstance(data, dict):
+            raise SpecError(f"spec root must be a JSON object, got {type(data).__name__}")
+        data = dict(data)
+        schema = data.pop("schema", SPEC_SCHEMA)
+        if schema != SPEC_SCHEMA:
+            raise SpecError(
+                f"spec schema {schema!r} is not supported; expected {SPEC_SCHEMA!r}"
+            )
+        return _section_from_dict(cls, data, path="")
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunSpec":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SpecError(f"spec is not valid JSON: {exc}") from None
+        return cls.from_dict(data)
+
+    @property
+    def spec_hash(self) -> str:
+        """sha256 of the schema tag + canonical compact JSON.
+
+        Invariant under key order and formatting of the source file;
+        changes whenever any field that affects behavior changes.
+        """
+        canonical = json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# dict <-> dataclass plumbing
+# ----------------------------------------------------------------------
+
+#: RunSpec fields that hold a nested section dataclass (or None).
+_SECTION_TYPES: dict[str, type] = {
+    "cluster": ClusterSpec,
+    "model": ModelSpec,
+    "pipeline": PipelineSpec,
+    "network": NetworkSpec,
+    "fidelity": FidelitySpec,
+    "experiment": ExperimentSpec,
+    "sweep": SweepSpec,
+}
+
+#: Sections that may be null / absent.
+_OPTIONAL_SECTIONS = {"model", "experiment", "sweep"}
+
+
+def _asdict_plain(value: Any) -> Any:
+    if dataclasses.is_dataclass(value):
+        return {
+            f.name: _asdict_plain(getattr(value, f.name))
+            for f in fields(value)
+        }
+    if isinstance(value, (list, tuple)):
+        return [_asdict_plain(v) for v in value]
+    return value
+
+
+def _section_from_dict(cls: type, data: Any, path: str) -> Any:
+    """Build dataclass ``cls`` from ``data``, rejecting unknown keys."""
+    label = path or "spec"
+    if not isinstance(data, dict):
+        raise SpecError(f"{label} must be a JSON object, got {type(data).__name__}")
+    known = {f.name for f in fields(cls)}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise SpecError(
+            f"{label} has unknown key(s) {unknown}; known keys: {sorted(known)}"
+        )
+    kwargs: dict[str, Any] = {}
+    for f in fields(cls):
+        if f.name not in data:
+            continue
+        raw = data[f.name]
+        child = f"{path}.{f.name}" if path else f.name
+        if cls is RunSpec and f.name in _SECTION_TYPES:
+            if raw is None:
+                if f.name not in _OPTIONAL_SECTIONS:
+                    raise SpecError(f"{child} cannot be null")
+                kwargs[f.name] = None
+            elif f.name == "cluster" and isinstance(raw, str):
+                # preset sugar: `"cluster": "paper"` resolves through the
+                # CLUSTERS registry to a full ClusterSpec, so the
+                # canonical (serialized, hashed) form always carries the
+                # resolved fields
+                from repro.api.registry import CLUSTERS
+
+                kwargs[f.name] = CLUSTERS.get(raw)
+            else:
+                kwargs[f.name] = _section_from_dict(_SECTION_TYPES[f.name], raw, child)
+        elif cls is SweepSpec and f.name == "axes":
+            if not isinstance(raw, list):
+                raise SpecError(f"{child} must be a JSON array of axis objects")
+            kwargs[f.name] = tuple(
+                _section_from_dict(SweepAxis, axis, f"{child}[{i}]")
+                for i, axis in enumerate(raw)
+            )
+        elif isinstance(raw, list):
+            kwargs[f.name] = tuple(
+                tuple(v) if isinstance(v, list) else v for v in raw
+            )
+        elif isinstance(raw, bool) or raw is None or isinstance(raw, (int, float, str)):
+            kwargs[f.name] = raw
+        else:
+            raise SpecError(
+                f"{child} has unsupported JSON type {type(raw).__name__}"
+            )
+    try:
+        return cls(**kwargs)
+    except SpecError:
+        raise
+    except TypeError as exc:
+        raise SpecError(f"{label}: {exc}") from None
+
+
+# ----------------------------------------------------------------------
+# sweep expansion
+# ----------------------------------------------------------------------
+
+
+def _set_field(spec: RunSpec, path: str, value: Any) -> RunSpec:
+    """``replace`` along a dotted path ("pipeline.nm", "seed", ...)."""
+    parts = path.split(".")
+    if len(parts) == 1:
+        (name,) = parts
+        scalars = sorted(
+            f.name for f in fields(RunSpec)
+            if f.name != "sweep" and f.name not in _SECTION_TYPES
+        )
+        if name in _SECTION_TYPES:
+            # A raw JSON object would bypass the section dataclass's
+            # validation entirely; axes address leaves, not sections.
+            raise SpecError(
+                f"sweep axis path {path!r} names a whole section; sweep a "
+                f"leaf field instead (e.g. {name!r}.<field>)"
+            )
+        if name not in scalars:
+            raise SpecError(
+                f"sweep axis path {path!r} is not a settable RunSpec field; "
+                f"top-level fields: {scalars}"
+            )
+        return replace(spec, **{name: value})
+    if len(parts) == 2:
+        section_name, leaf = parts
+        section_type = _SECTION_TYPES.get(section_name)
+        if section_type is None:
+            raise SpecError(
+                f"sweep axis path {path!r} does not name a RunSpec section; "
+                f"sections: {sorted(_SECTION_TYPES)}"
+            )
+        section = getattr(spec, section_name)
+        if section is None:
+            raise SpecError(
+                f"sweep axis path {path!r} targets the absent {section_name!r} section"
+            )
+        if leaf not in {f.name for f in fields(section_type)}:
+            raise SpecError(
+                f"sweep axis path {path!r}: {section_name} has no field {leaf!r}; "
+                f"fields: {sorted(f.name for f in fields(section_type))}"
+            )
+        if isinstance(value, list):
+            value = tuple(value)
+        return replace(spec, **{section_name: replace(section, **{leaf: value})})
+    raise SpecError(f"sweep axis path {path!r} nests too deep (max section.field)")
+
+
+def expand_sweep(spec: RunSpec) -> list[RunSpec]:
+    """The ordered concrete points of a sweep grid.
+
+    Cartesian product of the axes in declaration order, later axes
+    varying fastest; each point is the base spec (``sweep`` cleared)
+    with the axis fields replaced, re-validated by construction.  A
+    spec without a ``sweep`` section expands to itself.
+    """
+    if spec.sweep is None:
+        return [spec]
+    points = [spec]
+    for axis in spec.sweep.axes:
+        points = [
+            _set_field(point, axis.path, value)
+            for point in points
+            for value in axis.values
+        ]
+    # Clear ``sweep`` only after the axes are applied: the grid form is
+    # allowed to leave axis-filled fields (e.g. a scenario's
+    # ``pipeline.nm``) unset, and the concrete-point validation must see
+    # the filled values, not the base's placeholders.
+    return [replace(point, sweep=None) for point in points]
+
+
+def fidelity_mode(fidelity: "str | FidelitySpec", caller: str) -> str:
+    """Resolve a ``fidelity`` argument that may be typed or legacy.
+
+    The canonical form is a :class:`FidelitySpec` (or a whole
+    :class:`RunSpec` upstream); a bare non-default string still works as
+    a shim but emits a :class:`DeprecationWarning` naming ``caller``.
+    The default ``"full"`` string stays silent — it is the absence of
+    the knob, not a use of the legacy surface.
+
+    The standalone measurement surfaces honor only the ``fidelity``
+    field (they have no equivalence twin and scale their own windows in
+    minibatches), so a spec carrying ``waves_scale`` or
+    ``verify_equivalence`` is rejected rather than silently truncated.
+    """
+    if isinstance(fidelity, FidelitySpec):
+        unsupported = [
+            name
+            for name, is_set in (
+                ("waves_scale", fidelity.waves_scale != 1),
+                ("verify_equivalence", fidelity.verify_equivalence is not None),
+            )
+            if is_set
+        ]
+        if unsupported:
+            raise SpecError(
+                f"{caller} honors only FidelitySpec.fidelity; "
+                f"{', '.join(unsupported)} has no effect here — drive the "
+                f"run from a full RunSpec for those knobs"
+            )
+        return fidelity.fidelity
+    if fidelity != "full":
+        import warnings
+
+        warnings.warn(
+            f"passing fidelity={fidelity!r} directly to {caller} is "
+            f"deprecated; pass a repro.api.FidelitySpec (or drive the run "
+            f"from a RunSpec)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+    return fidelity
+
+
+def axis_assignments(spec: RunSpec, point: RunSpec) -> str:
+    """Human label for one point: ``path=value`` per swept axis."""
+    if spec.sweep is None:
+        return ""
+    parts = []
+    for axis in spec.sweep.axes:
+        value: Any = point
+        for name in axis.path.split("."):
+            value = getattr(value, name)
+        parts.append(f"{axis.path}={value}")
+    return " ".join(parts)

@@ -12,12 +12,26 @@ shared fabric (see :mod:`repro.netsim`).  ``bench`` times the hot paths
 ``BENCH_sweep.json`` — the tracked perf baseline (see
 :mod:`repro.exec.bench`).
 
+``run`` and ``sweep`` are the declarative entries (see
+:mod:`repro.api`): ``repro run spec.json`` executes one typed
+:class:`~repro.api.spec.RunSpec` — a figure regeneration or a single
+oracle-checked scenario — and ``repro sweep grid.json`` expands a
+spec's sweep section into its cartesian grid and runs every point,
+tagged with its ``spec_hash``.  Checked-in spec files live under
+``examples/specs/``.
+
 Multi-scenario commands accept ``--jobs N`` and fan their independent
 work items across worker processes through :mod:`repro.exec`; output is
 bit-identical to a serial run.  Experiment modules import lazily, per
 subcommand: ``repro fuzz`` / ``repro bench`` startup is itself part of
 the tracked benchmark, so it must not pay for NumPy and the numeric
 trainers it never uses.
+
+Exit codes are uniform: 0 success, 1 findings (fuzz violations, failing
+sweep points, perf regressions), 2 bad configuration — malformed specs
+(:class:`~repro.errors.SpecError`) and unknown registry names
+(:class:`~repro.errors.UnknownNameError`, which lists what exists)
+print one actionable line to stderr instead of a traceback.
 """
 
 from __future__ import annotations
@@ -194,13 +208,66 @@ def build_parser() -> argparse.ArgumentParser:
         "--top", type=_positive_int, default=8,
         help="how many congested resources to list (default: 8)",
     )
+    p = sub.add_parser(
+        "run",
+        help="execute one declarative RunSpec JSON file (see examples/specs/)",
+    )
+    p.add_argument("spec", metavar="SPEC.json", help="path to a RunSpec file")
+    p.add_argument(
+        "--jobs", type=_positive_int, default=1, metavar="N",
+        help="worker processes for experiment-kind specs (a scenario "
+        "spec is one deterministic simulation and always runs serially)",
+    )
+    p = sub.add_parser(
+        "sweep",
+        help="expand a RunSpec's sweep grid and run every point "
+        "(in-order results, per-point spec_hash)",
+    )
+    p.add_argument("spec", metavar="GRID.json", help="path to a RunSpec file with a sweep section")
+    p.add_argument(
+        "--jobs", type=_positive_int, default=1, metavar="N",
+        help="worker processes for the grid (default: 1; results are "
+        "bit-identical to --jobs 1)",
+    )
+    p.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the per-point progress lines (summary only)",
+    )
     p = sub.add_parser("all", help="run every experiment (slow)")
     _add_jobs_arg(p)
     return parser
 
 
+def _load_spec(path: str):
+    """Parse a RunSpec file; misses and malformations exit 2 upstream."""
+    from repro.api.spec import RunSpec
+    from repro.errors import SpecError
+
+    try:
+        with open(path) as fh:
+            text = fh.read()
+    except OSError as exc:
+        raise SpecError(f"cannot read spec file {path!r}: {exc}") from None
+    return RunSpec.from_json(text)
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    from repro.errors import ConfigurationError, PartitionError
+
+    try:
+        return _dispatch(args)
+    except (ConfigurationError, PartitionError) as exc:
+        # Typed configuration errors — malformed specs (SpecError),
+        # unknown registry names (UnknownNameError, which lists the
+        # available entries), inconsistent clusters, infeasible
+        # deployments: one actionable line, exit code 2 — never a raw
+        # traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _dispatch(args) -> int:
     # Every experiment import happens inside its branch: `repro fuzz` and
     # `repro bench` must start without touching NumPy or the experiment
     # harnesses (their startup is part of the tracked benchmark).
@@ -275,6 +342,33 @@ def main(argv: list[str] | None = None) -> int:
                 top=args.top,
             ).render()
         )
+    elif args.command == "run":
+        from repro.api.run import run
+
+        spec = _load_spec(args.spec)
+        result = run(spec, jobs=args.jobs)
+        if spec.kind == "experiment":
+            print(result.render())
+            return 0
+        print(result.describe())
+        if result.violations:
+            for violation in result.violations:
+                print(f"  - {violation}")
+            return 1
+        return 0
+    elif args.command == "sweep":
+        from repro.api.run import run_sweep
+
+        spec = _load_spec(args.spec)
+        on_result = None if args.quiet else (lambda point: print(point.describe()))
+        result = run_sweep(spec, jobs=args.jobs, on_result=on_result)
+        print(result.summary_line())
+        if args.quiet:  # the per-point lines were suppressed above
+            for point in result.failures:
+                print(point.describe())
+        for line in result.failure_lines():
+            print(line)
+        return 1 if result.failures else 0
     elif args.command == "all":
         from repro.experiments import (
             run_ablations,

@@ -56,5 +56,31 @@ class MemoryCapacityError(ReproError):
     """A device was asked to hold more bytes than its capacity."""
 
 
+class SpecError(ConfigurationError):
+    """A declarative run spec (:mod:`repro.api.spec`) is malformed.
+
+    Raised while parsing/validating ``RunSpec`` JSON: unknown keys,
+    ill-typed values, missing required sections, or invalid sweep axis
+    paths.  The message always names the offending field path and, where
+    a closed set exists, the accepted values.  The CLI maps this (and
+    :class:`UnknownNameError`) to exit code 2."""
+
+
+class UnknownNameError(ConfigurationError):
+    """A registry lookup (:mod:`repro.api.registry`) missed.
+
+    Carries the registry kind, the requested name, and the sorted list
+    of available names, so callers — the CLI in particular — can print
+    an actionable message instead of a raw ``KeyError`` traceback."""
+
+    def __init__(self, kind: str, name: str, available: "list[str]") -> None:
+        self.kind = kind
+        self.name = name
+        self.available = sorted(available)
+        super().__init__(
+            f"unknown {kind} {name!r}; available: {', '.join(self.available) or '(none)'}"
+        )
+
+
 class ConvergenceError(ReproError):
     """A training run failed to reach its target accuracy in budget."""

@@ -25,8 +25,12 @@ from typing import Any, Callable
 #: Bump when the JSON layout changes.  /2 adds per-mode fuzz event
 #: counts (events_simulated / events_fast_forwarded), the
 #: ``fuzz_fast_forward`` metric, and the long-horizon full-vs-coalesced
-#: pair demonstrating the asymptotic event-count reduction.
-SCHEMA = "hetpipe-bench/2"
+#: pair demonstrating the asymptotic event-count reduction.  /3 adds
+#: provenance: the top-level ``spec_schema`` (the RunSpec schema every
+#: fuzz scenario is constructed under) and a ``spec_hash`` per fuzz
+#: metric — the sha256 over the batch's per-seed RunSpec hashes, so a
+#: perf artifact is traceable to the exact configurations it timed.
+SCHEMA = "hetpipe-bench/3"
 
 #: Default benchmark sizes: full mode tracks the acceptance workload
 #: (100 seeds); quick mode stays in CI-smoke territory.
@@ -133,9 +137,20 @@ def _clear_scenario_caches() -> None:
     clear_plan_cache()
 
 
+def _batch_spec_hash(report) -> str:
+    """One provenance hash for a fuzz batch: sha256 over the per-seed
+    RunSpec hashes, in seed order.  Stable across hosts and ``--jobs``
+    counts; changes exactly when any scenario's configuration does."""
+    import hashlib
+
+    return hashlib.sha256(
+        "".join(result.spec_hash for result in report.results).encode()
+    ).hexdigest()
+
+
 def bench_fuzz(
     seeds: int, jobs: int | None = None, fidelity: str = "full"
-) -> dict[str, float]:
+) -> dict[str, Any]:
     """Fuzz throughput over ``seeds`` scenarios (the headline metric).
 
     ``fidelity="fast_forward"`` measures the coalescing engine itself:
@@ -159,6 +174,7 @@ def bench_fuzz(
         "violations": float(report.total_violations),
         "events_simulated": float(report.events_simulated),
         "events_fast_forwarded": float(report.events_fast_forwarded),
+        "spec_hash": _batch_spec_hash(report),
     }
 
 
@@ -216,6 +232,7 @@ def bench_fuzz_long_horizon(
         "fast_forward_events_coalesced": float(ff.events_fast_forwarded),
         "speedup": full_seconds / ff_seconds if ff_seconds > 0 else 0.0,
         "violations": float(full.total_violations + ff.total_violations),
+        "spec_hash": _batch_spec_hash(full),
     }
 
 
@@ -258,8 +275,11 @@ def run_bench(
     if not skip_experiments:
         metrics["experiments"] = bench_experiments(quick, jobs=jobs)
 
+    from repro.api.spec import SPEC_SCHEMA
+
     return {
         "schema": SCHEMA,
+        "spec_schema": SPEC_SCHEMA,
         "quick": quick,
         "python": platform.python_version(),
         "platform": platform.platform(),

@@ -11,21 +11,17 @@ every virtual worker uses the same value", §8.3).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Sequence
 
 from repro.allocation import VirtualWorkerAssignment, allocate
+from repro.api.registry import MODELS
 from repro.cluster import Cluster, paper_cluster
 from repro.cluster.gpu import GPUDevice
 from repro.errors import PartitionError
-from repro.models import ModelGraph, build_resnet152, build_vgg19
+from repro.models import ModelGraph
 from repro.models.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.models.profiler import Profiler
 from repro.partition import PartitionPlan, max_feasible_nm, plan_virtual_worker
-
-MODELS: dict[str, Callable[[], ModelGraph]] = {
-    "vgg19": build_vgg19,
-    "resnet152": build_resnet152,
-}
 
 #: MLP architecture for the numeric convergence experiments.
 EXPERIMENT_MODEL_DIMS = [24, 64, 32, 8]
@@ -43,7 +39,12 @@ MAX_NM = 7
 
 
 def build_model(name: str) -> ModelGraph:
-    return MODELS[name]()
+    """The named workload, via the API's model registry.
+
+    Unknown names raise :class:`~repro.errors.UnknownNameError` listing
+    the registered models (the CLI maps that to exit code 2).
+    """
+    return MODELS.get(name)()
 
 
 def fig3_virtual_workers(cluster: Cluster) -> dict[str, list[GPUDevice]]:

@@ -18,6 +18,7 @@ from repro.partition.planner import (
     max_feasible_nm,
     plan_cache_stats,
     plan_virtual_worker,
+    plan_virtual_worker_bnb,
 )
 
 __all__ = [
@@ -28,6 +29,7 @@ __all__ = [
     "max_feasible_nm",
     "plan_cache_stats",
     "plan_virtual_worker",
+    "plan_virtual_worker_bnb",
     "solve_bnb",
     "solve_boundaries",
 ]

@@ -161,6 +161,39 @@ def plan_virtual_worker(
     return best[3]
 
 
+def plan_virtual_worker_bnb(
+    model: ModelGraph,
+    gpus: Sequence[GPUDevice],
+    nm: int,
+    interconnect: InterconnectSpec,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+    profiler: Profiler | None = None,
+) -> PartitionPlan:
+    """Partition plan from the branch-and-bound cross-check solver.
+
+    Natural GPU order only (the B&B exists to cross-check the DP, and
+    the registry exposes it as the ``"bnb"`` planner so sweeps can
+    compare solvers on identical orderings).  Produces the same
+    bottleneck period as the DP on every feasible input — the planner
+    sweep's built-in differential check.
+    """
+    if not gpus:
+        raise PartitionError("virtual worker has no GPUs")
+    from repro.partition.bnb import solve_bnb
+
+    profiler = profiler or Profiler(calibration)
+    evaluator = StageEvaluator(
+        model, tuple(gpus), nm, interconnect, calibration, profiler
+    )
+    boundaries, _ = solve_bnb(evaluator)
+    if boundaries is None:
+        raise PartitionError(
+            f"no feasible partition of {model.name} across "
+            f"[{', '.join(str(g) for g in gpus)}] at Nm={nm} (bnb)"
+        )
+    return _plan_from_boundaries(evaluator, boundaries, nm, model)
+
+
 def max_feasible_nm(
     model: ModelGraph,
     gpus: Sequence[GPUDevice],

@@ -15,6 +15,7 @@ from repro.scenarios.generator import (
     ScenarioSpec,
     build_fuzz_model,
     congested_fabric_spec,
+    generate_run_spec,
     generate_scenario,
     materialize,
 )
@@ -32,6 +33,7 @@ __all__ = [
     "ScenarioSpec",
     "build_fuzz_model",
     "congested_fabric_spec",
+    "generate_run_spec",
     "generate_scenario",
     "materialize",
     "run_fuzz",

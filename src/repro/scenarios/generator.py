@@ -70,6 +70,28 @@ class ScenarioSpec:
     #: congested topology drawn deterministically from the seed)
     network_model: str = "dedicated"
 
+    def to_run_spec(
+        self,
+        fidelity: str = "full",
+        verify_equivalence: bool | None = None,
+        waves_scale: int = 1,
+    ):
+        """Lift this scenario into the typed API's :class:`RunSpec`.
+
+        The RunSpec is the canonical interchange form: the fuzz runner
+        reconstructs an identical ``ScenarioSpec`` from it (see
+        :func:`repro.api.build.run_to_scenario_spec`), so a seed's run —
+        digest included — is bit-identical through either entry.
+        """
+        from repro.api.build import scenario_spec_to_run
+
+        return scenario_spec_to_run(
+            self,
+            fidelity=fidelity,
+            verify_equivalence=verify_equivalence,
+            waves_scale=waves_scale,
+        )
+
     def describe(self) -> str:
         return (
             f"seed={self.seed} cluster={self.node_codes}x{self.gpus_per_node} "
@@ -245,6 +267,17 @@ def _shrunk(spec: ScenarioSpec) -> ScenarioSpec:
         conv_widths=tuple(max(8, w // 2) for w in spec.conv_widths),
         fc_dims=tuple(max(32, f // 2) for f in spec.fc_dims),
     )
+
+
+def generate_run_spec(seed: int):
+    """The typed :class:`~repro.api.spec.RunSpec` for ``seed``.
+
+    Same draw-and-repair procedure as :func:`generate_scenario` (the
+    materialized objects are shared through the same memoization), but
+    the emitted value is the declarative API form — serializable,
+    hashable (``spec_hash``), and runnable via ``repro run``.
+    """
+    return generate_scenario(seed).spec.to_run_spec()
 
 
 def generate_scenario(seed: int) -> Scenario:

@@ -21,14 +21,23 @@ attached, then closes with three independent verdicts:
 
 Every run is deterministic; :class:`ScenarioResult.digest` hashes the
 full trace so replays can be compared bit-for-bit.
+
+Scenarios are canonically described by a typed
+:class:`~repro.api.spec.RunSpec` — :func:`run_scenario` accepts one
+directly (legacy :class:`ScenarioSpec` inputs are lifted into one), the
+fuzz driver constructs one per seed, and every result records the
+spec's ``spec_hash`` so any artifact is traceable to, and replayable
+from, its exact configuration (``repro run <spec.json>``).
 """
 
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Iterable, Sequence
 
+from repro.api.build import build_scenario
+from repro.api.spec import SPEC_SCHEMA, FidelitySpec, RunSpec
 from repro.errors import InvariantViolation, ReproError, SimulationError
 from repro.netsim.fabric import DEFAULT_FABRIC_SPEC, FabricSpec
 from repro.pipeline.one_f_one_b import OneFOneBPipeline
@@ -37,12 +46,11 @@ from repro.scenarios.generator import (
     ScenarioSpec,
     congested_fabric_spec,
     generate_scenario,
-    materialize,
 )
 from repro.sim.engine import Simulator
 from repro.sim.equivalence import compare_fingerprints, semantic_fingerprint
 from repro.sim.fastforward import run_pipeline_fast_forward, validate_fidelity
-from repro.sim.invariants import OneFOneBOracle, StalenessOracle, default_oracles
+from repro.sim.invariants import OneFOneBOracle, StalenessOracle
 from repro.sim.trace import Trace
 from repro.training.envelopes import (
     pipeline_rate_bound,
@@ -90,6 +98,12 @@ class ScenarioResult:
     #: whether the full-fidelity twin ran and the semantic fingerprints
     #: were compared (fast_forward runs only)
     equivalence_checked: bool = False
+    #: hash of the canonical RunSpec the scenario was constructed from
+    #: (every fuzz seed runs through the typed API), so any artifact
+    #: carrying this result is traceable to its exact configuration
+    spec_hash: str = ""
+    #: the spec schema the hash was computed under
+    api_schema: str = SPEC_SCHEMA
 
     @property
     def ok(self) -> bool:
@@ -104,6 +118,8 @@ class ScenarioResult:
         )
         if self.fidelity != "full":
             line += f" ff={self.events_fast_forwarded}"
+        if self.spec_hash:
+            line += f" spec {self.spec_hash[:12]}"
         return line
 
 
@@ -236,18 +252,20 @@ def _check_1f1b(
     return trace.digest(), sim.events_processed, sim.events_fast_forwarded
 
 
-def _makespan_only(scenario: Scenario, spec: ScenarioSpec, budget: int) -> float:
-    """Time for the *dedicated*-network twin of ``spec`` to reach the
+def _makespan_only(scenario: Scenario, run: RunSpec, budget: int) -> float:
+    """Time for the *dedicated*-network twin of ``run`` to reach the
     target global version (no oracles, no trace — just the clock)."""
-    runtime = HetPipeRuntime(
-        scenario.cluster,
-        scenario.model,
-        list(scenario.plans),
-        d=spec.d,
-        placement=spec.placement,
-        push_every_minibatch=spec.push_every_minibatch,
-        jitter=spec.jitter,
-        network_model="dedicated",
+    spec = scenario.spec
+    twin = replace(
+        run,
+        network=replace(run.network, model="dedicated"),
+        fidelity=FidelitySpec(),
+    )
+    runtime = HetPipeRuntime.from_spec(
+        twin,
+        cluster=scenario.cluster,
+        model=scenario.model,
+        plans=list(scenario.plans),
     )
     runtime.start()
     runtime.run_until_global_version(
@@ -258,26 +276,23 @@ def _makespan_only(scenario: Scenario, spec: ScenarioSpec, budget: int) -> float
 
 def _build_runtime(
     scenario: Scenario,
-    spec: ScenarioSpec,
+    run: RunSpec,
     fidelity: str,
     trace: Trace,
     oracles,
     fabric_spec: FabricSpec,
 ) -> HetPipeRuntime:
     """The WSP runtime for one scenario run (main or equivalence twin)."""
-    return HetPipeRuntime(
-        scenario.cluster,
-        scenario.model,
-        list(scenario.plans),
-        d=spec.d,
-        placement=spec.placement,
+    if fidelity != run.fidelity.fidelity:
+        run = replace(run, fidelity=replace(run.fidelity, fidelity=fidelity))
+    return HetPipeRuntime.from_spec(
+        run,
+        cluster=scenario.cluster,
+        model=scenario.model,
+        plans=list(scenario.plans),
         trace=trace,
-        push_every_minibatch=spec.push_every_minibatch,
-        jitter=spec.jitter,
         oracles=oracles,
-        network_model=spec.network_model,
         fabric_spec=fabric_spec,
-        fidelity=fidelity,
     )
 
 
@@ -303,11 +318,18 @@ def _drive_main(
 
 
 def run_scenario(
-    spec: ScenarioSpec,
-    fidelity: str = "full",
+    spec: ScenarioSpec | RunSpec,
+    fidelity: str | None = None,
     verify_equivalence: bool | None = None,
 ) -> ScenarioResult:
     """Execute one scenario end to end and return its verdict.
+
+    ``spec`` is canonically a typed :class:`~repro.api.spec.RunSpec`
+    (every fuzz seed arrives as one); a legacy :class:`ScenarioSpec` is
+    lifted into a RunSpec internally, so both entries run the exact
+    same code and produce byte-identical digests.  The explicit
+    ``fidelity`` / ``verify_equivalence`` arguments, when given,
+    override the spec's fidelity section.
 
     Shared-network scenarios additionally run their dedicated twin and
     assert the contention oracle: adding contention (and a congested
@@ -323,11 +345,36 @@ def run_scenario(
     counts, or staleness statistics beyond 1e-9 relative is reported as
     an ``equivalence:`` violation.
     """
+    if isinstance(spec, RunSpec):
+        run = spec
+        if fidelity is not None and fidelity != run.fidelity.fidelity:
+            run = replace(run, fidelity=replace(run.fidelity, fidelity=fidelity))
+        if (
+            verify_equivalence is not None
+            and verify_equivalence != run.fidelity.verify_equivalence
+        ):
+            run = replace(
+                run,
+                fidelity=replace(run.fidelity, verify_equivalence=verify_equivalence),
+            )
+    else:
+        run = spec.to_run_spec(
+            fidelity=fidelity if fidelity is not None else "full",
+            verify_equivalence=verify_equivalence,
+        )
+    fidelity = run.fidelity.fidelity
     validate_fidelity(fidelity)
+    verify_equivalence = run.fidelity.verify_equivalence
     if verify_equivalence is None:
         verify_equivalence = fidelity == "fast_forward"
     violations: list[str] = []
-    scenario = materialize(spec)
+    # The spec's oracle suite, via the registry: "default" is the full
+    # always-on suite; misses raise UnknownNameError naming what exists.
+    from repro.api.registry import ORACLES
+
+    oracles = ORACLES.get(run.oracles)()
+    scenario = build_scenario(run)
+    spec = scenario.spec
     shared = spec.network_model == "shared"
     fabric_spec = congested_fabric_spec(spec.seed) if shared else DEFAULT_FABRIC_SPEC
     # Storage stays off: the oracles are live subscribers and the digest
@@ -349,9 +396,7 @@ def run_scenario(
     makespan = 0.0
     dedicated_makespan = 0.0
     equivalence_checked = False
-    runtime = _build_runtime(
-        scenario, spec, fidelity, trace, default_oracles(), fabric_spec
-    )
+    runtime = _build_runtime(scenario, run, fidelity, trace, oracles, fabric_spec)
     try:
         window, completions, makespan = _drive_main(runtime, spec, budget)
         throughput = (
@@ -360,7 +405,7 @@ def run_scenario(
         runtime.check_invariants()
         _check_bounds(scenario, runtime, window, completions, violations, fabric_spec)
         if shared:
-            dedicated_makespan = _makespan_only(scenario, spec, budget)
+            dedicated_makespan = _makespan_only(scenario, run, budget)
             if makespan < dedicated_makespan * (1.0 - 1e-9):
                 violations.append(
                     f"contention: shared makespan {makespan:.6f}s beat the "
@@ -379,7 +424,7 @@ def run_scenario(
             # cycles) *is* the full trajectory, and re-simulating it to
             # compare two bit-identical runs proves nothing.
             twin = _build_runtime(
-                scenario, spec, "full", Trace(enabled=False),
+                scenario, run, "full", Trace(enabled=False),
                 [StalenessOracle()], fabric_spec,
             )
             twin_window, _, _ = _drive_main(twin, spec, budget)
@@ -418,6 +463,7 @@ def run_scenario(
         events_simulated=main_events + pipe_events,
         events_fast_forwarded=main_ff + pipe_ff,
         equivalence_checked=equivalence_checked,
+        spec_hash=run.spec_hash,
     )
 
 
@@ -480,21 +526,24 @@ class FuzzReport:
 def _fuzz_one(args: tuple[int, str, str, bool | None, int]) -> ScenarioResult:
     """Run a single seed end to end (the :func:`sweep_map` work item).
 
-    Module-level and argument-pure so worker processes can import it by
-    reference; generation failures are reported as findings rather than
-    raised — the harness's contract is that *any* seed yields a verdict.
+    The generated scenario is lifted into a typed
+    :class:`~repro.api.spec.RunSpec` — the canonical construction path
+    for every fuzz seed — before execution, so each result carries the
+    ``spec_hash`` of its exact configuration.  Module-level and
+    argument-pure so worker processes can import it by reference;
+    generation failures are reported as findings rather than raised —
+    the harness's contract is that *any* seed yields a verdict.
     """
-    from dataclasses import replace
-
     seed, network_model, fidelity, verify_equivalence, waves_scale = args
     try:
         scenario = generate_scenario(seed)
         spec = replace(scenario.spec, network_model=network_model)
-        if waves_scale != 1:
-            spec = replace(spec, measured_waves=spec.measured_waves * waves_scale)
-        return run_scenario(
-            spec, fidelity=fidelity, verify_equivalence=verify_equivalence
+        run = spec.to_run_spec(
+            fidelity=fidelity,
+            verify_equivalence=verify_equivalence,
+            waves_scale=waves_scale,
         )
+        return run_scenario(run)
     except ReproError as exc:
         return ScenarioResult(
             spec=ScenarioSpec(

@@ -11,7 +11,7 @@
 * :mod:`repro.wsp.measure` — steady-state measurement harness.
 """
 
-from repro.wsp.measure import HetPipeMetrics, measure_hetpipe
+from repro.wsp.measure import HetPipeMetrics, measure_hetpipe, measure_run
 from repro.wsp.parameter_server import ParameterServerSim
 from repro.wsp.placement import (
     build_placements,
@@ -40,6 +40,7 @@ __all__ = [
     "local_placement",
     "local_staleness",
     "measure_hetpipe",
+    "measure_run",
     "missing_updates",
     "round_robin_placement",
     "validate_local_placement",

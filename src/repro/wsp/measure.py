@@ -10,13 +10,16 @@ fraction of waiting, and cross-node traffic split into pipeline
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.cluster.topology import Cluster
 from repro.models.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.models.graph import ModelGraph
 from repro.partition.spec import PartitionPlan
 from repro.wsp.runtime import HetPipeRuntime
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.api.spec import RunSpec
 
 
 @dataclass(frozen=True)
@@ -73,6 +76,40 @@ def measure_hetpipe(
         jitter=jitter,
         network_model=network_model,
     )
+    return _measure_runtime(runtime, warmup_waves, measured_waves)
+
+
+def measure_run(run: "RunSpec") -> HetPipeMetrics:
+    """Spec-driven measurement: everything from one typed RunSpec.
+
+    Builds the cluster/model/plans through :mod:`repro.api.build` (so
+    names resolve through the registries) and the runtime through
+    :meth:`HetPipeRuntime.from_spec`, then runs the same warmup+window
+    measurement as :func:`measure_hetpipe` — the two paths share the
+    measurement core and are bit-identical for equivalent inputs.
+    """
+    from repro.api.build import build_scenario
+
+    scenario = build_scenario(run)
+    runtime = HetPipeRuntime.from_spec(
+        run,
+        cluster=scenario.cluster,
+        model=scenario.model,
+        plans=list(scenario.plans),
+    )
+    return _measure_runtime(
+        runtime,
+        run.pipeline.warmup_waves,
+        run.pipeline.measured_waves * run.fidelity.waves_scale,
+    )
+
+
+def _measure_runtime(
+    runtime: HetPipeRuntime, warmup_waves: int, measured_waves: int
+) -> HetPipeMetrics:
+    """Drive a built runtime through warmup + window and read the §8 numbers."""
+    model = runtime.model
+    plans = runtime.plans
     runtime.start()
 
     runtime.run_until_global_version(warmup_waves - 1)
@@ -102,8 +139,8 @@ def measure_hetpipe(
         model_name=model.name,
         num_virtual_workers=len(plans),
         nm=runtime.nm,
-        d=d,
-        placement=placement,
+        d=runtime.d,
+        placement=runtime.placement_policy,
         throughput=total_minibatches * model.batch_size / window,
         per_vw_minibatches=tuple(done),
         avg_wait_per_wave=total_wait / wave_count if wave_count else 0.0,
@@ -114,7 +151,7 @@ def measure_hetpipe(
         ),
         measured_waves=measured_waves,
         window=window,
-        network_model=network_model,
+        network_model=runtime.network_model,
         net_queue_delay_total=queue_delay,
         net_max_queue_depth=queue_depth,
     )

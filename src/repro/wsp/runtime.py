@@ -10,6 +10,7 @@ and cross-node traffic split into pipeline and synchronization bytes.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Sequence
 
@@ -37,6 +38,7 @@ from repro.wsp.placement import StagePlacement, build_placements
 from repro.wsp.staleness import admission_limit, desired_version_after_wave
 
 if TYPE_CHECKING:  # pragma: no cover - avoids a cycle (invariants -> wsp)
+    from repro.api.spec import RunSpec
     from repro.sim.invariants import RuntimeOracle
 
 
@@ -92,8 +94,20 @@ class HetPipeRuntime:
         network_model: str = "dedicated",
         fabric_spec: FabricSpec = DEFAULT_FABRIC_SPEC,
         fidelity: str = "full",
+        _spec_constructed: bool = False,
     ) -> None:
         validate_fidelity(fidelity)
+        if fidelity != "full" and not _spec_constructed:
+            # Spec-addressable axes belong in a RunSpec; the direct
+            # kwarg stays as a shim (bit-identical — proven by
+            # tests/test_api_run.py's digest-equality test).
+            warnings.warn(
+                "passing fidelity= directly to HetPipeRuntime is "
+                "deprecated; describe the run with a repro.api.RunSpec "
+                "and construct via HetPipeRuntime.from_spec",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         if not plans:
             raise ConfigurationError("need at least one virtual worker plan")
         nms = {plan.nm for plan in plans}
@@ -202,6 +216,52 @@ class HetPipeRuntime:
             _RuntimeFastForward(self)
             if fidelity == "fast_forward" and jitter == 0.0 and self.fabric is None
             else None
+        )
+
+    @classmethod
+    def from_spec(
+        cls,
+        run: "RunSpec",
+        *,
+        cluster: Cluster | None = None,
+        model: ModelGraph | None = None,
+        plans: Sequence[PartitionPlan] | None = None,
+        trace: Trace | None = None,
+        oracles: "Sequence[RuntimeOracle]" = (),
+        fabric_spec: FabricSpec = DEFAULT_FABRIC_SPEC,
+    ) -> "HetPipeRuntime":
+        """The canonical constructor: behavior from a typed RunSpec.
+
+        Every spec-addressable axis — staleness bound, placement,
+        push cadence, jitter, calibration, network model, fidelity —
+        is read from ``run``'s sections.  ``cluster``/``model``/
+        ``plans`` may be passed pre-built (the fuzz runner shares one
+        memoized materialization across a scenario's runs); left as
+        ``None`` they are built from the spec via
+        :func:`repro.api.build.build_scenario`.
+        """
+        from repro.api.build import build_calibration, build_scenario
+
+        if cluster is None or model is None or plans is None:
+            scenario = build_scenario(run)
+            cluster = scenario.cluster if cluster is None else cluster
+            model = scenario.model if model is None else model
+            plans = list(scenario.plans) if plans is None else plans
+        return cls(
+            cluster,
+            model,
+            list(plans),
+            d=run.pipeline.d,
+            placement=run.pipeline.placement,
+            calibration=build_calibration(run.calibration),
+            trace=trace,
+            push_every_minibatch=run.pipeline.push_every_minibatch,
+            jitter=run.pipeline.jitter,
+            oracles=oracles,
+            network_model=run.network.model,
+            fabric_spec=fabric_spec,
+            fidelity=run.fidelity.fidelity,
+            _spec_constructed=True,
         )
 
     # ------------------------------------------------------------------

@@ -1,0 +1,534 @@
+"""Spec-driven execution: registries, builds, run/sweep, CLI, shims.
+
+Covers the API redesign's behavioral contracts:
+
+* registry misses raise :class:`UnknownNameError` naming what exists,
+  and the CLI maps that (and :class:`SpecError`) to exit code 2;
+* a fuzz scenario run from its lifted ``RunSpec`` is byte-identical —
+  digest included — to the legacy ``ScenarioSpec`` path;
+* the deprecated direct-kwarg constructors still work, warn, and
+  produce byte-identical digests to their spec-built equivalents;
+* ``run_sweep`` returns in-order, ``--jobs``-independent results with
+  stable per-point ``spec_hash`` values.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.api import build
+from repro.api.build import (
+    build_calibration,
+    build_cluster,
+    build_model,
+    build_scenario,
+    run_to_scenario_spec,
+)
+from repro.api.registry import (
+    CALIBRATIONS,
+    CLUSTERS,
+    EXPERIMENTS,
+    MODELS,
+    ORACLES,
+    PLANNERS,
+    PROFILES,
+    Registry,
+)
+from repro.api.run import run, run_sweep
+from repro.api.spec import (
+    ClusterSpec,
+    ExperimentSpec,
+    FidelitySpec,
+    ModelSpec,
+    NetworkSpec,
+    PipelineSpec,
+    RunSpec,
+    SweepAxis,
+    SweepSpec,
+)
+from repro.cli import main
+from repro.errors import SpecError, UnknownNameError
+
+
+def small_scenario_spec(planner: str = "dp", nm: int = 1) -> RunSpec:
+    return RunSpec(
+        kind="scenario",
+        seed=7,
+        cluster=ClusterSpec(node_codes="VR", gpus_per_node=2),
+        model=ModelSpec(
+            name="api-test", batch_size=8, image_size=16,
+            conv_widths=(8, 8, 16, 16), fc_dims=(32,),
+        ),
+        pipeline=PipelineSpec(
+            nm=nm, d=1, allocation="ED", warmup_waves=2, measured_waves=4,
+            planner=planner,
+        ),
+    )
+
+
+class TestRegistry:
+    def test_miss_lists_available_names(self):
+        registry = Registry("widget")
+        registry.register("a", 1)
+        registry.register("b", 2)
+        with pytest.raises(UnknownNameError) as excinfo:
+            registry.get("c")
+        message = str(excinfo.value)
+        assert "widget" in message and "'c'" in message
+        assert "a, b" in message
+        assert excinfo.value.available == ["a", "b"]
+
+    def test_duplicate_registration_rejected(self):
+        registry = Registry("widget")
+        registry.register("a", 1)
+        with pytest.raises(ValueError):
+            registry.register("a", 2)
+
+    def test_builtin_registries_are_populated(self):
+        assert {"vgg19", "resnet152"} <= set(MODELS.names())
+        assert "paper" in CLUSTERS
+        assert "default" in CALIBRATIONS
+        assert {"grpc_tf112", "nccl_modern"} <= set(PROFILES.names())
+        assert {"default", "staleness", "none"} <= set(ORACLES.names())
+        assert {"dp", "dp_ordered", "bnb"} <= set(PLANNERS.names())
+        assert {"fig3", "fig4", "table4"} <= set(EXPERIMENTS.names())
+
+    def test_unknown_model_error_from_legacy_build_model(self):
+        from repro.experiments.common import build_model as legacy_build
+
+        with pytest.raises(UnknownNameError, match="vgg19"):
+            legacy_build("alexnet")
+
+
+class TestBuild:
+    def test_build_cluster_resolves_profile(self):
+        cluster = build_cluster(ClusterSpec(node_codes="VR", profile="nccl_modern"))
+        assert len(cluster.nodes) == 2
+        assert cluster.interconnect is PROFILES.get("nccl_modern")
+
+    def test_build_cluster_unknown_profile(self):
+        with pytest.raises(UnknownNameError, match="grpc_tf112"):
+            build_cluster(ClusterSpec(profile="smoke-signals"))
+
+    def test_build_model_catalog_and_synthetic(self):
+        assert build_model(ModelSpec(name="vgg19")).name == "vgg19"
+        synth = build_model(
+            ModelSpec(name="s", batch_size=4, image_size=16,
+                      conv_widths=(8,), fc_dims=())
+        )
+        assert synth.batch_size == 4
+
+    def test_build_calibration_unknown(self):
+        with pytest.raises(UnknownNameError, match="default"):
+            build_calibration("measured_on_mars")
+
+    def test_build_scenario_is_memoized_per_spec(self):
+        spec = small_scenario_spec(planner="bnb")
+        first, second = build_scenario(spec), build_scenario(spec)
+        # the expensive built objects are shared; only the thin Scenario
+        # wrapper (spec re-attachment) is reconstructed
+        assert first.plans is second.plans
+        assert first.cluster is second.cluster
+        assert first.model is second.model
+        assert first.spec == second.spec == build.run_to_scenario_spec(spec)
+
+    def test_planners_agree_on_bottleneck(self):
+        """bnb is the DP's cross-check: same bottleneck period."""
+        dp = build_scenario(small_scenario_spec(planner="dp", nm=2))
+        bnb = build_scenario(small_scenario_spec(planner="bnb", nm=2))
+        for a, b in zip(dp.plans, bnb.plans):
+            assert a.bottleneck_period == pytest.approx(b.bottleneck_period)
+
+    def test_fuzz_representable_path_shares_generator_cache(self):
+        from repro.scenarios.generator import generate_scenario
+
+        scenario = generate_scenario(3)
+        rebuilt = build_scenario(scenario.spec.to_run_spec())
+        assert rebuilt is generate_scenario(3)
+
+    def test_run_to_scenario_spec_folds_waves_scale(self):
+        spec = small_scenario_spec()
+        scaled = replace(spec, fidelity=FidelitySpec(waves_scale=4))
+        assert (
+            run_to_scenario_spec(scaled).measured_waves
+            == spec.pipeline.measured_waves * 4
+        )
+
+    def test_experiment_spec_cannot_build_a_scenario(self):
+        exp = RunSpec(kind="experiment", experiment=ExperimentSpec(name="fig3"))
+        with pytest.raises(SpecError, match="scenario"):
+            build_scenario(exp)
+
+
+class TestRunScenario:
+    def test_run_spec_and_legacy_paths_are_byte_identical(self):
+        """The digest-equality contract of the API rewiring."""
+        from repro.scenarios.generator import generate_scenario
+        from repro.scenarios.runner import run_scenario
+
+        sspec = generate_scenario(11).spec
+        legacy = run_scenario(sspec)
+        spec_built = run_scenario(sspec.to_run_spec())
+        assert legacy.digest == spec_built.digest
+        assert legacy.per_vw_completions == spec_built.per_vw_completions
+        assert legacy.window == spec_built.window
+        assert spec_built.spec_hash == sspec.to_run_spec().spec_hash
+        assert legacy.spec_hash == spec_built.spec_hash
+
+    def test_scenario_result_records_spec_provenance(self):
+        from repro.api.spec import SPEC_SCHEMA
+
+        result = run(small_scenario_spec())
+        assert result.ok
+        assert result.spec_hash == small_scenario_spec().spec_hash
+        assert result.api_schema == SPEC_SCHEMA
+        assert result.spec_hash[:12] in result.describe()
+
+    def test_explicit_fidelity_overrides_the_spec_section(self):
+        from repro.scenarios.runner import run_scenario
+
+        spec = small_scenario_spec()
+        result = run_scenario(spec, fidelity="fast_forward")
+        assert result.fidelity == "fast_forward"
+
+    def test_run_rejects_grid_specs(self):
+        grid = replace(
+            small_scenario_spec(),
+            sweep=SweepSpec(axes=(SweepAxis(path="pipeline.nm", values=(1,)),)),
+        )
+        with pytest.raises(SpecError, match="sweep"):
+            run(grid)
+
+    def test_oracles_field_resolves_through_the_registry(self):
+        from repro.scenarios.runner import run_scenario
+
+        default = run(small_scenario_spec())
+        bare = run_scenario(replace(small_scenario_spec(), oracles="none"))
+        # same deterministic simulation either way, digest included —
+        # the suite only watches
+        assert bare.digest == default.digest
+        with pytest.raises(UnknownNameError, match="oracle suite"):
+            run_scenario(replace(small_scenario_spec(), oracles="bogus"))
+
+    def test_fidelity_spec_knobs_unsupported_by_measure_are_rejected(self, cluster):
+        from repro.models import build_vgg19
+        from repro.partition import plan_virtual_worker
+        from repro.pipeline import measure_pipeline
+
+        plan = plan_virtual_worker(
+            build_vgg19(), cluster.gpus[0:4], 1, cluster.interconnect,
+            search_orderings=False,
+        )
+        with pytest.raises(SpecError, match="waves_scale"):
+            measure_pipeline(
+                plan, cluster.interconnect, 32,
+                fidelity=FidelitySpec(fidelity="fast_forward", waves_scale=4),
+            )
+
+    def test_general_build_cache_ignores_non_planning_fields(self):
+        spec = small_scenario_spec(planner="bnb")
+        varied = replace(
+            spec, seed=99, fidelity=FidelitySpec(fidelity="fast_forward"),
+            oracles="staleness",
+            pipeline=replace(
+                spec.pipeline, d=3, measured_waves=16, jitter=0.1,
+                push_every_minibatch=True,
+            ),
+        )
+        assert build_scenario(spec).plans is build_scenario(varied).plans
+        rewrapped = build_scenario(varied).spec
+        assert rewrapped.seed == 99
+        assert rewrapped.measured_waves == 16 and rewrapped.d == 3
+
+    def test_unknown_experiment_model(self):
+        spec = RunSpec(
+            kind="experiment",
+            experiment=ExperimentSpec(name="fig3", model="alexnet"),
+        )
+        with pytest.raises(UnknownNameError, match="model"):
+            run(spec)
+
+
+class TestDeprecationShims:
+    def test_runtime_direct_fidelity_warns_and_matches_from_spec(self):
+        from repro.sim.trace import Trace
+        from repro.wsp.runtime import HetPipeRuntime
+
+        spec = small_scenario_spec()
+        scenario = build_scenario(spec)
+        ff = replace(spec, fidelity=FidelitySpec(fidelity="fast_forward"))
+
+        def drive(runtime):
+            runtime.start()
+            total = spec.pipeline.warmup_waves + spec.pipeline.measured_waves
+            runtime.run_until_global_version(total - 1)
+            return runtime
+
+        with pytest.warns(DeprecationWarning, match="from_spec"):
+            legacy_trace = Trace(enabled=False, digest=True, schema=2)
+            legacy = drive(
+                HetPipeRuntime(
+                    scenario.cluster, scenario.model, list(scenario.plans),
+                    d=spec.pipeline.d, trace=legacy_trace,
+                    fidelity="fast_forward",
+                )
+            )
+        spec_trace = Trace(enabled=False, digest=True, schema=2)
+        built = drive(
+            HetPipeRuntime.from_spec(
+                ff,
+                cluster=scenario.cluster,
+                model=scenario.model,
+                plans=list(scenario.plans),
+                trace=spec_trace,
+            )
+        )
+        assert legacy_trace.digest() == spec_trace.digest()
+        assert legacy.sim.now == built.sim.now
+        assert legacy.total_minibatches_done() == built.total_minibatches_done()
+
+    def test_from_spec_does_not_warn(self, recwarn):
+        from repro.wsp.runtime import HetPipeRuntime
+
+        spec = small_scenario_spec()
+        scenario = build_scenario(spec)
+        HetPipeRuntime.from_spec(
+            replace(spec, fidelity=FidelitySpec(fidelity="fast_forward")),
+            cluster=scenario.cluster,
+            model=scenario.model,
+            plans=list(scenario.plans),
+        )
+        assert not [w for w in recwarn if w.category is DeprecationWarning]
+
+    def test_measure_pipeline_string_fidelity_warns_and_matches(self, cluster):
+        from repro.models import build_vgg19
+        from repro.partition import plan_virtual_worker
+        from repro.pipeline import measure_pipeline
+
+        plan = plan_virtual_worker(
+            build_vgg19(), cluster.gpus[0:4], 2, cluster.interconnect,
+            search_orderings=False,
+        )
+        with pytest.warns(DeprecationWarning, match="FidelitySpec"):
+            shimmed = measure_pipeline(
+                plan, cluster.interconnect, 32,
+                measured_minibatches=40, fidelity="fast_forward",
+            )
+        spec_built = measure_pipeline(
+            plan, cluster.interconnect, 32,
+            measured_minibatches=40,
+            fidelity=FidelitySpec(fidelity="fast_forward"),
+        )
+        assert shimmed == spec_built
+
+    def test_measure_1f1b_string_fidelity_warns_and_matches(self, cluster):
+        from repro.models import build_vgg19
+        from repro.partition import plan_virtual_worker
+        from repro.pipeline import measure_1f1b_pipeline
+
+        plan = plan_virtual_worker(
+            build_vgg19(), cluster.gpus[0:4], 2, cluster.interconnect,
+            search_orderings=False,
+        )
+        with pytest.warns(DeprecationWarning, match="FidelitySpec"):
+            shimmed = measure_1f1b_pipeline(
+                plan, cluster.interconnect, 32,
+                measured_minibatches=40, fidelity="fast_forward",
+            )
+        spec_built = measure_1f1b_pipeline(
+            plan, cluster.interconnect, 32,
+            measured_minibatches=40,
+            fidelity=FidelitySpec(fidelity="fast_forward"),
+        )
+        assert shimmed == spec_built
+
+    def test_default_fidelity_string_stays_silent(self, cluster, recwarn):
+        from repro.models import build_vgg19
+        from repro.partition import plan_virtual_worker
+        from repro.pipeline import measure_pipeline
+
+        plan = plan_virtual_worker(
+            build_vgg19(), cluster.gpus[0:4], 1, cluster.interconnect,
+            search_orderings=False,
+        )
+        measure_pipeline(plan, cluster.interconnect, 32, measured_minibatches=20)
+        assert not [w for w in recwarn if w.category is DeprecationWarning]
+
+
+class TestMeasureRun:
+    def test_measure_run_matches_measure_hetpipe(self):
+        from repro.wsp import measure_hetpipe, measure_run
+
+        spec = small_scenario_spec(nm=2)
+        scenario = build_scenario(spec)
+        via_spec = measure_run(spec)
+        legacy = measure_hetpipe(
+            scenario.cluster, scenario.model, list(scenario.plans),
+            d=spec.pipeline.d,
+            warmup_waves=spec.pipeline.warmup_waves,
+            measured_waves=spec.pipeline.measured_waves,
+        )
+        assert via_spec == legacy
+
+
+class TestSweep:
+    def grid(self) -> RunSpec:
+        return replace(
+            small_scenario_spec(),
+            sweep=SweepSpec(
+                axes=(
+                    SweepAxis(path="pipeline.planner", values=("dp", "bnb")),
+                    SweepAxis(path="pipeline.nm", values=(1, 2)),
+                )
+            ),
+        )
+
+    def test_in_order_results_with_stable_spec_hashes(self):
+        from repro.api.spec import expand_sweep
+
+        grid = self.grid()
+        serial = run_sweep(grid, jobs=1)
+        parallel = run_sweep(grid, jobs=2)
+        assert serial == parallel  # in-order merge, bit-identical
+        assert [p.index for p in serial.points] == [0, 1, 2, 3]
+        expected = [point.spec_hash for point in expand_sweep(grid)]
+        assert [p.spec_hash for p in serial.points] == expected
+        assert all(p.ok for p in serial.points)
+        assert serial.grid_hash == grid.spec_hash
+
+    def test_infeasible_point_fails_alone_without_aborting_the_grid(self):
+        """PartitionError on one point is a normal planner-search
+        outcome: it fails that point, the rest still report."""
+        grid = RunSpec(
+            kind="scenario",
+            cluster=ClusterSpec(node_codes="G", gpus_per_node=2),
+            model=ModelSpec(name="vgg19"),
+            pipeline=PipelineSpec(nm=1, allocation="NP", measured_waves=4),
+            sweep=SweepSpec(axes=(SweepAxis(path="pipeline.nm", values=(1, 8)),)),
+        )
+        result = run_sweep(grid, jobs=1)
+        assert result.points[0].ok
+        assert not result.points[1].ok
+        assert "PartitionError" in result.points[1].violations[0]
+        assert result.points[1].spec_hash  # provenance survives the failure
+
+    def test_named_synthetic_model_keeps_its_declared_name(self):
+        """A dp-planner synthetic spec with a non-generator name must
+        not borrow the generator's 'fuzz<seed>' model identity."""
+        scenario = build_scenario(small_scenario_spec(planner="dp"))
+        assert scenario.model.name == "api-test"
+
+    def test_on_result_streams_in_order(self):
+        seen: list[int] = []
+        run_sweep(self.grid(), jobs=2, on_result=lambda p: seen.append(p.index))
+        assert seen == [0, 1, 2, 3]
+
+    def test_sweep_requires_a_grid(self):
+        with pytest.raises(SpecError, match="no sweep section"):
+            run_sweep(small_scenario_spec())
+
+
+class TestCli:
+    def write(self, tmp_path, payload) -> str:
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_run_scenario_spec_exits_zero(self, tmp_path, capsys):
+        path = tmp_path / "spec.json"
+        path.write_text(small_scenario_spec().to_json())
+        assert main(["run", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "ok" in out and "spec" in out
+
+    def test_sweep_cli_runs_the_grid(self, tmp_path, capsys):
+        path = tmp_path / "grid.json"
+        path.write_text(self_grid().to_json())
+        assert main(["sweep", str(path), "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "4 points, 0 failing" in out
+        assert out.count("spec=") == 4
+
+    def test_unknown_model_exits_two_with_names(self, tmp_path, capsys):
+        path = self.write(
+            tmp_path,
+            {"kind": "experiment", "experiment": {"name": "fig3", "model": "alexnet"}},
+        )
+        assert main(["run", path]) == 2
+        err = capsys.readouterr().err
+        assert "unknown model 'alexnet'" in err and "vgg19" in err
+
+    def test_unknown_experiment_exits_two(self, tmp_path, capsys):
+        path = self.write(
+            tmp_path,
+            {"kind": "experiment", "experiment": {"name": "fig99"}},
+        )
+        assert main(["run", path]) == 2
+        assert "available" in capsys.readouterr().err
+
+    def test_malformed_spec_exits_two(self, tmp_path, capsys):
+        path = self.write(tmp_path, {"kind": "scenario", "bogus": True})
+        assert main(["run", path]) == 2
+        assert "bogus" in capsys.readouterr().err
+
+    def test_missing_file_exits_two(self, tmp_path, capsys):
+        assert main(["run", str(tmp_path / "nope.json")]) == 2
+        assert "cannot read spec file" in capsys.readouterr().err
+
+    def test_run_rejects_grid_specs_with_exit_two(self, tmp_path, capsys):
+        path = tmp_path / "grid.json"
+        path.write_text(self_grid().to_json())
+        assert main(["run", path.as_posix()]) == 2
+        assert "sweep" in capsys.readouterr().err
+
+    def test_configuration_errors_also_exit_two(self, tmp_path, capsys):
+        """Spec-reachable ConfigurationErrors honor the no-traceback
+        contract, not just SpecError/UnknownNameError."""
+        path = self.write(
+            tmp_path,
+            {"kind": "scenario", "cluster": {"node_codes": "ZZ"},
+             "model": {"name": "vgg19"}, "pipeline": {"nm": 1}},
+        )
+        assert main(["run", path]) == 2
+        err = capsys.readouterr().err
+        assert "unknown GPU code" in err
+
+    def test_sweep_cli_prints_failing_point_violations(self, tmp_path, capsys, monkeypatch):
+        from repro.api.run import SweepPointResult, SweepResult
+
+        failing = SweepPointResult(
+            index=1, spec_hash="f" * 64, label="pipeline.nm=2", kind="scenario",
+            ok=False, summary="0.0 img/s", violations=("staleness: impossible",),
+        )
+        fake = SweepResult(grid_hash="a" * 64, points=(failing,))
+        monkeypatch.setattr("repro.api.run.run_sweep", lambda *a, **k: fake)
+        path = tmp_path / "grid.json"
+        path.write_text(self_grid().to_json())
+        assert main(["sweep", str(path), "--quiet"]) == 1
+        out = capsys.readouterr().out
+        assert "point 1: staleness: impossible" in out
+        assert "FAIL(1)" in out  # --quiet still identifies the failing point
+
+    def test_checked_in_specs_parse(self):
+        import glob
+
+        paths = sorted(glob.glob("examples/specs/*.json"))
+        assert len(paths) >= 5
+        for path in paths:
+            with open(path) as fh:
+                RunSpec.from_json(fh.read())
+
+
+def self_grid() -> RunSpec:
+    return replace(
+        small_scenario_spec(),
+        sweep=SweepSpec(
+            axes=(
+                SweepAxis(path="pipeline.planner", values=("dp", "bnb")),
+                SweepAxis(path="pipeline.nm", values=(1, 2)),
+            )
+        ),
+    )

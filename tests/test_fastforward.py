@@ -11,6 +11,7 @@ import math
 
 import pytest
 
+from repro.api.spec import FidelitySpec
 from repro.errors import SimulationError
 from repro.pipeline.metrics import measure_pipeline
 from repro.pipeline.one_f_one_b import OneFOneBPipeline, measure_1f1b_pipeline
@@ -295,7 +296,7 @@ class TestPipelineFastForward:
         )
         ff = measure_pipeline(
             vvvv_plan, cluster.interconnect, 32,
-            measured_minibatches=200, fidelity="fast_forward",
+            measured_minibatches=200, fidelity=FidelitySpec(fidelity="fast_forward"),
         )
         assert _rel_close(full.throughput, ff.throughput)
         for a, b in zip(full.utilizations, ff.utilizations):
@@ -311,7 +312,7 @@ class TestPipelineFastForward:
         )
         ff = measure_1f1b_pipeline(
             ed_plan, cluster.interconnect, 32,
-            measured_minibatches=150, fidelity="fast_forward",
+            measured_minibatches=150, fidelity=FidelitySpec(fidelity="fast_forward"),
         )
         assert _rel_close(full, ff)
 
@@ -356,7 +357,7 @@ class TestPipelineFastForward:
         # the preserved completion indices must execute as real events.
         metrics = measure_pipeline(
             vvvv_plan, cluster.interconnect, 32,
-            measured_minibatches=400, fidelity="fast_forward",
+            measured_minibatches=400, fidelity=FidelitySpec(fidelity="fast_forward"),
         )
         assert metrics.measured_minibatches == 400
         assert 0.0 < metrics.max_utilization <= 1.0
