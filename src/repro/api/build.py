@@ -72,6 +72,8 @@ def run_to_scenario_spec(run: RunSpec):
         warmup_waves=run.pipeline.warmup_waves,
         measured_waves=run.pipeline.measured_waves * run.fidelity.waves_scale,
         network_model=run.network.model,
+        shards=run.pipeline.shards,
+        shard_placement=run.pipeline.shard_placement,
     )
 
 
@@ -106,6 +108,8 @@ def scenario_spec_to_run(
             d=spec.d,
             allocation=spec.allocation,
             placement=spec.placement,
+            shards=spec.shards,
+            shard_placement=spec.shard_placement,
             push_every_minibatch=spec.push_every_minibatch,
             jitter=spec.jitter,
             warmup_waves=spec.warmup_waves,
@@ -189,6 +193,8 @@ def build_scenario(run: RunSpec):
         pipeline=replace(
             run.pipeline,
             d=0,
+            shards=1,
+            shard_placement="size_balanced",
             push_every_minibatch=False,
             jitter=0.0,
             warmup_waves=2,

@@ -219,6 +219,35 @@ PLANNERS.register("bnb", _plan_bnb)
 
 
 # ----------------------------------------------------------------------
+# placement policies: name -> (PlacementRequest) -> list[StagePlacement]
+# ----------------------------------------------------------------------
+
+PLACEMENTS: Registry[Callable[..., Any]] = Registry("placement policy")
+
+
+def _placement_policy(attr: str) -> Callable[..., Any]:
+    def resolve(request: Any) -> Any:
+        import repro.wsp.placement as placement
+
+        return getattr(placement, attr)(request)
+
+    return resolve
+
+
+#: "default"/"local" are the historical unsharded policies (shards=1
+#: only); the other three place K > 1 shard slots per stage — see
+#: :mod:`repro.wsp.placement` for the semantics of each.
+for _name, _attr in (
+    ("default", "_policy_default"),
+    ("local", "_policy_local"),
+    ("size_balanced", "_policy_size_balanced"),
+    ("locality_aware", "_policy_locality_aware"),
+    ("contention_aware", "_policy_contention_aware"),
+):
+    PLACEMENTS.register(_name, _placement_policy(_attr))
+
+
+# ----------------------------------------------------------------------
 # experiments: name -> (model_name, jobs) -> result with .render()
 # ----------------------------------------------------------------------
 

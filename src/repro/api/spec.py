@@ -48,6 +48,7 @@ SPEC_SCHEMA = "hetpipe-spec/1"
 #: at build time instead).
 ALLOCATION_POLICIES = ("NP", "ED", "HD")
 PLACEMENT_POLICIES = ("default", "local")
+SHARD_PLACEMENT_POLICIES = ("size_balanced", "locality_aware", "contention_aware")
 NETWORK_MODELS = ("dedicated", "shared")
 FIDELITIES = ("full", "fast_forward")
 RUN_KINDS = ("scenario", "experiment")
@@ -155,6 +156,11 @@ class PipelineSpec:
     d: int = 0
     allocation: str = "ED"
     placement: str = "default"
+    #: PS shard slots per stage; 1 keeps the historical single-endpoint
+    #: model (``placement`` applies), K > 1 splits each stage over K PS
+    #: processes placed by ``shard_placement``
+    shards: int = 1
+    shard_placement: str = "size_balanced"
     planner: str = "dp"
     push_every_minibatch: bool = False
     jitter: float = 0.0
@@ -179,6 +185,17 @@ class PipelineSpec:
             self.placement in PLACEMENT_POLICIES,
             f"pipeline.placement must be one of {list(PLACEMENT_POLICIES)}, "
             f"got {self.placement!r}",
+        )
+        _require(
+            isinstance(self.shards, int)
+            and not isinstance(self.shards, bool)
+            and self.shards >= 1,
+            f"pipeline.shards must be an int >= 1, got {self.shards!r}",
+        )
+        _require(
+            self.shard_placement in SHARD_PLACEMENT_POLICIES,
+            f"pipeline.shard_placement must be one of "
+            f"{list(SHARD_PLACEMENT_POLICIES)}, got {self.shard_placement!r}",
         )
         _require(
             isinstance(self.planner, str) and bool(self.planner),

@@ -134,6 +134,19 @@ def build_parser() -> argparse.ArgumentParser:
         "horizon fuzzing; K>1 changes digests at either fidelity) "
         "(default: 1)",
     )
+    p.add_argument(
+        "--shards", type=_positive_int, default=1, metavar="K",
+        help="PS shard slots per stage (K>1 reruns the same seeded "
+        "scenarios with a K-way sharded PS and changes digests; the "
+        "default 1 keeps them frozen)",
+    )
+    p.add_argument(
+        "--shard-placement",
+        choices=["size_balanced", "locality_aware", "contention_aware"],
+        default="size_balanced",
+        help="shard placement policy used when --shards > 1 "
+        "(default: size_balanced)",
+    )
     p = sub.add_parser(
         "bench",
         help="time the hot paths (fuzz throughput, engine/trace micro-ops, "
@@ -197,8 +210,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="pipeline depth Nm (default: analytic best)",
     )
     p.add_argument(
-        "--placement", choices=["default", "local"], default="default",
-        help="parameter placement policy",
+        "--placement", default="default", metavar="POLICY",
+        help="parameter placement policy (resolved through the "
+        "PLACEMENTS registry: default, local; unknown names exit 2 "
+        "listing what exists)",
+    )
+    p.add_argument(
+        "--shards", type=_positive_int, default=1, metavar="K",
+        help="PS shard slots per stage (default: 1, unsharded)",
+    )
+    p.add_argument(
+        "--shard-placement",
+        choices=["size_balanced", "locality_aware", "contention_aware"],
+        default="size_balanced",
+        help="shard placement policy used when --shards > 1 "
+        "(default: size_balanced)",
     )
     p.add_argument(
         "--profile", choices=sorted(INTERCONNECT_PROFILES), default=DEFAULT_PROFILE,
@@ -320,6 +346,8 @@ def _dispatch(args) -> int:
             fidelity=args.fidelity,
             verify_equivalence=args.verify_equivalence,
             waves_scale=args.waves_scale,
+            shards=args.shards,
+            shard_placement=args.shard_placement,
         )
         print(report.summary())
         return 1 if report.failures else 0
@@ -338,6 +366,8 @@ def _dispatch(args) -> int:
                 d=args.d,
                 nm=args.nm,
                 placement=args.placement,
+                shards=args.shards,
+                shard_placement=args.shard_placement,
                 profile=args.profile,
                 top=args.top,
             ).render()

@@ -41,6 +41,11 @@ class NetsimResult:
     #: (name, kind, utilization, GiB moved, queue delay s, peak depth)
     resources: tuple[tuple[str, str, float, float, float, int], ...]
     top: int
+    shards: int = 1
+    shard_placement: str = "size_balanced"
+    #: queueing attributed to ps.*-tagged flows alone (fabric mode)
+    ps_queue_delay_total: float = 0.0
+    ps_max_queue_depth: int = 0
 
     @property
     def slowdown(self) -> float:
@@ -60,7 +65,15 @@ class NetsimResult:
                 title=(
                     f"netsim — {self.model_name} on {self.node_codes} "
                     f"({self.allocation}, Nm={self.nm}, D={self.d}, "
-                    f"place={self.placement}, profile={self.profile}): "
+                    f"place={self.placement}, "
+                    # appended only for sharded-PS runs so default
+                    # output stays byte-identical to the unsharded report
+                    + (
+                        f"shards={self.shards}:{self.shard_placement}, "
+                        if self.shards > 1
+                        else ""
+                    )
+                    + f"profile={self.profile}): "
                     f"top {min(self.top, len(self.resources))} congested resources"
                 ),
             ),
@@ -71,6 +84,11 @@ class NetsimResult:
             f"total queueing delay {self.queue_delay_total:.3f}s, "
             f"peak queue depth {self.max_queue_depth}",
         ]
+        if self.shards > 1:
+            lines.append(
+                f"ps queueing delay {self.ps_queue_delay_total:.3f}s, "
+                f"peak ps queue depth {self.ps_max_queue_depth}"
+            )
         return "\n".join(lines)
 
 
@@ -85,6 +103,8 @@ def run_netsim(
     top: int = 8,
     warmup_waves: int = 2,
     measured_waves: int = 4,
+    shards: int = 1,
+    shard_placement: str = "size_balanced",
 ) -> NetsimResult:
     """Measure one deployment under both network models.
 
@@ -100,12 +120,15 @@ def run_netsim(
 
     dedicated = measure_hetpipe(
         cluster, model, plans, d=d, placement=placement,
+        shards=shards, shard_placement=shard_placement,
         warmup_waves=warmup_waves, measured_waves=measured_waves,
     )
     # The shared run uses the runtime directly so the fabric object (and
     # its per-resource counters) stays inspectable after the run.
     runtime = HetPipeRuntime(
-        cluster, model, plans, d=d, placement=placement, network_model="shared"
+        cluster, model, plans, d=d, placement=placement,
+        shards=shards, shard_placement=shard_placement,
+        network_model="shared",
     )
     runtime.start()
     runtime.run_until_global_version(warmup_waves - 1)
@@ -121,6 +144,7 @@ def run_netsim(
     assert runtime.fabric is not None
     runtime.fabric.verify(elapsed=runtime.sim.now)
     delay, depth = runtime.fabric.queue_stats()
+    ps_delay, ps_depth = runtime.ps_queue_stats()
     rows = utilization_report(runtime.fabric, elapsed=runtime.sim.now)
     rows.sort(key=lambda r: (r[4], r[2]), reverse=True)  # queue delay, then util
 
@@ -138,4 +162,8 @@ def run_netsim(
         max_queue_depth=depth,
         resources=tuple(rows),
         top=top,
+        shards=shards,
+        shard_placement=shard_placement,
+        ps_queue_delay_total=ps_delay,
+        ps_max_queue_depth=ps_depth,
     )

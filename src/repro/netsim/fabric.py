@@ -192,6 +192,9 @@ class Flow:
     done: float
     path: tuple[str, ...]  # resource names traversed
     tag: str = ""
+    #: seconds the flow waited for its path (start - submission time),
+    #: so per-subsystem queueing can be re-aggregated by tag
+    wait: float = 0.0
 
 
 class Fabric:
@@ -385,7 +388,7 @@ class Fabric:
         self.flows.append(
             Flow(
                 src=src, dst=dst, nbytes=nbytes, start=start, done=done,
-                path=path_names, tag=tag,
+                path=path_names, tag=tag, wait=start - now,
             )
         )
         if on_complete is not None:
@@ -418,6 +421,32 @@ class Fabric:
         """
         depth = max((link.max_queue_depth for link in self.links()), default=0)
         return self.queue_delay_total, depth
+
+    def tagged_queue_stats(self, prefix: str) -> tuple[float, int]:
+        """``(total queueing delay, peak queue depth)`` attributed to the
+        flows whose ``tag`` starts with ``prefix``.
+
+        Delay counts each matching flow's own wait once; depth is the
+        peak number of matching flows waiting *simultaneously* (interval
+        sweep over their [submission, start) windows).  This is how PS
+        queueing stays observable in fabric mode, where the per-link
+        counters mix every subsystem's traffic.
+        """
+        total = 0.0
+        events: list[tuple[float, int]] = []
+        for flow in self.flows:
+            if not flow.tag.startswith(prefix):
+                continue
+            total += flow.wait
+            if flow.wait > 0.0:
+                events.append((flow.start - flow.wait, 1))
+                events.append((flow.start, -1))
+        events.sort()
+        depth = peak = 0
+        for _, delta in events:
+            depth += delta
+            peak = max(peak, depth)
+        return total, peak
 
     def congested_links(self, top: int = 5, elapsed: float | None = None) -> list[SharedLink]:
         """The ``top`` resources by queueing delay (ties by utilization)."""

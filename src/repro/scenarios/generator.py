@@ -69,6 +69,11 @@ class ScenarioSpec:
     #: digests bit-identical) or "shared" (contention-aware fabric with a
     #: congested topology drawn deterministically from the seed)
     network_model: str = "dedicated"
+    #: PS shard slots per stage; the generator never draws shards (the
+    #: seed -> scenario mapping and digests stay frozen) — overrides come
+    #: from ``repro fuzz --shards`` or a spec's pipeline section
+    shards: int = 1
+    shard_placement: str = "size_balanced"
 
     def to_run_spec(
         self,
@@ -102,6 +107,8 @@ class ScenarioSpec:
             # appended only for shared runs so dedicated output is
             # byte-identical to the pre-netsim harness
             f"{' net=shared' if self.network_model == 'shared' else ''}"
+            # likewise only for sharded-PS runs
+            f"{f' shards={self.shards}:{self.shard_placement}' if self.shards > 1 else ''}"
         )
 
 
@@ -172,8 +179,16 @@ def materialize(spec: ScenarioSpec) -> Scenario:
     spec).
     """
     canonical = (
-        spec if spec.network_model == "dedicated"
-        else replace(spec, network_model="dedicated")
+        spec
+        if spec.network_model == "dedicated"
+        and spec.shards == 1
+        and spec.shard_placement == "size_balanced"
+        else replace(
+            spec,
+            network_model="dedicated",
+            shards=1,
+            shard_placement="size_balanced",
+        )
     )
     scenario = _materialize_cached(canonical)
     if scenario.spec is spec or scenario.spec == spec:

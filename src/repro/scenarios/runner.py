@@ -523,7 +523,7 @@ class FuzzReport:
         return "\n".join(lines)
 
 
-def _fuzz_one(args: tuple[int, str, str, bool | None, int]) -> ScenarioResult:
+def _fuzz_one(args: tuple[int, str, str, bool | None, int, int, str]) -> ScenarioResult:
     """Run a single seed end to end (the :func:`sweep_map` work item).
 
     The generated scenario is lifted into a typed
@@ -534,10 +534,15 @@ def _fuzz_one(args: tuple[int, str, str, bool | None, int]) -> ScenarioResult:
     generation failures are reported as findings rather than raised —
     the harness's contract is that *any* seed yields a verdict.
     """
-    seed, network_model, fidelity, verify_equivalence, waves_scale = args
+    seed, network_model, fidelity, verify_equivalence, waves_scale, shards, shard_placement = args
     try:
         scenario = generate_scenario(seed)
-        spec = replace(scenario.spec, network_model=network_model)
+        spec = replace(
+            scenario.spec,
+            network_model=network_model,
+            shards=shards,
+            shard_placement=shard_placement,
+        )
         run = spec.to_run_spec(
             fidelity=fidelity,
             verify_equivalence=verify_equivalence,
@@ -570,6 +575,8 @@ def run_fuzz(
     fidelity: str = "full",
     verify_equivalence: bool | None = None,
     waves_scale: int = 1,
+    shards: int = 1,
+    shard_placement: str = "size_balanced",
 ) -> FuzzReport:
     """Generate and run the scenario for every seed.
 
@@ -592,6 +599,9 @@ def run_fuzz(
     long-horizon workload where coalescing is asymptotically faster.
     Digests at the default scale 1 and fidelity "full" are bit-identical
     to the historical harness.
+    ``shards``/``shard_placement`` rerun the same seeded scenarios with
+    a K-way sharded PS (the scenario draw itself never shards, so the
+    default keeps every digest frozen).
     """
     from repro.exec import sweep_map
 
@@ -602,7 +612,10 @@ def run_fuzz(
     results = sweep_map(
         _fuzz_one,
         [
-            (seed, network_model, fidelity, verify_equivalence, waves_scale)
+            (
+                seed, network_model, fidelity, verify_equivalence,
+                waves_scale, shards, shard_placement,
+            )
             for seed in seeds
         ],
         jobs=jobs,

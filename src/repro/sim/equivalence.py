@@ -50,6 +50,10 @@ def semantic_fingerprint(runtime: "HetPipeRuntime") -> dict[str, Any]:
     }
     for vw, wave in enumerate(runtime.ps.pushed_wave):
         fp[f"ps.pushed_wave.vw{vw}"] = wave
+    # Sharded PS only (empty at shards=1, keeping legacy fingerprints
+    # key-identical): per-shard-slot cumulative bytes.
+    for slot, nbytes in enumerate(runtime.ps.shard_bytes):
+        fp[f"ps.shard_bytes.k{slot}"] = nbytes
     for vw, (pipeline, stats, gate) in enumerate(
         zip(runtime.pipelines, runtime.stats, runtime.gates)
     ):

@@ -2,8 +2,8 @@
 
 * :mod:`repro.wsp.staleness` — the s_local / s_global arithmetic and the
   admission rule.
-* :mod:`repro.wsp.placement` — default (round-robin) and local parameter
-  placement.
+* :mod:`repro.wsp.placement` — default (round-robin), local, and sharded
+  (size-balanced / locality-aware / contention-aware) parameter placement.
 * :mod:`repro.wsp.parameter_server` — sharded PS simulation with wave
   clocks.
 * :mod:`repro.wsp.runtime` — N virtual workers + PS, the full HetPipe
@@ -14,9 +14,14 @@
 from repro.wsp.measure import HetPipeMetrics, measure_hetpipe, measure_run
 from repro.wsp.parameter_server import ParameterServerSim
 from repro.wsp.placement import (
+    PlacementRequest,
     build_placements,
+    contention_aware_placement,
+    exact_split,
     local_placement,
+    locality_aware_placement,
     round_robin_placement,
+    size_balanced_placement,
     validate_local_placement,
 )
 from repro.wsp.runtime import HetPipeRuntime, VirtualWorkerStats
@@ -32,16 +37,21 @@ __all__ = [
     "HetPipeMetrics",
     "HetPipeRuntime",
     "ParameterServerSim",
+    "PlacementRequest",
     "VirtualWorkerStats",
     "admission_limit",
     "build_placements",
+    "contention_aware_placement",
     "desired_version_after_wave",
+    "exact_split",
     "global_staleness",
     "local_placement",
+    "locality_aware_placement",
     "local_staleness",
     "measure_hetpipe",
     "measure_run",
     "missing_updates",
     "round_robin_placement",
+    "size_balanced_placement",
     "validate_local_placement",
 ]

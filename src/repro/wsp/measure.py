@@ -44,6 +44,17 @@ class HetPipeMetrics:
     #: the whole run (PS streams + stage channels, or the shared fabric)
     net_queue_delay_total: float = 0.0
     net_max_queue_depth: int = 0
+    #: PS shard slots per stage and (when shards > 1) the shard
+    #: placement policy that placed them
+    shards: int = 1
+    shard_placement: str = "size_balanced"
+    #: queueing of PS traffic alone, with its attribution: "streams"
+    #: sums the dedicated per-stream channels, "fabric" re-aggregates
+    #: the shared fabric's ps.*-tagged flow waits (historically fabric
+    #: runs reported zeros here, indistinguishable from no queueing)
+    ps_queue_delay_total: float = 0.0
+    ps_max_queue_depth: int = 0
+    ps_queue_source: str = "streams"
 
     @property
     def total_concurrent_minibatches(self) -> int:
@@ -63,6 +74,8 @@ def measure_hetpipe(
     push_every_minibatch: bool = False,
     jitter: float = 0.0,
     network_model: str = "dedicated",
+    shards: int = 1,
+    shard_placement: str = "size_balanced",
 ) -> HetPipeMetrics:
     """Measure aggregate steady-state behaviour of a HetPipe deployment."""
     runtime = HetPipeRuntime(
@@ -71,6 +84,8 @@ def measure_hetpipe(
         plans,
         d=d,
         placement=placement,
+        shards=shards,
+        shard_placement=shard_placement,
         calibration=calibration,
         push_every_minibatch=push_every_minibatch,
         jitter=jitter,
@@ -130,6 +145,7 @@ def _measure_runtime(
     pipe_bytes = sum(p.cross_node_bytes() for p in runtime.pipelines) - pipe0
 
     queue_delay, queue_depth = runtime.network_queue_stats()
+    ps_queue_delay, ps_queue_depth = runtime.ps_queue_stats()
     total_minibatches = sum(done)
     total_wait = sum(waits)
     total_idle = sum(idles)
@@ -154,4 +170,9 @@ def _measure_runtime(
         network_model=runtime.network_model,
         net_queue_delay_total=queue_delay,
         net_max_queue_depth=queue_depth,
+        shards=runtime.shards,
+        shard_placement=runtime.shard_placement_policy,
+        ps_queue_delay_total=ps_queue_delay,
+        ps_max_queue_depth=ps_queue_depth,
+        ps_queue_source="fabric" if runtime.fabric is not None else "streams",
     )

@@ -44,13 +44,27 @@ class ParameterServerSim:
         num_virtual_workers: int,
         calibration: Calibration = DEFAULT_CALIBRATION,
         fabric: Fabric | None = None,
+        shards: int = 1,
     ) -> None:
+        if shards < 1:
+            raise SimulationError(f"shards must be >= 1, got {shards}")
         self.sim = sim
         self.cluster = cluster
         self.calibration = calibration
         #: shared network fabric; None keeps the historical dedicated
         #: per-(worker, stage, direction) gRPC streams
         self.fabric = fabric
+        #: PS shard slots per stage; with K > 1 each destination index in
+        #: a push/pull source list is its own PS process with a dedicated
+        #: stream and apply queue.  1 is the historical single-endpoint
+        #: model and leaves every code path bit-identical.
+        self.shards = shards
+        #: cumulative push+pull bytes per shard slot (empty at shards=1 —
+        #: the per-node accounting already covers the unsharded case)
+        self.shard_bytes: list[float] = [0.0] * shards if shards > 1 else []
+        #: per-(node, shard slot) apply queues, lazily created; the
+        #: per-node ``_apply`` processors serve only the unsharded model
+        self._shard_apply: dict[tuple[int, int], Processor] = {}
         self.pushed_wave = [-1] * num_virtual_workers
         self.global_version = -1
         self.pushes_completed = 0
@@ -65,7 +79,10 @@ class ParameterServerSim:
         self._apply: dict[int, Processor] = {
             node.node_id: Processor(sim, f"ps.apply.n{node.node_id}") for node in cluster.nodes
         }
-        self._channels: dict[tuple[int, int, str, bool], Channel] = {}
+        # Keyed (vw, stage, direction, locality) unsharded and
+        # (vw, stage, direction, "k{slot}") sharded; the two shapes never
+        # coexist in one PS instance.
+        self._channels: dict[tuple[int, int, str, object], Channel] = {}
         # Pushes from one worker apply strictly in wave order; when the
         # pipeline races ahead (D > 0) later waves queue here until the
         # previous push is fully recorded.
@@ -85,15 +102,23 @@ class ParameterServerSim:
     # different virtual workers' streams do proceed in parallel (the
     # 56 Gb/s port is far from saturated by one stream).
 
-    def _stream(self, vw_index: int, stage: int, direction: str, cross_node: bool) -> Channel:
-        key = (vw_index, stage, direction, cross_node)
+    def _stream(
+        self, vw_index: int, stage: int, direction: str, cross_node: bool,
+        shard: int | None = None,
+    ) -> Channel:
+        if shard is None:
+            key: tuple[int, int, str, object] = (vw_index, stage, direction, cross_node)
+            suffix = ""
+        else:
+            key = (vw_index, stage, direction, f"k{shard}")
+            suffix = f".k{shard}"
         channel = self._channels.get(key)
         if channel is None:
             ic = self.cluster.interconnect
             if cross_node:
-                channel = Channel(self.sim, ic.ib_effective, ic.ib_latency, f"ps.vw{vw_index}.s{stage}.{direction}.ib")
+                channel = Channel(self.sim, ic.ib_effective, ic.ib_latency, f"ps.vw{vw_index}.s{stage}.{direction}{suffix}.ib")
             else:
-                channel = Channel(self.sim, ic.pcie_effective, ic.pcie_latency, f"ps.vw{vw_index}.s{stage}.{direction}.local")
+                channel = Channel(self.sim, ic.pcie_effective, ic.pcie_latency, f"ps.vw{vw_index}.s{stage}.{direction}{suffix}.local")
             self._channels[key] = channel
         return channel
 
@@ -106,37 +131,68 @@ class ParameterServerSim:
         dst_node: int,
         nbytes: float,
         on_complete: Callable[[], None] | None,
+        shard: int | None = None,
     ) -> None:
         """Move ``nbytes`` from ``src_node`` to ``dst_node`` host memory.
 
-        Dedicated mode uses the per-stream channels above; shared mode
-        routes one flow over the fabric, contending with every other
-        transfer crossing the same lanes, switches, and NICs.
+        Dedicated mode uses the per-stream channels above (one per shard
+        slot when sharded, so a stage's K shards move in parallel);
+        shared mode routes one flow over the fabric, contending with
+        every other transfer crossing the same lanes, switches, and NICs.
         """
         if self.fabric is not None:
+            slot = "" if shard is None else f".k{shard}"
             self.fabric.transfer(
                 Endpoint.host(src_node),
                 Endpoint.host(dst_node),
                 nbytes,
                 on_complete,
-                tag=f"ps.vw{vw_index}.s{stage}.{direction}",
+                tag=f"ps.vw{vw_index}.s{stage}{slot}.{direction}",
             )
             return
-        stream = self._stream(vw_index, stage, direction, dst_node != src_node)
+        stream = self._stream(vw_index, stage, direction, dst_node != src_node, shard)
         stream.transfer(nbytes, on_complete)
 
+    def _applier(self, shard_node: int, shard: int | None) -> Processor:
+        """The apply queue for one destination: per node unsharded, per
+        (node, shard slot) sharded — each shard is its own PS process."""
+        if shard is None:
+            return self._apply[shard_node]
+        key = (shard_node, shard)
+        proc = self._shard_apply.get(key)
+        if proc is None:
+            proc = Processor(self.sim, f"ps.apply.n{shard_node}.k{shard}")
+            self._shard_apply[key] = proc
+        return proc
+
     def queue_stats(self) -> tuple[float, int]:
-        """``(total queueing delay, peak queue depth)`` over the PS's own
-        dedicated streams (zeros in fabric mode — the fabric accounts
-        shared queueing itself)."""
+        """``(total queueing delay, peak queue depth)`` of PS traffic.
+
+        Dedicated mode aggregates the PS's own per-stream channels.
+        Fabric mode aggregates the fabric's ``ps.*``-tagged flows (wait
+        per flow, peak concurrently-waiting flows) — historically this
+        silently returned zeros, indistinguishable from "no queueing";
+        the metrics layer now also labels which attribution applies.
+        """
+        if self.fabric is not None:
+            return self.fabric.tagged_queue_stats("ps.")
         total = sum(ch.queue_delay_total for ch in self._channels.values())
         depth = max((ch.max_queue_depth for ch in self._channels.values()), default=0)
         return total, depth
 
-    def _account(self, src_node: int, dst_node: int, nbytes: float) -> None:
+    def _account(
+        self, src_node: int, dst_node: int, nbytes: float, shard: int | None = None
+    ) -> None:
         self.sync_bytes_total += nbytes
         if src_node != dst_node:
             self.sync_bytes_cross_node += nbytes
+        if shard is not None:
+            self.shard_bytes[shard] += nbytes
+
+    def _shard_of(self, dest_index: int) -> int | None:
+        """Sharded PS: destination index IS the shard slot; unsharded:
+        destinations are plain per-node splits, no slot identity."""
+        return dest_index if self.shards > 1 else None
 
     # ------------------------------------------------------------------
     # push / pull
@@ -187,9 +243,9 @@ class ParameterServerSim:
 
         state = {"left": outstanding}
 
-        def transfer_done(shard_node: int, nbytes: float) -> None:
+        def transfer_done(shard_node: int, nbytes: float, shard: int | None) -> None:
             apply_time = nbytes / self.calibration.ps_apply_bandwidth
-            self._apply[shard_node].submit(apply_time, lambda: applied())
+            self._applier(shard_node, shard).submit(apply_time, lambda: applied())
 
         def applied() -> None:
             state["left"] -= 1
@@ -197,11 +253,13 @@ class ParameterServerSim:
                 self._push_recorded(vw_index, wave, on_complete)
 
         for stage, (src_node, dests) in enumerate(sources):
-            for shard_node, nbytes in dests:
-                self._account(src_node, shard_node, nbytes)
+            for index, (shard_node, nbytes) in enumerate(dests):
+                shard = self._shard_of(index)
+                self._account(src_node, shard_node, nbytes, shard)
                 self._send(
                     vw_index, stage, "push", src_node, shard_node, nbytes,
-                    (lambda shard_node=shard_node, nbytes=nbytes: transfer_done(shard_node, nbytes)),
+                    (lambda shard_node=shard_node, nbytes=nbytes, shard=shard: transfer_done(shard_node, nbytes, shard)),
+                    shard,
                 )
 
     def subscribe_push(self, observer: Callable[[int, int, int], None]) -> None:
@@ -238,15 +296,17 @@ class ParameterServerSim:
         clock still advancing only at wave boundaries.
         """
         for stage, (src_node, dests) in enumerate(sources):
-            for shard_node, nbytes in dests:
-                self._account(src_node, shard_node, nbytes)
+            for index, (shard_node, nbytes) in enumerate(dests):
+                shard = self._shard_of(index)
+                self._account(src_node, shard_node, nbytes, shard)
                 self._send(
                     vw_index, stage, "push", src_node, shard_node, nbytes,
                     (
-                        lambda shard_node=shard_node, nbytes=nbytes: self._apply[shard_node].submit(
-                            nbytes / self.calibration.ps_apply_bandwidth
-                        )
+                        lambda shard_node=shard_node, nbytes=nbytes, shard=shard: self._applier(
+                            shard_node, shard
+                        ).submit(nbytes / self.calibration.ps_apply_bandwidth)
                     ),
+                    shard,
                 )
 
     def pull(
@@ -272,9 +332,13 @@ class ParameterServerSim:
                 on_complete(version)
 
         for stage, (dst_node, dests) in enumerate(sources):
-            for shard_node, nbytes in dests:
-                self._account(shard_node, dst_node, nbytes)
-                self._send(vw_index, stage, "pull", shard_node, dst_node, nbytes, transfer_done)
+            for index, (shard_node, nbytes) in enumerate(dests):
+                shard = self._shard_of(index)
+                self._account(shard_node, dst_node, nbytes, shard)
+                self._send(
+                    vw_index, stage, "pull", shard_node, dst_node, nbytes,
+                    transfer_done, shard,
+                )
 
     # ------------------------------------------------------------------
     # version subscriptions
@@ -307,8 +371,10 @@ class ParameterServerSim:
         """Cumulative counters whose per-cycle deltas define steady state.
 
         Layout (the runtime driver indexes into it): four traffic/opcount
-        scalars, one ``pushed_wave`` entry per virtual worker, then the
-        global version.
+        scalars, one ``pushed_wave`` entry per virtual worker, the global
+        version, then (sharded PS only) one cumulative byte counter per
+        shard slot — appended so every existing index keeps its meaning
+        and the unsharded tuple is unchanged.
         """
         return (
             self.pushes_completed,
@@ -317,6 +383,7 @@ class ParameterServerSim:
             self.sync_bytes_cross_node,
             *self.pushed_wave,
             self.global_version,
+            *self.shard_bytes,
         )
 
     def ff_levels(self, now: float) -> tuple:
@@ -348,6 +415,8 @@ class ParameterServerSim:
         for vw in range(num):
             self.pushed_wave[vw] += cycles * wave_deltas[vw]
         self.global_version += cycles * deltas[4 + num]
+        for slot in range(len(self.shard_bytes)):
+            self.shard_bytes[slot] += cycles * deltas[5 + num + slot]
         for waiter in self._waiters:
             if waiter.vw is None:
                 raise SimulationError(

@@ -1,8 +1,8 @@
 """Parameter placement policies (§8.1).
 
 The parameter servers are sharded over all nodes.  A placement maps each
-stage of each virtual worker's plan to the shard nodes holding that
-stage's layers:
+stage of each virtual worker's plan to the shard destinations holding
+that stage's parameters:
 
 * **default** — layers are placed round-robin over the nodes, as
   TensorFlow's ``replica_device_setter`` does; every stage's parameters
@@ -13,18 +13,68 @@ stage's layers:
   identical ordering for identical virtual workers): the shard holding
   partition ``s`` lives on that very node, so parameter synchronization
   causes *no* cross-node traffic at all.
+
+With ``shards > 1`` each stage's parameters are additionally split into
+K shard slots, each its own PS process with its own push/pull stream and
+apply queue — the ``ShardedPS`` pattern.  Three policies pick the slot
+hosts:
+
+* **size_balanced** — slot ``j`` lives on ``node_ids[j % H]``: every
+  node hosts the same share of every stage, balancing apply load.
+* **locality_aware** — stage ``s``'s slots round-robin over the nodes
+  that actually *run* stage ``s`` in some virtual worker, so shard
+  traffic stays on nodes already touching those parameters (fully local
+  under ED).
+* **contention_aware** — greedy assignment minimizing the projected
+  peak utilization of the shared fabric resources (per-node NIC, host
+  lane, and the cluster IB switch) under the estimated per-wave PS
+  traffic, using the :class:`~repro.netsim.fabric.FabricSpec` scaled
+  bandwidths.
+
+All policies are resolved through the ``PLACEMENTS`` registry
+(:mod:`repro.api.registry`); unknown names raise
+:class:`~repro.errors.UnknownNameError` listing the available policies.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
 
 from repro.errors import ConfigurationError
 from repro.models.graph import ModelGraph
 from repro.partition.spec import PartitionPlan
 
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.cluster.topology import Cluster
+    from repro.netsim.fabric import FabricSpec
+
 #: For one plan: per stage, the shard destinations as (node_id, bytes).
 StagePlacement = list[list[tuple[int, float]]]
+
+
+def exact_split(total: float, parts: int) -> list[float]:
+    """Split ``total`` bytes into ``parts`` shares summing *exactly* to it.
+
+    Every share is the naive ``total * (1/parts)`` of the historical
+    uniform split; only when the left-to-right float sum of those shares
+    fails to reconstruct ``total`` (e.g. 3-way splits of awkward totals)
+    is the last share replaced by the exact residual ``total - head``.
+    The residual subtraction is exact (``head`` is within a factor two
+    of ``total`` for ``parts >= 2``, Sterbenz), so the returned shares
+    always sum to ``total`` bit-for-bit while already-conserving splits
+    stay untouched.
+    """
+    if parts < 1:
+        raise ConfigurationError(f"cannot split into {parts} parts")
+    if parts == 1:
+        return [total]
+    share = total * (1.0 / parts)
+    head = 0.0
+    for _ in range(parts - 1):
+        head += share
+    last = share if head + share == total else total - head
+    return [share] * (parts - 1) + [last]
 
 
 def round_robin_placement(
@@ -40,17 +90,19 @@ def round_robin_placement(
     stage's parameter bytes irrespective of where the stage runs.  We
     model exactly that uniform split — which is what makes default
     placement pay cross-node traffic for (H-1)/H of all synchronization
-    bytes, the behaviour the 'local' policy eliminates (§8.3).
+    bytes, the behaviour the 'local' policy eliminates (§8.3).  The
+    per-node shares come from :func:`exact_split`, so they sum to the
+    stage total exactly.
     """
     if not node_ids:
         raise ConfigurationError("placement needs at least one node")
-    share = 1.0 / len(node_ids)
     placement: StagePlacement = []
     for stage in plan.stages:
         stage_bytes = sum(
             model.layers[i].param_bytes for i in range(stage.start, stage.stop)
         )
-        placement.append([(node, stage_bytes * share) for node in node_ids])
+        shares = exact_split(stage_bytes, len(node_ids))
+        placement.append(list(zip(node_ids, shares)))
     return placement
 
 
@@ -79,19 +131,248 @@ def validate_local_placement(plans: Sequence[PartitionPlan]) -> None:
             )
 
 
+# ----------------------------------------------------------------------
+# sharded policies (shards > 1)
+# ----------------------------------------------------------------------
+# Shard identity is the slot position j in a stage's destination list:
+# slot j of stage s maps to ONE node for every virtual worker, so all
+# workers push to / pull from the same K PS processes per stage.
+
+
+def _shard_map_from_slots(
+    plan: PartitionPlan, node_of_slot: Sequence[Sequence[int]]
+) -> StagePlacement:
+    """Per-plan placement from a shared ``(stage, slot) -> node`` map."""
+    placement: StagePlacement = []
+    for stage in plan.stages:
+        slots = node_of_slot[stage.index]
+        shares = exact_split(stage.param_bytes, len(slots))
+        placement.append(list(zip(slots, shares)))
+    return placement
+
+
+def size_balanced_placement(
+    plans: Sequence[PartitionPlan], node_ids: Sequence[int], shards: int
+) -> list[StagePlacement]:
+    """Slot ``j`` of every stage lives on ``node_ids[j % H]``.
+
+    Every node hosts the same byte share of every stage (the ShardedPS
+    layout), so shard apply load is balanced but (H-1)/H of the traffic
+    still crosses the network.
+    """
+    if not node_ids:
+        raise ConfigurationError("placement needs at least one node")
+    max_k = max(plan.k for plan in plans)
+    node_of_slot = [
+        [node_ids[j % len(node_ids)] for j in range(shards)] for _ in range(max_k)
+    ]
+    return [_shard_map_from_slots(plan, node_of_slot) for plan in plans]
+
+
+def locality_aware_placement(
+    plans: Sequence[PartitionPlan], node_ids: Sequence[int], shards: int
+) -> list[StagePlacement]:
+    """Stage ``s``'s slots round-robin over the nodes running stage ``s``.
+
+    A stage's shards only live on nodes whose GPUs compute that stage in
+    *some* virtual worker, so pushes/pulls from those workers stay
+    node-local.  Under ED (every worker runs stage ``s`` on the same
+    node) all traffic is local; under NP the slots spread over the
+    workers' home nodes.
+    """
+    if not node_ids:
+        raise ConfigurationError("placement needs at least one node")
+    max_k = max(plan.k for plan in plans)
+    node_of_slot: list[list[int]] = []
+    for s in range(max_k):
+        hosts = sorted(
+            {plan.stages[s].gpu.node_id for plan in plans if s < plan.k}
+        ) or list(node_ids)
+        node_of_slot.append([hosts[j % len(hosts)] for j in range(shards)])
+    return [_shard_map_from_slots(plan, node_of_slot) for plan in plans]
+
+
+def contention_aware_placement(
+    plans: Sequence[PartitionPlan],
+    node_ids: Sequence[int],
+    shards: int,
+    cluster: "Cluster",
+    fabric_spec: "FabricSpec | None" = None,
+) -> list[StagePlacement]:
+    """Greedy slot assignment minimizing projected fabric hot spots.
+
+    For each ``(stage, slot)`` in order, pick the node whose assignment
+    yields the lowest projected *peak* utilization across the shared
+    fabric resources (per-node host lanes and NICs, the cluster-wide IB
+    switch), charging each candidate with the per-wave push+pull seconds
+    the slot would add.  Bandwidths come from the cluster interconnect
+    scaled by the :class:`~repro.netsim.fabric.FabricSpec`, so a fuzz-
+    drawn congested fabric shifts the placement the same way it shifts
+    the simulated contention.  Deterministic: ties break on the lowest
+    node id.
+    """
+    from repro.netsim.fabric import DEFAULT_FABRIC_SPEC
+
+    if not node_ids:
+        raise ConfigurationError("placement needs at least one node")
+    if cluster is None:
+        raise ConfigurationError("contention_aware placement needs the cluster")
+    spec = fabric_spec if fabric_spec is not None else DEFAULT_FABRIC_SPEC
+    ic = cluster.interconnect
+    host_bw = ic.pcie_effective * spec.pcie_lane_scale
+    nic_bw = ic.ib_effective * spec.nic_scale
+    ib_scale = (
+        spec.ib_fabric_scale
+        if spec.ib_fabric_scale is not None
+        else max(1.0, len(cluster.nodes) / 2.0)
+    )
+    ib_bw = ic.ib_effective * ib_scale
+
+    load: dict[tuple[str, int], float] = {}
+    for node in node_ids:
+        load[("host", node)] = 0.0
+        load[("nic", node)] = 0.0
+    load[("ib", -1)] = 0.0
+
+    max_k = max(plan.k for plan in plans)
+    # Per stage: the worker home nodes pushing/pulling it, and the mean
+    # per-worker byte share one slot carries (estimation only — the
+    # emitted placement uses each plan's exact stage bytes).
+    stage_sources: list[list[int]] = []
+    slot_bytes: list[float] = []
+    for s in range(max_k):
+        sources = [plan.stages[s].gpu.node_id for plan in plans if s < plan.k]
+        sizes = [plan.stages[s].param_bytes for plan in plans if s < plan.k]
+        stage_sources.append(sources)
+        slot_bytes.append((sum(sizes) / len(sizes)) / shards if sizes else 0.0)
+
+    def added(slot_node: int, s: int) -> dict[tuple[str, int], float]:
+        # Each worker both pushes and pulls the slot's bytes every wave.
+        delta: dict[tuple[str, int], float] = {}
+        for src in stage_sources[s]:
+            traffic = 2.0 * slot_bytes[s]
+            delta[("host", slot_node)] = delta.get(("host", slot_node), 0.0) + traffic / host_bw
+            delta[("host", src)] = delta.get(("host", src), 0.0) + traffic / host_bw
+            if src != slot_node:
+                delta[("nic", src)] = delta.get(("nic", src), 0.0) + traffic / nic_bw
+                delta[("nic", slot_node)] = delta.get(("nic", slot_node), 0.0) + traffic / nic_bw
+                delta[("ib", -1)] = delta.get(("ib", -1), 0.0) + traffic / ib_bw
+        return delta
+
+    node_of_slot: list[list[int]] = [[] for _ in range(max_k)]
+    for s in range(max_k):
+        for _slot in range(shards):
+            best_node = None
+            best_score = None
+            for node in node_ids:
+                delta = added(node, s)
+                score = max(
+                    load[key] + delta.get(key, 0.0) for key in load
+                )
+                if best_score is None or score < best_score:
+                    best_score = score
+                    best_node = node
+            assert best_node is not None
+            for key, extra in added(best_node, s).items():
+                load[key] = load.get(key, 0.0) + extra
+            node_of_slot[s].append(best_node)
+    return [_shard_map_from_slots(plan, node_of_slot) for plan in plans]
+
+
+# ----------------------------------------------------------------------
+# registry-facing entry points
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PlacementRequest:
+    """Everything a placement policy may consult.
+
+    ``cluster`` and ``fabric_spec`` are optional context: only the
+    contention-aware policy needs the cluster, and the fabric spec
+    defaults to the uncongested model when absent.
+    """
+
+    model: ModelGraph
+    plans: tuple[PartitionPlan, ...]
+    node_ids: tuple[int, ...]
+    shards: int = 1
+    cluster: "Cluster | None" = None
+    fabric_spec: "FabricSpec | None" = None
+
+
+def _require_unsharded(request: PlacementRequest, policy: str) -> None:
+    if request.shards != 1:
+        raise ConfigurationError(
+            f"placement policy {policy!r} does not shard stages; "
+            f"use shards=1 or a shard placement policy "
+            f"(size_balanced/locality_aware/contention_aware)"
+        )
+
+
+def _policy_default(request: PlacementRequest) -> list[StagePlacement]:
+    _require_unsharded(request, "default")
+    return [
+        round_robin_placement(request.model, plan, request.node_ids)
+        for plan in request.plans
+    ]
+
+
+def _policy_local(request: PlacementRequest) -> list[StagePlacement]:
+    _require_unsharded(request, "local")
+    validate_local_placement(request.plans)
+    return [local_placement(request.model, plan) for plan in request.plans]
+
+
+def _policy_size_balanced(request: PlacementRequest) -> list[StagePlacement]:
+    return size_balanced_placement(request.plans, request.node_ids, request.shards)
+
+
+def _policy_locality_aware(request: PlacementRequest) -> list[StagePlacement]:
+    return locality_aware_placement(request.plans, request.node_ids, request.shards)
+
+
+def _policy_contention_aware(request: PlacementRequest) -> list[StagePlacement]:
+    if request.cluster is None:
+        raise ConfigurationError(
+            "contention_aware placement needs the cluster topology; "
+            "build placements via HetPipeRuntime or pass cluster= to "
+            "build_placements"
+        )
+    return contention_aware_placement(
+        request.plans,
+        request.node_ids,
+        request.shards,
+        request.cluster,
+        request.fabric_spec,
+    )
+
+
 def build_placements(
     model: ModelGraph,
     plans: Sequence[PartitionPlan],
     node_ids: Sequence[int],
     policy: str,
+    shards: int = 1,
+    cluster: "Cluster | None" = None,
+    fabric_spec: "FabricSpec | None" = None,
 ) -> list[StagePlacement]:
     """Placement for every virtual worker under ``policy``.
 
-    ``policy`` is ``"default"`` (round-robin) or ``"local"``.
+    Policies are looked up in the ``PLACEMENTS`` registry; an unknown
+    name raises :class:`~repro.errors.UnknownNameError` listing the
+    available policies (a :class:`ConfigurationError` subclass, so the
+    CLI exits 2).
     """
-    if policy == "default":
-        return [round_robin_placement(model, plan, node_ids) for plan in plans]
-    if policy == "local":
-        validate_local_placement(plans)
-        return [local_placement(model, plan) for plan in plans]
-    raise ConfigurationError(f"unknown placement policy {policy!r}")
+    from repro.api.registry import PLACEMENTS  # local: registry imports us lazily
+
+    factory = PLACEMENTS.get(policy)
+    request = PlacementRequest(
+        model=model,
+        plans=tuple(plans),
+        node_ids=tuple(node_ids),
+        shards=shards,
+        cluster=cluster,
+        fabric_spec=fabric_spec,
+    )
+    return factory(request)

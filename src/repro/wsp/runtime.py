@@ -86,6 +86,8 @@ class HetPipeRuntime:
         plans: Sequence[PartitionPlan],
         d: int = 0,
         placement: str = "default",
+        shards: int = 1,
+        shard_placement: str = "size_balanced",
         calibration: Calibration = DEFAULT_CALIBRATION,
         trace: Trace | None = None,
         push_every_minibatch: bool = False,
@@ -117,12 +119,16 @@ class HetPipeRuntime:
             raise ConfigurationError(
                 f"unknown network_model {network_model!r}; expected one of {NETWORK_MODELS}"
             )
+        if not isinstance(shards, int) or isinstance(shards, bool) or shards < 1:
+            raise ConfigurationError(f"shards must be an int >= 1, got {shards!r}")
         self.cluster = cluster
         self.model = model
         self.plans = list(plans)
         self.d = d
         self.nm = self.plans[0].nm
         self.placement_policy = placement
+        self.shards = shards
+        self.shard_placement_policy = shard_placement
         self.calibration = calibration
         self.push_every_minibatch = push_every_minibatch
         self.network_model = network_model
@@ -137,10 +143,18 @@ class HetPipeRuntime:
         self.trace = trace if trace is not None else Trace(enabled=False)
         self.oracles = list(oracles)
         self.ps = ParameterServerSim(
-            self.sim, cluster, len(self.plans), calibration, fabric=self.fabric
+            self.sim, cluster, len(self.plans), calibration, fabric=self.fabric,
+            shards=shards,
         )
         node_ids = [node.node_id for node in cluster.nodes]
-        self.placements: list[StagePlacement] = build_placements(model, self.plans, node_ids, placement)
+        # Unsharded runs keep the historical policies; with K > 1 shard
+        # slots the shard placement policy picks the slot hosts instead.
+        effective_policy = shard_placement if shards > 1 else placement
+        self.placements: list[StagePlacement] = build_placements(
+            model, self.plans, node_ids, effective_policy,
+            shards=shards, cluster=cluster,
+            fabric_spec=fabric_spec if network_model == "shared" else None,
+        )
 
         self.gates: list[_WSPGate] = []
         self.pipelines: list[VirtualWorkerPipeline] = []
@@ -253,6 +267,8 @@ class HetPipeRuntime:
             list(plans),
             d=run.pipeline.d,
             placement=run.pipeline.placement,
+            shards=run.pipeline.shards,
+            shard_placement=run.pipeline.shard_placement,
             calibration=build_calibration(run.calibration),
             trace=trace,
             push_every_minibatch=run.pipeline.push_every_minibatch,
@@ -410,6 +426,13 @@ class HetPipeRuntime:
     def total_minibatches_done(self) -> int:
         return sum(stats.minibatches_done for stats in self.stats)
 
+    def ps_queue_stats(self) -> tuple[float, int]:
+        """``(total queueing delay, peak queue depth)`` of PS traffic
+        alone: the dedicated PS streams, or — in fabric mode — the
+        ``ps.*``-tagged flows' waits (see
+        :meth:`repro.netsim.fabric.Fabric.tagged_queue_stats`)."""
+        return self.ps.queue_stats()
+
     def network_queue_stats(self) -> tuple[float, int]:
         """``(total queueing delay, peak queue depth)`` across the run's
         network: the shared fabric when one is attached, otherwise the
@@ -470,6 +493,7 @@ class _RuntimeFastForward:
         return [
             *self._pipe_comps,
             *ps._apply.values(),
+            *ps._shard_apply.values(),
             *ps._channels.values(),
             ps,
         ]

@@ -19,6 +19,7 @@ from repro.api.spec import (
     FIDELITIES,
     NETWORK_MODELS,
     PLACEMENT_POLICIES,
+    SHARD_PLACEMENT_POLICIES,
     SPEC_SCHEMA,
     ClusterSpec,
     ExperimentSpec,
@@ -66,6 +67,8 @@ pipelines = st.builds(
     d=st.integers(min_value=0, max_value=8),
     allocation=st.sampled_from(ALLOCATION_POLICIES),
     placement=st.sampled_from(PLACEMENT_POLICIES),
+    shards=st.integers(min_value=1, max_value=4),
+    shard_placement=st.sampled_from(SHARD_PLACEMENT_POLICIES),
     planner=st.sampled_from(["dp", "dp_ordered", "bnb"]),
     push_every_minibatch=st.booleans(),
     jitter=st.sampled_from([0.0, 0.05, 0.1, 0.2]),
@@ -185,6 +188,21 @@ class TestValidation:
                 {"kind": "scenario", "model": {"name": "vgg19"},
                  "pipeline": {"nm": 1}, "fidelity": {"fidelity": "approximate"}},
                 "fidelity.fidelity",
+            ),
+            (
+                {"kind": "scenario", "model": {"name": "vgg19"},
+                 "pipeline": {"nm": 1, "shards": 0}},
+                "pipeline.shards",
+            ),
+            (
+                {"kind": "scenario", "model": {"name": "vgg19"},
+                 "pipeline": {"nm": 1, "shards": True}},
+                "pipeline.shards",
+            ),
+            (
+                {"kind": "scenario", "model": {"name": "vgg19"},
+                 "pipeline": {"nm": 1, "shards": 2, "shard_placement": "random"}},
+                "pipeline.shard_placement",
             ),
             ({"kind": "scenario", "model": {"name": "m"}, "bogus": 1}, "bogus"),
             (

@@ -2,11 +2,13 @@
 
 import pytest
 
-from repro.errors import ConfigurationError
+from repro.cluster.catalog import paper_cluster
+from repro.errors import ConfigurationError, UnknownNameError
 from repro.models.calibration import DEFAULT_CALIBRATION
 from repro.partition import plan_virtual_worker
 from repro.wsp import (
     build_placements,
+    exact_split,
     local_placement,
     round_robin_placement,
     validate_local_placement,
@@ -45,9 +47,46 @@ class TestRoundRobin:
         total = sum(b for stage in placement for _, b in stage)
         assert total == pytest.approx(resnet152.param_bytes)
 
+    @pytest.mark.parametrize("nodes", [[0, 1, 2], [0, 1, 2, 3]])
+    def test_per_stage_bytes_conserved_exactly(self, resnet152, ed_plans, nodes):
+        """Per-node shares must sum to the stage total *exactly*, not
+        approximately — odd node counts used to drift by ULPs."""
+        placement = round_robin_placement(resnet152, ed_plans[0], nodes)
+        for stage, stage_dests in zip(ed_plans[0].stages, placement):
+            acc = 0.0
+            for _, nbytes in stage_dests:
+                acc += nbytes
+            assert acc == stage.param_bytes
+
     def test_empty_nodes_rejected(self, resnet152, ed_plans):
         with pytest.raises(ConfigurationError):
             round_robin_placement(resnet152, ed_plans[0], [])
+
+
+class TestExactSplit:
+    @pytest.mark.parametrize("total", [float(2**53 - 1), 1e9 + 1.0, 12345678.9])
+    @pytest.mark.parametrize("parts", [3, 5, 7])
+    def test_left_to_right_sum_reconstructs_total(self, total, parts):
+        """The conservation oracle sums shares left to right — that sum
+        must reconstruct the stage total bit-for-bit, even for splits
+        where the naive ``total * (1/parts)`` shares drift."""
+        shares = exact_split(total, parts)
+        acc = 0.0
+        for share in shares:
+            acc += share
+        assert acc == total
+
+    def test_already_conserving_splits_stay_naive(self):
+        """Power-of-two splits of clean totals were already exact; the
+        fix must not perturb them (seed digests depend on it)."""
+        assert exact_split(1024.0, 4) == [256.0] * 4
+
+    def test_single_part_is_identity(self):
+        assert exact_split(123.25, 1) == [123.25]
+
+    def test_zero_parts_rejected(self):
+        with pytest.raises(ConfigurationError):
+            exact_split(1.0, 0)
 
 
 class TestLocal:
@@ -77,6 +116,17 @@ class TestLocal:
         with pytest.raises(ConfigurationError):
             validate_local_placement([])
 
+    def test_validate_rejects_mismatched_stage_counts(self, cluster, vgg19, profiler):
+        plans = [
+            plan_virtual_worker(
+                vgg19, cluster.nodes[0].gpus[:n], 1, cluster.interconnect,
+                DEFAULT_CALIBRATION, profiler, search_orderings=False,
+            )
+            for n in (2, 3)
+        ]
+        with pytest.raises(ConfigurationError, match="stage count"):
+            validate_local_placement(plans)
+
 
 class TestBuildPlacements:
     def test_default_policy(self, cluster, resnet152, ed_plans):
@@ -90,3 +140,103 @@ class TestBuildPlacements:
     def test_unknown_policy(self, cluster, resnet152, ed_plans):
         with pytest.raises(ConfigurationError):
             build_placements(resnet152, ed_plans, [0, 1, 2, 3], "magic")
+
+    def test_unknown_policy_is_typed_and_lists_names(self, resnet152, ed_plans):
+        with pytest.raises(UnknownNameError) as excinfo:
+            build_placements(resnet152, ed_plans, [0, 1, 2, 3], "magic")
+        message = str(excinfo.value)
+        for name in ("default", "local", "size_balanced",
+                     "locality_aware", "contention_aware"):
+            assert name in message
+
+    def test_unsharded_policies_reject_shards(self, resnet152, ed_plans):
+        for policy in ("default", "local"):
+            with pytest.raises(ConfigurationError, match="shard"):
+                build_placements(
+                    resnet152, ed_plans, [0, 1, 2, 3], policy, shards=2
+                )
+
+
+class TestShardPolicies:
+    NODES = [0, 1, 2, 3]
+
+    def test_size_balanced_covers_nodes_and_conserves(self, resnet152, ed_plans):
+        placements = build_placements(
+            resnet152, ed_plans, self.NODES, "size_balanced", shards=5
+        )
+        for plan, placement in zip(ed_plans, placements):
+            for stage, dests in zip(plan.stages, placement):
+                assert [n for n, _ in dests] == [0, 1, 2, 3, 0]
+                acc = 0.0
+                for _, nbytes in dests:
+                    acc += nbytes
+                assert acc == stage.param_bytes
+
+    def test_slot_maps_to_one_node_across_workers(self, resnet152, ed_plans):
+        """Slot ``j`` of stage ``s`` is one PS process — every virtual
+        worker must address the same node for it."""
+        for policy in ("size_balanced", "locality_aware"):
+            placements = build_placements(
+                resnet152, ed_plans, self.NODES, policy, shards=3
+            )
+            reference = [[n for n, _ in dests] for dests in placements[0]]
+            for placement in placements[1:]:
+                assert [[n for n, _ in dests] for dests in placement] == reference
+
+    def test_locality_aware_is_fully_local_under_ed(self, resnet152, ed_plans):
+        """ED runs stage ``s`` on the same node in every worker, so all
+        of that stage's shards stay on that node: zero cross-node bytes."""
+        placements = build_placements(
+            resnet152, ed_plans, self.NODES, "locality_aware", shards=4
+        )
+        for plan, placement in zip(ed_plans, placements):
+            for stage, dests in zip(plan.stages, placement):
+                assert all(n == stage.gpu.node_id for n, _ in dests)
+
+    @pytest.mark.parametrize("policy", ["size_balanced", "locality_aware"])
+    def test_empty_node_ids_rejected(self, resnet152, ed_plans, policy):
+        with pytest.raises(ConfigurationError):
+            build_placements(resnet152, ed_plans, [], policy, shards=2)
+
+    def test_contention_aware_requires_cluster(self, resnet152, ed_plans):
+        with pytest.raises(ConfigurationError, match="cluster"):
+            build_placements(
+                resnet152, ed_plans, self.NODES, "contention_aware", shards=2
+            )
+
+    def test_contention_aware_deterministic_and_conserving(
+        self, cluster, resnet152, ed_plans
+    ):
+        first = build_placements(
+            resnet152, ed_plans, self.NODES, "contention_aware",
+            shards=3, cluster=cluster,
+        )
+        second = build_placements(
+            resnet152, ed_plans, self.NODES, "contention_aware",
+            shards=3, cluster=cluster,
+        )
+        assert first == second
+        for plan, placement in zip(ed_plans, first):
+            for stage, dests in zip(plan.stages, placement):
+                assert len(dests) == 3
+                assert all(n in self.NODES for n, _ in dests)
+                acc = 0.0
+                for _, nbytes in dests:
+                    acc += nbytes
+                assert acc == stage.param_bytes
+
+    def test_single_node_cluster_stays_local(self, vgg19, profiler):
+        """With one node every policy must keep all shard bytes on it —
+        cross-node traffic cannot appear out of thin air."""
+        single = paper_cluster(node_codes="V")
+        plan = plan_virtual_worker(
+            vgg19, single.nodes[0].gpus, 1, single.interconnect,
+            DEFAULT_CALIBRATION, profiler, search_orderings=False,
+        )
+        for policy in ("size_balanced", "locality_aware", "contention_aware"):
+            placements = build_placements(
+                vgg19, [plan], [0], policy, shards=4, cluster=single
+            )
+            assert all(
+                n == 0 for dests in placements[0] for n, _ in dests
+            )

@@ -162,6 +162,45 @@ class TestPlacementTraffic:
         assert local > default
 
 
+class TestShardedPS:
+    def test_shard_bytes_account_for_all_sync_traffic(
+        self, cluster, resnet152, ed_plans
+    ):
+        """Every synchronized byte is attributed to exactly one shard
+        slot: the per-slot ledgers must sum to the PS total exactly."""
+        runtime = HetPipeRuntime(
+            cluster, resnet152, ed_plans, d=0,
+            shards=4, shard_placement="size_balanced",
+        )
+        runtime.start()
+        runtime.run_until_global_version(3)
+        assert len(runtime.ps.shard_bytes) == 4
+        assert all(nbytes > 0 for nbytes in runtime.ps.shard_bytes)
+        assert sum(runtime.ps.shard_bytes) == pytest.approx(
+            runtime.ps.sync_bytes_total, rel=1e-12
+        )
+
+    def test_locality_aware_sharding_zero_cross_node_under_ed(
+        self, cluster, resnet152, ed_plans
+    ):
+        """Locality-aware shards sit on the stage's own node under ED,
+        so like 'local' placement the sync traffic never crosses nodes."""
+        metrics = measure_hetpipe(
+            cluster, resnet152, ed_plans, d=0,
+            shards=4, shard_placement="locality_aware",
+            warmup_waves=2, measured_waves=4,
+        )
+        assert metrics.sync_cross_node_bytes_per_wave == 0.0
+        assert metrics.shards == 4
+        assert metrics.shard_placement == "locality_aware"
+
+    def test_invalid_shards_rejected(self, cluster, resnet152, ed_plans):
+        with pytest.raises(ConfigurationError):
+            HetPipeRuntime(cluster, resnet152, ed_plans, d=0, shards=0)
+        with pytest.raises(ConfigurationError):
+            HetPipeRuntime(cluster, resnet152, ed_plans, d=0, shards=True)
+
+
 class TestWaveAggregation:
     def test_per_minibatch_push_moves_more_bytes(self, cluster, resnet152, ed_plans):
         wave = measure_hetpipe(
