@@ -37,6 +37,7 @@ _EXPORTS = {
     "FidelitySpec": "repro.api.spec",
     "ModelSpec": "repro.api.spec",
     "NetworkSpec": "repro.api.spec",
+    "ObservabilitySpec": "repro.api.spec",
     "PipelineSpec": "repro.api.spec",
     "RunSpec": "repro.api.spec",
     "SweepAxis": "repro.api.spec",
@@ -108,6 +109,7 @@ if TYPE_CHECKING:  # static analyzers see the eager imports
         FidelitySpec,
         ModelSpec,
         NetworkSpec,
+        ObservabilitySpec,
         PipelineSpec,
         RunSpec,
         SweepAxis,

@@ -254,6 +254,46 @@ class FidelitySpec:
 
 
 @dataclass(frozen=True)
+class ObservabilitySpec:
+    """Telemetry knobs for one run (the :mod:`repro.obs` subsystem).
+
+    Off by default — a spec without this section (or with
+    ``enabled: false``) runs exactly the historical code path, and its
+    canonical form omits the section entirely so ``spec_hash`` of every
+    pre-observability spec is unchanged.
+    """
+
+    enabled: bool = False
+    #: Utilization/queue-depth sampling cadence in simulated seconds;
+    #: 0 disables the periodic sampler (spans and counters still flow).
+    sample_every: float = 0.0
+    #: Ring-buffer capacity for last-N trace records kept for
+    #: diagnostics bundles.
+    ring_buffer: int = 256
+
+    def __post_init__(self) -> None:
+        _require(
+            isinstance(self.enabled, bool),
+            f"observability.enabled must be true/false, got {self.enabled!r}",
+        )
+        _require(
+            isinstance(self.sample_every, (int, float))
+            and not isinstance(self.sample_every, bool)
+            and float(self.sample_every) >= 0.0,
+            f"observability.sample_every must be a number >= 0, "
+            f"got {self.sample_every!r}",
+        )
+        object.__setattr__(self, "sample_every", float(self.sample_every))
+        _require(
+            isinstance(self.ring_buffer, int)
+            and not isinstance(self.ring_buffer, bool)
+            and self.ring_buffer >= 1,
+            f"observability.ring_buffer must be an int >= 1, "
+            f"got {self.ring_buffer!r}",
+        )
+
+
+@dataclass(frozen=True)
 class ExperimentSpec:
     """A paper figure/table regeneration, by registry name."""
 
@@ -321,8 +361,14 @@ class RunSpec:
     oracles: str = "default"
     experiment: ExperimentSpec | None = None
     sweep: SweepSpec | None = None
+    observability: ObservabilitySpec | None = None
 
     def __post_init__(self) -> None:
+        # A disabled observability section is behaviorally identical to
+        # an absent one; normalize to None so both forms serialize (and
+        # hash) the same way.
+        if self.observability is not None and not self.observability.enabled:
+            object.__setattr__(self, "observability", None)
         _require(
             self.kind in RUN_KINDS,
             f"kind must be one of {list(RUN_KINDS)}, got {self.kind!r}",
@@ -369,6 +415,10 @@ class RunSpec:
     def to_dict(self) -> dict[str, Any]:
         """Plain-JSON-types dict, schema tag included (tuples -> lists)."""
         payload = _asdict_plain(self)
+        # Absent observability is the historical layout: omit the key
+        # entirely so pre-observability specs keep their spec_hash.
+        if payload.get("observability") is None:
+            del payload["observability"]
         payload["schema"] = SPEC_SCHEMA
         return payload
 
@@ -426,10 +476,11 @@ _SECTION_TYPES: dict[str, type] = {
     "fidelity": FidelitySpec,
     "experiment": ExperimentSpec,
     "sweep": SweepSpec,
+    "observability": ObservabilitySpec,
 }
 
 #: Sections that may be null / absent.
-_OPTIONAL_SECTIONS = {"model", "experiment", "sweep"}
+_OPTIONAL_SECTIONS = {"model", "experiment", "sweep", "observability"}
 
 
 def _asdict_plain(value: Any) -> Any:

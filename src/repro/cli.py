@@ -70,6 +70,12 @@ def build_parser() -> argparse.ArgumentParser:
         prog="hetpipe",
         description="HetPipe (ATC'20) reproduction: regenerate the paper's tables and figures",
     )
+    parser.add_argument(
+        "--log-level", choices=["debug", "info", "warning", "error"],
+        default="warning",
+        help="stdlib logging threshold for the repro.* loggers "
+        "(default: warning, which keeps historical output unchanged)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("fig3", help="single-VW throughput/utilization vs Nm")
@@ -147,6 +153,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="shard placement policy used when --shards > 1 "
         "(default: size_balanced)",
     )
+    p.add_argument(
+        "--bundle-dir", default=None, metavar="DIR",
+        help="on any oracle violation, re-run the failing seed with "
+        "diagnostics capture and write one reproducible bundle directory "
+        "per failure under DIR (spec.json + trace ring + oracle state + "
+        "queue snapshots; replay with `repro run <bundle>/spec.json`)",
+    )
     p = sub.add_parser(
         "bench",
         help="time the hot paths (fuzz throughput, engine/trace micro-ops, "
@@ -186,9 +199,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--profile", action="store_true",
-        help="run the suite under cProfile and write the top-25 "
-        "cumulative functions next to the --out path (BENCH_profile.txt) "
-        "so perf PRs can attribute regressions without ad-hoc scripts",
+        help="run the suite under cProfile, print the human top-25 to "
+        "stdout, and write the structured hetpipe-profile/1 JSON next to "
+        "the --out path (BENCH_profile.json) so profiles are diffable "
+        "across PRs",
     )
     p = sub.add_parser(
         "netsim",
@@ -245,6 +259,17 @@ def build_parser() -> argparse.ArgumentParser:
         "spec is one deterministic simulation and always runs serially)",
     )
     p = sub.add_parser(
+        "trace",
+        help="run one RunSpec instrumented and export a Chrome-trace/"
+        "Perfetto timeline JSON (one track per GPU/processor/channel/"
+        "fabric resource; open at ui.perfetto.dev)",
+    )
+    p.add_argument("spec", metavar="SPEC.json", help="path to a scenario RunSpec file")
+    p.add_argument(
+        "--out", default="run.trace.json", metavar="PATH",
+        help="timeline output path (default: %(default)s)",
+    )
+    p = sub.add_parser(
         "sweep",
         help="expand a RunSpec's sweep grid and run every point "
         "(in-order results, per-point spec_hash)",
@@ -279,6 +304,12 @@ def _load_spec(path: str):
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    import logging
+
+    logging.basicConfig(
+        level=getattr(logging, args.log_level.upper()),
+        format="%(levelname)s %(name)s: %(message)s",
+    )
     from repro.errors import ConfigurationError, PartitionError
 
     try:
@@ -348,6 +379,7 @@ def _dispatch(args) -> int:
             waves_scale=args.waves_scale,
             shards=args.shards,
             shard_placement=args.shard_placement,
+            bundle_dir=args.bundle_dir,
         )
         print(report.summary())
         return 1 if report.failures else 0
@@ -386,6 +418,30 @@ def _dispatch(args) -> int:
                 print(f"  - {violation}")
             return 1
         return 0
+    elif args.command == "trace":
+        import json
+
+        from repro.errors import SpecError
+        from repro.obs.timeline import trace_run
+
+        spec = _load_spec(args.spec)
+        if spec.kind != "scenario" or spec.sweep is not None:
+            raise SpecError(
+                "`repro trace` instruments a single scenario run; "
+                f"got kind={spec.kind!r}"
+                + (" with a sweep section (use `repro sweep`)" if spec.sweep else "")
+            )
+        payload = trace_run(spec)
+        with open(args.out, "w") as fh:
+            json.dump(payload, fh)
+            fh.write("\n")
+        meta = payload["otherData"]
+        print(
+            f"trace: {len(payload['traceEvents'])} events "
+            f"({meta['spans']} spans, {meta['annotations']} annotations, "
+            f"{meta['samples']} samples) -> {args.out}"
+        )
+        print("open in chrome://tracing or https://ui.perfetto.dev")
     elif args.command == "sweep":
         from repro.api.run import run_sweep
 

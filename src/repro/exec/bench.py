@@ -405,12 +405,50 @@ def write_payload(payload: dict[str, Any], path: str) -> None:
         fh.write("\n")
 
 
+#: Schema tag for the structured cProfile payload.
+PROFILE_SCHEMA = "hetpipe-profile/1"
+
+#: Entries kept in the structured profile (by cumulative time).
+PROFILE_TOP = 50
+
+
 def profile_path_for(out: str) -> str:
     """Where ``--profile`` writes: next to ``--out`` (or the cwd)."""
     import os
 
     directory = os.path.dirname(out) if out else ""
-    return os.path.join(directory, "BENCH_profile.txt") if directory else "BENCH_profile.txt"
+    return os.path.join(directory, "BENCH_profile.json") if directory else "BENCH_profile.json"
+
+
+def profile_payload(profiler) -> dict[str, Any]:
+    """Structured, diffable view of a cProfile run.
+
+    Entries are the top-:data:`PROFILE_TOP` functions by cumulative
+    time, each carrying the ``pstats`` counters (primitive/total calls,
+    self and cumulative seconds) keyed by ``file:line(function)`` — the
+    stable identity profiles can be compared across PRs by.
+    """
+    import pstats
+
+    stats = pstats.Stats(profiler)
+    entries = []
+    for (filename, line, name), (cc, nc, tt, ct, _callers) in stats.stats.items():
+        entries.append(
+            {
+                "function": f"{filename}:{line}({name})",
+                "primitive_calls": cc,
+                "total_calls": nc,
+                "self_seconds": tt,
+                "cumulative_seconds": ct,
+            }
+        )
+    entries.sort(key=lambda e: (-e["cumulative_seconds"], e["function"]))
+    return {
+        "schema": PROFILE_SCHEMA,
+        "total_calls": stats.total_calls,
+        "total_seconds": stats.total_tt,
+        "entries": entries[:PROFILE_TOP],
+    }
 
 
 def main_bench(args) -> int:
@@ -430,10 +468,12 @@ def main_bench(args) -> int:
         payload = profiler.runcall(run)
         stream = io.StringIO()
         pstats.Stats(profiler, stream=stream).sort_stats("cumulative").print_stats(25)
+        print(stream.getvalue())
         path = profile_path_for(args.out)
         with open(path, "w") as fh:
-            fh.write(stream.getvalue())
-        print(f"wrote {path} (cProfile, top-25 cumulative)")
+            json.dump(profile_payload(profiler), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {path} ({PROFILE_SCHEMA}, top-{PROFILE_TOP} cumulative)")
     else:
         payload = run()
     print(render(payload))

@@ -31,11 +31,14 @@ disable automatic collection and instead collect explicitly every
 from __future__ import annotations
 
 import gc
+import logging
 import multiprocessing
 import os
 from typing import Any, Callable, Iterable, Sequence, TypeVar
 
 from repro.errors import ConfigurationError
+
+logger = logging.getLogger(__name__)
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -128,9 +131,14 @@ def sweep_map(
     jobs = resolve_jobs(jobs)
     items = list(items)
     if jobs == 1 or len(items) <= 1:
+        logger.info("sweep_map: %d item(s), serial (%s)", len(items), getattr(fn, "__name__", fn))
         return _run_serial(fn, items, on_result)
 
     stripes = stripe_indices(len(items), jobs)
+    logger.info(
+        "sweep_map: %d item(s) across %d worker(s) (%s)",
+        len(items), len(stripes), getattr(fn, "__name__", fn),
+    )
     ctx = multiprocessing.get_context(mp_context)
     with ctx.Pool(processes=len(stripes)) as pool:
         handles = [

@@ -10,6 +10,7 @@ every virtual worker uses the same value", §8.3).
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -22,6 +23,8 @@ from repro.models import ModelGraph
 from repro.models.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.models.profiler import Profiler
 from repro.partition import PartitionPlan, max_feasible_nm, plan_virtual_worker
+
+logger = logging.getLogger(__name__)
 
 #: MLP architecture for the numeric convergence experiments.
 EXPERIMENT_MODEL_DIMS = [24, 64, 32, 8]
@@ -145,6 +148,10 @@ def choose_nm(
             best_rate = rate
             best = NmChoice(nm=nm, max_feasible=cap, plans=plans)
     assert best is not None
+    logger.debug(
+        "choose_nm: %s %s -> Nm=%d (cap %d)",
+        model.name, assignment.describe(), best.nm, cap,
+    )
     return best
 
 

@@ -10,6 +10,7 @@ included for comparison.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 
 from repro.cluster import paper_cluster
@@ -20,6 +21,8 @@ from repro.models.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.models.profiler import Profiler
 from repro.partition import max_feasible_nm, plan_virtual_worker
 from repro.pipeline import measure_pipeline
+
+logger = logging.getLogger(__name__)
 
 #: The absolute Nm=1 throughputs annotated in Figure 3 (images/s).
 PAPER_FIG3_NM1 = {
@@ -135,6 +138,7 @@ def run_fig3(
     from repro.exec import sweep_map
 
     mixes = list(fig3_virtual_workers(paper_cluster()))
+    logger.info("fig3: %s over %d mixes (jobs=%s)", model_name, len(mixes), jobs)
     per_mix = sweep_map(
         _mix_rows,
         [(model_name, mix, calibration, max_nm, measured_minibatches) for mix in mixes],

@@ -9,6 +9,7 @@ printed on the paper's bars.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 
 from repro.cluster import paper_cluster
@@ -20,6 +21,8 @@ from repro.models.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.parallel import measure_horovod
 from repro.units import mib
 from repro.wsp import measure_hetpipe
+
+logger = logging.getLogger(__name__)
 
 #: Paper bar values (images/s), read from Figure 4 / cross-checked with
 #: Table 4 where exact numbers are given.
@@ -140,6 +143,7 @@ def run_fig4(
         ("ED", "local"),
         ("HD", "default"),
     ]
+    logger.info("fig4: %s over %d policy bars (jobs=%s)", model_name, len(configs), jobs)
     bars = sweep_map(
         _policy_bar,
         [

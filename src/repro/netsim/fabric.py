@@ -142,6 +142,8 @@ class SharedLink:
         self.max_queue_depth = 0
         self._free_at = 0.0
         self._pending_starts: list[float] = []
+        if sim.obs is not None:
+            sim.obs.register_resource(self)
 
     @property
     def free_at(self) -> float:
@@ -170,6 +172,9 @@ class SharedLink:
         self.busy_time += duration
         self.bytes_moved += nbytes
         self.flows_carried += 1
+        obs = self.sim.obs
+        if obs is not None:
+            obs.channel_span(self.name, start, start + duration, nbytes)
 
     def utilization(self, elapsed: float | None = None) -> float:
         """Fraction of time occupied by flow service (reservations that

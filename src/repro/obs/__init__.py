@@ -1,0 +1,44 @@
+"""Unified telemetry: spans, counters, timelines, diagnostics bundles.
+
+The observability layer is strictly additive — with it disabled (the
+default) no collector exists, ``Simulator.obs`` stays ``None``, and the
+hot paths pay one attribute check.  Enabled, it collects:
+
+* **spans** — exact busy intervals of every :class:`Processor`,
+  :class:`Channel`, and shared-fabric :class:`SharedLink` (reported by
+  the resources themselves), plus stage-level task spans paired from
+  trace records (which carry minibatch ids);
+* **counters and annotations** — minibatch/wave lifecycle events;
+* **time series** — per-resource utilization and queue depth sampled at
+  a configurable cadence (:class:`repro.api.spec.ObservabilitySpec`);
+* **timelines** — Chrome-trace/Perfetto JSON export
+  (:func:`repro.obs.timeline.chrome_trace`, ``repro trace``);
+* **diagnostics bundles** — on a fuzz oracle violation, the failing
+  RunSpec, a trace ring buffer, oracle internal state, and fabric/queue
+  snapshots, written to a directory that replays in one command
+  (:mod:`repro.obs.bundle`).
+"""
+
+from repro.obs.bundle import (
+    BUNDLE_SCHEMA,
+    DiagnosticsBundle,
+    load_bundle,
+    replay_bundle,
+    write_bundle,
+)
+from repro.obs.core import ObsCollector, ObsReport, Span
+from repro.obs.timeline import chrome_trace, trace_run, validate_chrome_trace
+
+__all__ = [
+    "BUNDLE_SCHEMA",
+    "DiagnosticsBundle",
+    "ObsCollector",
+    "ObsReport",
+    "Span",
+    "chrome_trace",
+    "load_bundle",
+    "replay_bundle",
+    "trace_run",
+    "validate_chrome_trace",
+    "write_bundle",
+]

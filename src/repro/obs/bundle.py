@@ -1,0 +1,146 @@
+"""Diagnostics bundles: one directory per reproducible fuzz failure.
+
+When a fuzz seed trips an oracle, the harness re-runs it with capture
+enabled and writes everything needed to reproduce and diagnose the
+violation:
+
+``<root>/seed<seed>_<spec_hash[:12]>/``
+    ``bundle.json``       manifest (schema, spec_hash, violations, replay command)
+    ``spec.json``         the failing RunSpec, loadable by ``repro run``
+    ``trace_ring.json``   last-N trace records before the violation
+    ``oracle_state.json`` each oracle's internal state at the end of the run
+    ``snapshots.json``    engine/PS/pipeline/fabric queue snapshots
+    ``README.txt``        the one-command replay instructions
+
+Replays are deterministic: :func:`replay_bundle` (or ``repro run
+<bundle>/spec.json``) re-runs the exact spec — including the seed-drawn
+congested fabric for shared-network scenarios — and reaches the same
+violation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.api.spec import RunSpec
+from repro.errors import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.scenarios.runner import ScenarioResult
+
+#: Manifest schema tag; bump on layout changes.
+BUNDLE_SCHEMA = "hetpipe-bundle/1"
+
+
+@dataclass(frozen=True)
+class DiagnosticsBundle:
+    """A loaded bundle (see :func:`load_bundle`)."""
+
+    path: str
+    run: RunSpec
+    violations: tuple[str, ...]
+    trace_ring: tuple
+    oracle_state: dict[str, Any]
+    snapshots: dict[str, Any]
+
+
+def bundle_dir_name(run: RunSpec) -> str:
+    return f"seed{run.seed}_{run.spec_hash[:12]}"
+
+
+def _dump(path: str, payload: Any) -> None:
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def write_bundle(root: str, run: RunSpec, diagnostics: dict[str, Any]) -> str:
+    """Write one failure's bundle under ``root``; returns its directory.
+
+    ``diagnostics`` is the capture dict a ``run_scenario(...,
+    capture_diagnostics=True)`` re-run attaches to its result
+    (``ScenarioResult.diagnostics``); missing keys degrade to empty
+    sections rather than failing the write — a diagnostics path must
+    never mask the violation it is reporting.
+    """
+    path = os.path.join(root, bundle_dir_name(run))
+    os.makedirs(path, exist_ok=True)
+    spec_path = os.path.join(path, "spec.json")
+    with open(spec_path, "w") as handle:
+        handle.write(run.to_json())
+    violations = list(diagnostics.get("violations", ()))
+    replay = f"PYTHONPATH=src python -m repro.cli run {spec_path}"
+    _dump(
+        os.path.join(path, "bundle.json"),
+        {
+            "schema": BUNDLE_SCHEMA,
+            "seed": run.seed,
+            "spec_hash": run.spec_hash,
+            "violations": violations,
+            "replay": replay,
+        },
+    )
+    _dump(os.path.join(path, "trace_ring.json"), list(diagnostics.get("trace_ring", ())))
+    _dump(os.path.join(path, "oracle_state.json"), diagnostics.get("oracle_state", {}))
+    _dump(os.path.join(path, "snapshots.json"), diagnostics.get("snapshots", {}))
+    with open(os.path.join(path, "README.txt"), "w") as handle:
+        handle.write(
+            f"HetPipe diagnostics bundle ({BUNDLE_SCHEMA})\n"
+            f"seed {run.seed}, spec_hash {run.spec_hash}\n\n"
+            f"violations:\n"
+            + "".join(f"  - {v}\n" for v in violations)
+            + f"\nreplay (deterministic — reaches the same violation):\n"
+            f"  {replay}\n\n"
+            f"files: spec.json (the failing RunSpec), trace_ring.json\n"
+            f"(last trace records), oracle_state.json (oracle internals),\n"
+            f"snapshots.json (engine/PS/pipeline/fabric state).\n"
+        )
+    return path
+
+
+def load_bundle(path: str) -> DiagnosticsBundle:
+    """Load a bundle directory written by :func:`write_bundle`."""
+    manifest_path = os.path.join(path, "bundle.json")
+    try:
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ReproError(f"not a diagnostics bundle: {manifest_path}: {exc}") from None
+    if manifest.get("schema") != BUNDLE_SCHEMA:
+        raise ReproError(
+            f"{manifest_path}: schema {manifest.get('schema')!r} is not {BUNDLE_SCHEMA!r}"
+        )
+    with open(os.path.join(path, "spec.json")) as handle:
+        run = RunSpec.from_json(handle.read())
+
+    def _load(name: str, default: Any) -> Any:
+        try:
+            with open(os.path.join(path, name)) as handle:
+                return json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return default
+
+    return DiagnosticsBundle(
+        path=path,
+        run=run,
+        violations=tuple(manifest.get("violations", ())),
+        trace_ring=tuple(tuple(r) for r in _load("trace_ring.json", [])),
+        oracle_state=_load("oracle_state.json", {}),
+        snapshots=_load("snapshots.json", {}),
+    )
+
+
+def replay_bundle(bundle: "DiagnosticsBundle | str") -> "ScenarioResult":
+    """Re-run a bundle's spec with capture enabled.
+
+    Deterministic by construction: the replayed result reports the same
+    violations the bundle recorded.
+    """
+    from repro.scenarios.runner import run_scenario
+
+    if isinstance(bundle, str):
+        bundle = load_bundle(bundle)
+    return run_scenario(bundle.run, capture_diagnostics=True)

@@ -1,0 +1,198 @@
+"""Chrome-trace / Perfetto timeline export.
+
+:func:`chrome_trace` renders an :class:`~repro.obs.core.ObsCollector`
+into the Trace Event Format JSON object (the ``traceEvents`` array form)
+that both ``chrome://tracing`` and https://ui.perfetto.dev load
+directly: one *process* per subsystem (each virtual worker, the
+parameter server, the shared fabric, the runtime), one *thread* per
+resource or pipeline stage, ``X`` complete events for spans (fast-
+forwarded cycles appear as coalesced macro-spans), ``i`` instants for
+lifecycle annotations, and ``C`` counter events for the sampled
+utilization/queue-depth series.
+
+:func:`validate_chrome_trace` is a dependency-free structural check of
+that contract (used by tests and the CI timeline job), and
+:func:`trace_run` is the driver behind ``repro trace <spec.json>``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any
+
+from repro.obs.core import ObsCollector
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.api.spec import RunSpec
+
+#: Schema tag carried in the payload's ``otherData``.
+TIMELINE_SCHEMA = "hetpipe-timeline/1"
+
+#: Track-name prefixes that belong to the shared fabric's resources.
+_FABRIC_PREFIXES = frozenset(("pcie", "host", "nic", "ib"))
+
+_US = 1e6  # trace-event timestamps are microseconds
+
+
+def _group(track: str) -> str:
+    """The process a track belongs to (``vw0``, ``ps``, ``fabric``, ...)."""
+    head = track.split(".", 1)[0]
+    return "fabric" if head in _FABRIC_PREFIXES else head
+
+
+def chrome_trace(collector: ObsCollector, title: str = "") -> dict[str, Any]:
+    """Render collected telemetry as a Chrome-trace JSON object."""
+    tracks: set[str] = {span.track for span in collector.spans}
+    tracks.update(track for _, _, track, _ in collector.annotations)
+    series_groups: set[str] = set()
+    for name in collector.series:
+        series_groups.add(_group(name))
+
+    groups = sorted({_group(track) for track in tracks} | series_groups)
+    pid_of = {group: index + 1 for index, group in enumerate(groups)}
+    tid_of = {track: index + 1 for index, track in enumerate(sorted(tracks))}
+
+    events: list[dict[str, Any]] = []
+    for group in groups:
+        events.append(
+            {
+                "ph": "M",
+                "pid": pid_of[group],
+                "tid": 0,
+                "name": "process_name",
+                "args": {"name": group},
+            }
+        )
+    for track in sorted(tracks):
+        events.append(
+            {
+                "ph": "M",
+                "pid": pid_of[_group(track)],
+                "tid": tid_of[track],
+                "name": "thread_name",
+                "args": {"name": track},
+            }
+        )
+    for span in collector.spans:
+        events.append(
+            {
+                "ph": "X",
+                "pid": pid_of[_group(span.track)],
+                "tid": tid_of[span.track],
+                "ts": span.start * _US,
+                "dur": max(0.0, span.end - span.start) * _US,
+                "name": span.name,
+                "cat": _group(span.track),
+                "args": dict(span.args),
+            }
+        )
+    for time, name, track, args in collector.annotations:
+        events.append(
+            {
+                "ph": "i",
+                "s": "t",
+                "pid": pid_of[_group(track)],
+                "tid": tid_of[track],
+                "ts": time * _US,
+                "name": name,
+                "cat": _group(track),
+                "args": dict(args),
+            }
+        )
+    for name, points in sorted(collector.series.items()):
+        pid = pid_of.get(_group(name), 0)
+        for time, value in points:
+            events.append(
+                {
+                    "ph": "C",
+                    "pid": pid,
+                    "tid": 0,
+                    "ts": time * _US,
+                    "name": name,
+                    "args": {"value": value},
+                }
+            )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "schema": TIMELINE_SCHEMA,
+            "title": title,
+            "spans": len(collector.spans),
+            "annotations": len(collector.annotations),
+            "samples": collector.samples_taken,
+        },
+    }
+
+
+def validate_chrome_trace(payload: Any) -> list[str]:
+    """Structural errors in a Chrome-trace payload (empty = valid).
+
+    Checks the subset of the Trace Event Format this exporter emits:
+    JSON-object root with a ``traceEvents`` array; every event carries a
+    known phase, a name, integer pid/tid, microsecond timestamps, and
+    non-negative durations; metadata events carry their ``args.name``.
+    The whole payload must also be JSON-serializable.
+    """
+    errors: list[str] = []
+    if not isinstance(payload, dict):
+        return [f"payload must be a JSON object, got {type(payload).__name__}"]
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return ["payload.traceEvents must be a JSON array"]
+    try:
+        json.dumps(payload)
+    except (TypeError, ValueError) as exc:
+        errors.append(f"payload is not JSON-serializable: {exc}")
+    known_phases = {"X", "M", "i", "I", "C", "B", "E"}
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where} must be an object")
+            continue
+        ph = event.get("ph")
+        if ph not in known_phases:
+            errors.append(f"{where}.ph {ph!r} is not one of {sorted(known_phases)}")
+            continue
+        if not isinstance(event.get("name"), str) or not event["name"]:
+            errors.append(f"{where}.name must be a non-empty string")
+        for key in ("pid", "tid"):
+            if key in event and not isinstance(event[key], int):
+                errors.append(f"{where}.{key} must be an int")
+        args = event.get("args")
+        if args is not None and not isinstance(args, dict):
+            errors.append(f"{where}.args must be an object")
+        if ph == "M":
+            if event.get("name") in ("process_name", "thread_name") and (
+                not isinstance(args, dict) or not isinstance(args.get("name"), str)
+            ):
+                errors.append(f"{where}: metadata event needs args.name")
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            errors.append(f"{where}.ts must be a number >= 0, got {ts!r}")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                errors.append(f"{where}.dur must be a number >= 0, got {dur!r}")
+    return errors
+
+
+def trace_run(run: "RunSpec") -> dict[str, Any]:
+    """Run ``run`` instrumented and return its timeline payload.
+
+    A spec without an ``observability`` section is traced with default
+    knobs (and a sampling cadence derived from nothing — spans and
+    annotations only); the run itself goes through the same
+    :func:`~repro.wsp.measure.measure_run` path as ``repro run``.
+    """
+    from dataclasses import replace
+
+    from repro.api.spec import ObservabilitySpec
+    from repro.wsp.measure import measure_run
+
+    if run.observability is None:
+        run = replace(run, observability=ObservabilitySpec(enabled=True))
+    collector = ObsCollector(run.observability)
+    measure_run(run, obs=collector)
+    return chrome_trace(collector, title=f"seed{run.seed} {run.spec_hash[:12]}")

@@ -33,8 +33,10 @@ from, its exact configuration (``repro run <spec.json>``).
 from __future__ import annotations
 
 import hashlib
+import logging
+from collections import deque
 from dataclasses import dataclass, field, replace
-from typing import Iterable, Sequence
+from typing import Any, Iterable, Sequence
 
 from repro.api.build import build_scenario
 from repro.api.spec import SPEC_SCHEMA, FidelitySpec, RunSpec
@@ -70,6 +72,15 @@ WINDOW_SLACK = 3.0
 #: two transfers) plus wave sync; 200 is two orders of magnitude above.
 EVENTS_PER_MINIBATCH = 200
 
+#: Ring-buffer capacity for diagnostics capture when the spec carries no
+#: observability section of its own.
+DEFAULT_DIAGNOSTIC_RING = 256
+
+#: Completed fabric flows kept in a diagnostics snapshot.
+_SNAPSHOT_FLOWS = 32
+
+logger = logging.getLogger(__name__)
+
 
 @dataclass(frozen=True)
 class ScenarioResult:
@@ -104,6 +115,11 @@ class ScenarioResult:
     spec_hash: str = ""
     #: the spec schema the hash was computed under
     api_schema: str = SPEC_SCHEMA
+    #: diagnostics capture (trace ring, oracle state, queue snapshots);
+    #: populated only by ``run_scenario(..., capture_diagnostics=True)``
+    #: re-runs of failing seeds, and fed into
+    #: :func:`repro.obs.bundle.write_bundle`
+    diagnostics: dict | None = None
 
     @property
     def ok(self) -> bool:
@@ -317,10 +333,119 @@ def _drive_main(
     return window, completions, runtime.sim.now
 
 
+def _jsonable(value: Any, depth: int = 0) -> Any:
+    """A JSON-safe view of arbitrary oracle/runtime internals.
+
+    Plain containers and scalars pass through (tuple keys stringify);
+    anything else degrades to ``repr`` — diagnostics must never raise.
+    """
+    if depth > 5:
+        return repr(value)
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, dict):
+        out = {}
+        for index, (key, val) in enumerate(value.items()):
+            if index >= 256:
+                out["_truncated"] = f"{len(value) - 256} more entries"
+                break
+            out[str(key)] = _jsonable(val, depth + 1)
+        return out
+    if isinstance(value, (list, tuple, set, frozenset, deque)):
+        items = list(value)
+        out = [_jsonable(v, depth + 1) for v in items[:256]]
+        if len(items) > 256:
+            out.append(f"... {len(items) - 256} more")
+        return out
+    return repr(value)
+
+
+def _oracle_state(oracles) -> dict[str, Any]:
+    """Each oracle's internal state (its ``runtime`` back-ref excluded)."""
+    state: dict[str, Any] = {}
+    for oracle in oracles:
+        raw = getattr(oracle, "__dict__", None)
+        if raw is None:
+            raw = {
+                slot: getattr(oracle, slot)
+                for slot in getattr(type(oracle), "__slots__", ())
+                if hasattr(oracle, slot)
+            }
+        state[type(oracle).__name__] = {
+            key: _jsonable(val) for key, val in raw.items() if key != "runtime"
+        }
+    return state
+
+
+def _snapshots(runtime: HetPipeRuntime) -> dict[str, Any]:
+    """Engine, PS, pipeline, and fabric queue state at end of run."""
+    sim = runtime.sim
+    ps = runtime.ps
+    ps_delay, ps_depth = ps.queue_stats()
+    snap: dict[str, Any] = {
+        "sim": {
+            "now": sim.now,
+            "events_processed": sim.events_processed,
+            "events_fast_forwarded": sim.events_fast_forwarded,
+            "queue_depth": sim.queue_depth,
+        },
+        "ps": {
+            "global_version": ps.global_version,
+            "pushed_wave": list(ps.pushed_wave),
+            "pushes_completed": ps.pushes_completed,
+            "pulls_completed": ps.pulls_completed,
+            "sync_bytes_total": ps.sync_bytes_total,
+            "sync_bytes_cross_node": ps.sync_bytes_cross_node,
+            "queue_delay_total": ps_delay,
+            "max_queue_depth": ps_depth,
+        },
+        "pipelines": [
+            {
+                "name": getattr(pipeline, "name", f"vw{index}"),
+                "minibatches_done": stats.minibatches_done,
+                "waves": len(stats.wave_times),
+            }
+            for index, (pipeline, stats) in enumerate(
+                zip(runtime.pipelines, runtime.stats)
+            )
+        ],
+    }
+    fabric = runtime.fabric
+    if fabric is not None:
+        snap["fabric"] = {
+            "queue_delay_total": fabric.queue_delay_total,
+            "links": [
+                {
+                    "name": link.name,
+                    "kind": link.kind,
+                    "utilization": link.utilization(),
+                    "queue_delay_total": link.queue_delay_total,
+                    "max_queue_depth": link.max_queue_depth,
+                }
+                for link in fabric.links()
+            ],
+            "recent_flows": [
+                {
+                    "src": repr(flow.src),
+                    "dst": repr(flow.dst),
+                    "nbytes": flow.nbytes,
+                    "start": flow.start,
+                    "done": flow.done,
+                    "tag": flow.tag,
+                    "wait": flow.wait,
+                    "path": list(flow.path),
+                }
+                for flow in fabric.flows[-_SNAPSHOT_FLOWS:]
+            ],
+        }
+    return snap
+
+
 def run_scenario(
     spec: ScenarioSpec | RunSpec,
     fidelity: str | None = None,
     verify_equivalence: bool | None = None,
+    capture_diagnostics: bool = False,
 ) -> ScenarioResult:
     """Execute one scenario end to end and return its verdict.
 
@@ -382,6 +507,20 @@ def run_scenario(
     # run's makespan (the digest value is identical to the stored-record
     # hash the harness used to compute).
     trace = Trace(enabled=False, digest=True, schema=1 if fidelity == "full" else 2)
+    ring: deque | None = None
+    if capture_diagnostics:
+        # Last-N trace records for the diagnostics bundle.  A plain
+        # subscriber: the digest hashes before subscribers run, so
+        # capture never perturbs replay identity.
+        capacity = (
+            run.observability.ring_buffer
+            if run.observability is not None
+            else DEFAULT_DIAGNOSTIC_RING
+        )
+        ring = deque(maxlen=capacity)
+        trace.subscribe(
+            lambda r: ring.append((r.time, r.category, r.actor, dict(r.detail)))
+        )
     total_waves = spec.warmup_waves + spec.measured_waves
     expected_minibatches = (
         len(scenario.plans) * (total_waves + spec.d + 3) * spec.nm
@@ -449,6 +588,22 @@ def run_scenario(
     ).hexdigest()
     main_events = runtime.sim.events_processed
     main_ff = runtime.sim.events_fast_forwarded
+    diagnostics: dict | None = None
+    if capture_diagnostics and violations:
+        logger.info(
+            "seed %d: capturing diagnostics for %d violation(s)",
+            spec.seed, len(violations),
+        )
+        diagnostics = {
+            "spec_hash": run.spec_hash,
+            "violations": list(violations),
+            "trace_ring": [
+                (time, category, actor, _jsonable(detail))
+                for time, category, actor, detail in ring
+            ],
+            "oracle_state": _oracle_state(oracles),
+            "snapshots": _snapshots(runtime),
+        }
     return ScenarioResult(
         spec=spec,
         digest=combined,
@@ -464,6 +619,7 @@ def run_scenario(
         events_fast_forwarded=main_ff + pipe_ff,
         equivalence_checked=equivalence_checked,
         spec_hash=run.spec_hash,
+        diagnostics=diagnostics,
     )
 
 
@@ -472,6 +628,9 @@ class FuzzReport:
     """Aggregate outcome of a fuzz batch."""
 
     results: list[ScenarioResult] = field(default_factory=list)
+    #: seed -> diagnostics-bundle directory, for failures re-captured
+    #: under ``run_fuzz(..., bundle_dir=...)``
+    bundle_paths: dict[int, str] = field(default_factory=dict)
 
     @property
     def failures(self) -> list[ScenarioResult]:
@@ -520,7 +679,39 @@ class FuzzReport:
             lines.append(f"  seed {result.spec.seed}: {result.spec.describe()}")
             for violation in result.violations:
                 lines.append(f"    - {violation}")
+            bundle = self.bundle_paths.get(result.spec.seed)
+            if bundle is not None:
+                lines.append(f"    bundle: {bundle}")
         return "\n".join(lines)
+
+
+def _fuzz_run_spec(
+    seed: int,
+    network_model: str,
+    fidelity: str,
+    verify_equivalence: bool | None,
+    waves_scale: int,
+    shards: int,
+    shard_placement: str,
+) -> RunSpec:
+    """The exact RunSpec one fuzz seed runs under.
+
+    Shared between the worker (:func:`_fuzz_one`) and the parent's
+    diagnostics re-capture, so a bundle's ``spec.json`` is guaranteed to
+    reproduce the worker's run bit for bit.
+    """
+    scenario = generate_scenario(seed)
+    spec = replace(
+        scenario.spec,
+        network_model=network_model,
+        shards=shards,
+        shard_placement=shard_placement,
+    )
+    return spec.to_run_spec(
+        fidelity=fidelity,
+        verify_equivalence=verify_equivalence,
+        waves_scale=waves_scale,
+    )
 
 
 def _fuzz_one(args: tuple[int, str, str, bool | None, int, int, str]) -> ScenarioResult:
@@ -536,17 +727,9 @@ def _fuzz_one(args: tuple[int, str, str, bool | None, int, int, str]) -> Scenari
     """
     seed, network_model, fidelity, verify_equivalence, waves_scale, shards, shard_placement = args
     try:
-        scenario = generate_scenario(seed)
-        spec = replace(
-            scenario.spec,
-            network_model=network_model,
-            shards=shards,
-            shard_placement=shard_placement,
-        )
-        run = spec.to_run_spec(
-            fidelity=fidelity,
-            verify_equivalence=verify_equivalence,
-            waves_scale=waves_scale,
+        run = _fuzz_run_spec(
+            seed, network_model, fidelity, verify_equivalence,
+            waves_scale, shards, shard_placement,
         )
         return run_scenario(run)
     except ReproError as exc:
@@ -577,6 +760,7 @@ def run_fuzz(
     waves_scale: int = 1,
     shards: int = 1,
     shard_placement: str = "size_balanced",
+    bundle_dir: str | None = None,
 ) -> FuzzReport:
     """Generate and run the scenario for every seed.
 
@@ -602,10 +786,19 @@ def run_fuzz(
     ``shards``/``shard_placement`` rerun the same seeded scenarios with
     a K-way sharded PS (the scenario draw itself never shards, so the
     default keeps every digest frozen).
+    ``bundle_dir``, when set, re-runs every oracle-violating seed with
+    diagnostics capture and writes one bundle directory per failure
+    (see :mod:`repro.obs.bundle`); the report's summary references each
+    bundle next to its violations.
     """
     from repro.exec import sweep_map
 
     validate_fidelity(fidelity)
+    seeds = list(seeds)
+    logger.info(
+        "fuzz: %d seeds, network=%s fidelity=%s shards=%d jobs=%s",
+        len(seeds), network_model, fidelity, shards, jobs,
+    )
     on_result = None
     if verbose_log is not None:
         on_result = lambda index, result: verbose_log(result.describe())  # noqa: E731
@@ -621,4 +814,22 @@ def run_fuzz(
         jobs=jobs,
         on_result=on_result,
     )
-    return FuzzReport(results=results)
+    report = FuzzReport(results=results)
+    if bundle_dir is not None:
+        from repro.obs.bundle import write_bundle
+
+        for result in report.failures:
+            if all(v.startswith("generation:") for v in result.violations):
+                continue  # no runnable spec to capture or replay
+            seed = result.spec.seed
+            run = _fuzz_run_spec(
+                seed, network_model, fidelity, verify_equivalence,
+                waves_scale, shards, shard_placement,
+            )
+            logger.info("seed %d failed; re-running with diagnostics capture", seed)
+            captured = run_scenario(run, capture_diagnostics=True)
+            diagnostics = captured.diagnostics or {
+                "violations": list(captured.violations)
+            }
+            report.bundle_paths[seed] = write_bundle(bundle_dir, run, diagnostics)
+    return report

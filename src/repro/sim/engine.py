@@ -86,6 +86,10 @@ class Simulator:
         self._queue: list[tuple[float, int, Event]] = []
         self._seq = 0
         self._canceled_in_queue = 0
+        #: optional telemetry collector (:class:`repro.obs.ObsCollector`);
+        #: resources created against this simulator report spans to it.
+        #: None (the default) keeps the hot path free of any obs work.
+        self.obs: Any = None
 
     @property
     def queue_depth(self) -> int:

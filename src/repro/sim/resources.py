@@ -47,6 +47,8 @@ class Processor:
         #: the WSP runtime uses it to account virtual-worker idle time
         self.on_state_change: Callable[[bool], None] | None = None
         self._notified_busy = False
+        if sim.obs is not None:
+            sim.obs.register_resource(self)
 
     @property
     def busy(self) -> bool:
@@ -92,6 +94,9 @@ class Processor:
         now = self.sim.now
         self.busy_time += now - self._busy_since
         self.jobs_completed += 1
+        obs = self.sim.obs
+        if obs is not None:
+            obs.processor_span(self.name, job.tag, self._busy_since, now)
         # Start the next job before the completion callback so that work
         # submitted from the callback queues behind already-waiting jobs,
         # matching FIFO semantics.  The common back-to-back case (queue
@@ -185,6 +190,8 @@ class Channel:
         self.max_queue_depth = 0
         self._free_at = 0.0
         self._pending_starts: deque[float] = deque()
+        if sim.obs is not None:
+            sim.obs.register_resource(self)
 
     def transfer_time(self, nbytes: float) -> float:
         """Unloaded service time for ``nbytes`` (no queueing)."""
@@ -213,6 +220,9 @@ class Channel:
         self.busy_time += occupy
         self.bytes_moved += nbytes
         self.transfers_completed += 1
+        obs = self.sim.obs
+        if obs is not None:
+            obs.channel_span(self.name, start, start + occupy, nbytes)
         if on_complete is not None:
             self.sim.schedule_at(done, on_complete)
         return done

@@ -20,6 +20,7 @@ from repro.wsp.runtime import HetPipeRuntime
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.api.spec import RunSpec
+    from repro.obs.core import ObsCollector, ObsReport
 
 
 @dataclass(frozen=True)
@@ -55,6 +56,9 @@ class HetPipeMetrics:
     ps_queue_delay_total: float = 0.0
     ps_max_queue_depth: int = 0
     ps_queue_source: str = "streams"
+    #: telemetry summary when the run carried an enabled
+    #: :class:`~repro.api.spec.ObservabilitySpec`; None otherwise
+    observability: "ObsReport | None" = None
 
     @property
     def total_concurrent_minibatches(self) -> int:
@@ -94,7 +98,7 @@ def measure_hetpipe(
     return _measure_runtime(runtime, warmup_waves, measured_waves)
 
 
-def measure_run(run: "RunSpec") -> HetPipeMetrics:
+def measure_run(run: "RunSpec", obs: "ObsCollector | None" = None) -> HetPipeMetrics:
     """Spec-driven measurement: everything from one typed RunSpec.
 
     Builds the cluster/model/plans through :mod:`repro.api.build` (so
@@ -102,15 +106,24 @@ def measure_run(run: "RunSpec") -> HetPipeMetrics:
     :meth:`HetPipeRuntime.from_spec`, then runs the same warmup+window
     measurement as :func:`measure_hetpipe` — the two paths share the
     measurement core and are bit-identical for equivalent inputs.
+
+    With an enabled ``observability`` section (or an explicit ``obs``
+    collector, which takes precedence) the run is instrumented and the
+    returned metrics carry an :class:`~repro.obs.core.ObsReport`.
     """
     from repro.api.build import build_scenario
 
+    if obs is None and run.observability is not None:
+        from repro.obs.core import ObsCollector
+
+        obs = ObsCollector(run.observability)
     scenario = build_scenario(run)
     runtime = HetPipeRuntime.from_spec(
         run,
         cluster=scenario.cluster,
         model=scenario.model,
         plans=list(scenario.plans),
+        obs=obs,
     )
     return _measure_runtime(
         runtime,
@@ -175,4 +188,5 @@ def _measure_runtime(
         ps_queue_delay_total=ps_queue_delay,
         ps_max_queue_depth=ps_queue_depth,
         ps_queue_source="fabric" if runtime.fabric is not None else "streams",
+        observability=runtime.obs.report() if runtime.obs is not None else None,
     )

@@ -96,6 +96,7 @@ class HetPipeRuntime:
         network_model: str = "dedicated",
         fabric_spec: FabricSpec = DEFAULT_FABRIC_SPEC,
         fidelity: str = "full",
+        obs=None,
         _spec_constructed: bool = False,
     ) -> None:
         validate_fidelity(fidelity)
@@ -136,11 +137,22 @@ class HetPipeRuntime:
         self.jitter = jitter
 
         self.sim = Simulator()
+        #: optional telemetry collector (:class:`repro.obs.ObsCollector`).
+        #: Installed on the simulator *before* any resource exists, so
+        #: every processor/channel/link — including the PS's lazily
+        #: created per-stream channels and shard apply queues — registers
+        #: itself for span reporting and utilization sampling.
+        self.obs = obs
+        self.sim.obs = obs
         #: shared contention-aware fabric; None under the dedicated model
         self.fabric: Fabric | None = (
             Fabric(self.sim, cluster, fabric_spec) if network_model == "shared" else None
         )
         self.trace = trace if trace is not None else Trace(enabled=False)
+        if obs is not None:
+            # A plain subscriber: trace digests hash before subscribers
+            # run, so telemetry can never perturb replay identity.
+            self.trace.subscribe(obs.on_trace)
         self.oracles = list(oracles)
         self.ps = ParameterServerSim(
             self.sim, cluster, len(self.plans), calibration, fabric=self.fabric,
@@ -232,6 +244,9 @@ class HetPipeRuntime:
             else None
         )
 
+        if obs is not None:
+            obs.install_sampler(self.sim)
+
     @classmethod
     def from_spec(
         cls,
@@ -243,6 +258,7 @@ class HetPipeRuntime:
         trace: Trace | None = None,
         oracles: "Sequence[RuntimeOracle]" = (),
         fabric_spec: FabricSpec = DEFAULT_FABRIC_SPEC,
+        obs=None,
     ) -> "HetPipeRuntime":
         """The canonical constructor: behavior from a typed RunSpec.
 
@@ -277,6 +293,7 @@ class HetPipeRuntime:
             network_model=run.network.model,
             fabric_spec=fabric_spec,
             fidelity=run.fidelity.fidelity,
+            obs=obs,
             _spec_constructed=True,
         )
 

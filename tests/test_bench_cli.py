@@ -137,3 +137,30 @@ class TestCli:
         ])
         assert code == 0
         assert "OK:" in capsys.readouterr().out
+
+    def test_bench_profile_writes_structured_json(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.exec.bench import PROFILE_SCHEMA, PROFILE_TOP
+
+        out = tmp_path / "bench_quick.json"
+        code = main([
+            "bench", "--quick", "--seeds", "2", "--jobs", "1",
+            "--no-experiments", "--out", str(out), "--profile",
+        ])
+        assert code == 0
+        profile = json.loads((tmp_path / "BENCH_profile.json").read_text())
+        assert profile["schema"] == PROFILE_SCHEMA
+        assert profile["total_calls"] > 0 and profile["total_seconds"] >= 0
+        entries = profile["entries"]
+        assert 0 < len(entries) <= PROFILE_TOP
+        cumulative = [e["cumulative_seconds"] for e in entries]
+        assert cumulative == sorted(cumulative, reverse=True)
+        for entry in entries:
+            assert set(entry) == {
+                "function", "primitive_calls", "total_calls",
+                "self_seconds", "cumulative_seconds",
+            }
+        # The human top-25 summary lands on stdout, not in a .txt file.
+        captured = capsys.readouterr().out
+        assert "cumulative" in captured and "ncalls" in captured
+        assert not (tmp_path / "BENCH_profile.txt").exists()

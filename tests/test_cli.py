@@ -66,6 +66,26 @@ class TestDispatch:
         assert "sync overhead" in out
 
 
+class TestLogLevel:
+    def test_defaults_to_warning(self):
+        assert build_parser().parse_args(["fuzz"]).log_level == "warning"
+
+    def test_choices_enforced(self):
+        args = build_parser().parse_args(["--log-level", "debug", "fuzz"])
+        assert args.log_level == "debug"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--log-level", "chatty", "fuzz"])
+
+    def test_info_level_emits_sweep_progress(self, caplog):
+        import logging
+
+        with caplog.at_level(logging.INFO, logger="repro"):
+            assert main(["--log-level", "info", "fuzz", "--seeds", "2"]) == 0
+        messages = [r.getMessage() for r in caplog.records]
+        assert any("fuzz: 2 seeds" in m for m in messages)
+        assert any("sweep_map: 2 item(s)" in m for m in messages)
+
+
 class TestFuzzCommand:
     def test_defaults(self):
         args = build_parser().parse_args(["fuzz"])

@@ -1,0 +1,100 @@
+"""`Fabric.tagged_queue_stats` and the `ps_queue_source` attribution.
+
+The fabric mixes every subsystem's traffic on shared links, so PS
+queueing is only observable by re-aggregating the flow ledger by tag;
+these tests pin the delay/peak-depth math on hand-built ledgers with
+mixed `ps.*` and pipeline tags, and the streams-vs-fabric source label
+surfaced on :class:`~repro.wsp.measure.HetPipeMetrics`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.cluster import paper_cluster
+from repro.netsim.fabric import Fabric, Flow
+from repro.sim.engine import Simulator
+
+from test_obs import small_run_spec
+
+
+def _flow(tag: str, wait: float, start: float, nbytes: float = 64.0) -> Flow:
+    return Flow(
+        src=None, dst=None, nbytes=nbytes,
+        start=start, done=start + 1.0, path=(), tag=tag, wait=wait,
+    )
+
+
+def _fabric() -> Fabric:
+    return Fabric(Simulator(), paper_cluster("VR"))
+
+
+class TestTaggedQueueStats:
+    def test_delay_sums_only_matching_tags(self):
+        fabric = _fabric()
+        fabric.flows.extend(
+            [
+                _flow("ps.vw0.s0.push", wait=2.0, start=10.0),
+                _flow("ps.vw1.s1.pull", wait=0.5, start=20.0),
+                _flow("vw0.s0.to_next", wait=3.0, start=10.0),
+                _flow("vw1.s1.to_prev", wait=1.0, start=12.0),
+            ]
+        )
+        ps_delay, _ = fabric.tagged_queue_stats("ps.")
+        pipe_delay, _ = fabric.tagged_queue_stats("vw")
+        all_delay, _ = fabric.tagged_queue_stats("")
+        assert ps_delay == 2.5
+        assert pipe_delay == 4.0
+        assert all_delay == 6.5
+
+    def test_peak_depth_is_simultaneous_waiters_of_the_prefix(self):
+        fabric = _fabric()
+        # Wait windows are [start - wait, start): three ps flows overlap
+        # on [2.5, 3.0), the fourth waits later and alone.
+        fabric.flows.extend(
+            [
+                _flow("ps.a", wait=2.0, start=3.0),   # [1.0, 3.0)
+                _flow("ps.b", wait=1.0, start=3.5),   # [2.5, 3.5)
+                _flow("ps.c", wait=0.5, start=3.0),   # [2.5, 3.0)
+                _flow("ps.d", wait=1.0, start=9.0),   # [8.0, 9.0)
+                # A pipeline flow waiting across the whole span must not
+                # inflate the ps.* depth.
+                _flow("vw0.s0.to_next", wait=10.0, start=10.0),
+            ]
+        )
+        _, ps_peak = fabric.tagged_queue_stats("ps.")
+        _, all_peak = fabric.tagged_queue_stats("")
+        assert ps_peak == 3
+        assert all_peak == 4
+
+    def test_zero_wait_flows_count_toward_delay_but_not_depth(self):
+        fabric = _fabric()
+        fabric.flows.extend(
+            [
+                _flow("ps.a", wait=0.0, start=1.0),
+                _flow("ps.b", wait=0.0, start=1.0),
+            ]
+        )
+        assert fabric.tagged_queue_stats("ps.") == (0.0, 0)
+
+    def test_empty_ledger(self):
+        assert _fabric().tagged_queue_stats("ps.") == (0.0, 0)
+
+
+class TestPsQueueSource:
+    def test_dedicated_runs_attribute_to_streams(self):
+        from repro.wsp.measure import measure_run
+
+        metrics = measure_run(small_run_spec())
+        assert metrics.network_model == "dedicated"
+        assert metrics.ps_queue_source == "streams"
+
+    def test_shared_runs_attribute_to_fabric(self):
+        from repro.api.spec import NetworkSpec
+        from repro.wsp.measure import measure_run
+
+        run = replace(small_run_spec(), network=NetworkSpec(model="shared"))
+        metrics = measure_run(run)
+        assert metrics.ps_queue_source == "fabric"
+        assert metrics.ps_queue_delay_total >= 0.0
+        assert metrics.ps_max_queue_depth >= 0
