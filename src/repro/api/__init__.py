@@ -34,6 +34,7 @@ _EXPORTS = {
     "SPEC_SCHEMA": "repro.api.spec",
     "ClusterSpec": "repro.api.spec",
     "ExperimentSpec": "repro.api.spec",
+    "FaultSpec": "repro.api.spec",
     "FidelitySpec": "repro.api.spec",
     "ModelSpec": "repro.api.spec",
     "NetworkSpec": "repro.api.spec",
@@ -106,6 +107,7 @@ if TYPE_CHECKING:  # static analyzers see the eager imports
         SPEC_SCHEMA,
         ClusterSpec,
         ExperimentSpec,
+        FaultSpec,
         FidelitySpec,
         ModelSpec,
         NetworkSpec,

@@ -203,6 +203,7 @@ def build_scenario(run: RunSpec):
         network=NetworkSpec(),
         fidelity=FidelitySpec(),
         oracles="default",
+        faults=None,
     )
     built = _build_general_cached(canonical)
     if built.spec == sspec:

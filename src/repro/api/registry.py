@@ -171,9 +171,16 @@ def _oracles_none() -> Any:
     return []
 
 
+def _oracles_faults() -> Any:
+    from repro.sim.invariants import fault_oracles
+
+    return fault_oracles()
+
+
 ORACLES.register("default", _oracles_default)
 ORACLES.register("staleness", _oracles_staleness)
 ORACLES.register("none", _oracles_none)
+ORACLES.register("faults", _oracles_faults)
 
 
 # ----------------------------------------------------------------------

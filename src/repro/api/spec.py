@@ -293,6 +293,139 @@ class ObservabilitySpec:
         )
 
 
+#: Fault kinds a :class:`FaultSpec` may schedule, with the arity of
+#: their explicit-event tuples (kind tag included).
+FAULT_KINDS: dict[str, int] = {
+    # ("straggler", start_frac, vw, stage, factor, duration_frac)
+    "straggler": 6,
+    # ("crash", start_frac, node, rejoin_frac)   rejoin_frac <= 0: permanent
+    "crash": 4,
+    # ("link", start_frac, scale, duration_frac)
+    "link": 4,
+    # ("ps", start_frac, slot, duration_frac)
+    "ps": 4,
+}
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Deterministic fault schedule for one run (:mod:`repro.faults`).
+
+    Off by default — a spec without this section (or with
+    ``enabled: false``) runs exactly the historical code path, and its
+    canonical form omits the section entirely, so ``spec_hash`` (and
+    every fuzz digest) of a pre-fault spec is unchanged.
+
+    Event *times* are fractions of the run's fault-free makespan (the
+    baseline twin the runner measures first), so the same spec scales
+    with the scenario instead of hardcoding simulated seconds.  The
+    drawn schedule is a pure function of ``(spec, run seed)``; the
+    ``events`` tuple appends explicit events for targeted tests/demos
+    (see :data:`FAULT_KINDS` for the tuple layouts).
+    """
+
+    enabled: bool = False
+    #: How many of each fault kind the seeded schedule draws.
+    stragglers: int = 0
+    crashes: int = 0
+    link_faults: int = 0
+    ps_faults: int = 0
+    #: Worst slowdown multiplier a drawn straggler may apply.
+    straggler_factor: float = 2.0
+    #: Worst cross-node bandwidth scale a drawn link fault may apply.
+    link_scale_floor: float = 0.25
+    #: First PS retry delay as a fraction of the fault-free makespan;
+    #: retry ``i`` waits ``retry_timeout * 2**i`` (exponential backoff).
+    retry_timeout: float = 0.02
+    #: Retries before a blocked PS transfer is declared unrecoverable.
+    max_retries: int = 10
+    #: Versions between parameter checkpoints (recovery resume points).
+    checkpoint_every: int = 2
+    #: Explicit events appended to the drawn schedule.
+    events: tuple[tuple[Any, ...], ...] = ()
+
+    def __post_init__(self) -> None:
+        _require(
+            isinstance(self.enabled, bool),
+            f"faults.enabled must be true/false, got {self.enabled!r}",
+        )
+        for name in ("stragglers", "crashes", "link_faults", "ps_faults"):
+            value = getattr(self, name)
+            _require(
+                isinstance(value, int) and not isinstance(value, bool) and value >= 0,
+                f"faults.{name} must be an int >= 0, got {value!r}",
+            )
+        _require(
+            isinstance(self.straggler_factor, (int, float))
+            and not isinstance(self.straggler_factor, bool)
+            and float(self.straggler_factor) >= 1.0,
+            f"faults.straggler_factor must be a number >= 1, "
+            f"got {self.straggler_factor!r}",
+        )
+        object.__setattr__(self, "straggler_factor", float(self.straggler_factor))
+        _require(
+            isinstance(self.link_scale_floor, (int, float))
+            and not isinstance(self.link_scale_floor, bool)
+            and 0.0 < float(self.link_scale_floor) <= 1.0,
+            f"faults.link_scale_floor must be in (0, 1], "
+            f"got {self.link_scale_floor!r}",
+        )
+        object.__setattr__(self, "link_scale_floor", float(self.link_scale_floor))
+        _require(
+            isinstance(self.retry_timeout, (int, float))
+            and not isinstance(self.retry_timeout, bool)
+            and float(self.retry_timeout) > 0.0,
+            f"faults.retry_timeout must be a number > 0, got {self.retry_timeout!r}",
+        )
+        object.__setattr__(self, "retry_timeout", float(self.retry_timeout))
+        _require(
+            isinstance(self.max_retries, int)
+            and not isinstance(self.max_retries, bool)
+            and self.max_retries >= 1,
+            f"faults.max_retries must be an int >= 1, got {self.max_retries!r}",
+        )
+        _require(
+            isinstance(self.checkpoint_every, int)
+            and not isinstance(self.checkpoint_every, bool)
+            and self.checkpoint_every >= 1,
+            f"faults.checkpoint_every must be an int >= 1, "
+            f"got {self.checkpoint_every!r}",
+        )
+        events = tuple(
+            tuple(event) if isinstance(event, (list, tuple)) else event
+            for event in self.events
+        )
+        object.__setattr__(self, "events", events)
+        for i, event in enumerate(events):
+            _require(
+                isinstance(event, tuple) and len(event) >= 1,
+                f"faults.events[{i}] must be a [kind, ...] array, got {event!r}",
+            )
+            kind = event[0]
+            _require(
+                kind in FAULT_KINDS,
+                f"faults.events[{i}] kind must be one of "
+                f"{sorted(FAULT_KINDS)}, got {kind!r}",
+            )
+            _require(
+                len(event) == FAULT_KINDS[kind],
+                f"faults.events[{i}] ({kind!r}) needs {FAULT_KINDS[kind]} "
+                f"entries, got {len(event)}",
+            )
+            _require(
+                all(
+                    isinstance(v, (int, float)) and not isinstance(v, bool)
+                    for v in event[1:]
+                ),
+                f"faults.events[{i}] entries after the kind must be numbers, "
+                f"got {event!r}",
+            )
+            _require(
+                float(event[1]) >= 0.0,
+                f"faults.events[{i}] start fraction must be >= 0, got {event[1]!r}",
+            )
+
+
 @dataclass(frozen=True)
 class ExperimentSpec:
     """A paper figure/table regeneration, by registry name."""
@@ -362,13 +495,16 @@ class RunSpec:
     experiment: ExperimentSpec | None = None
     sweep: SweepSpec | None = None
     observability: ObservabilitySpec | None = None
+    faults: FaultSpec | None = None
 
     def __post_init__(self) -> None:
         # A disabled observability section is behaviorally identical to
         # an absent one; normalize to None so both forms serialize (and
-        # hash) the same way.
+        # hash) the same way.  Same for a disabled fault section.
         if self.observability is not None and not self.observability.enabled:
             object.__setattr__(self, "observability", None)
+        if self.faults is not None and not self.faults.enabled:
+            object.__setattr__(self, "faults", None)
         _require(
             self.kind in RUN_KINDS,
             f"kind must be one of {list(RUN_KINDS)}, got {self.kind!r}",
@@ -415,10 +551,12 @@ class RunSpec:
     def to_dict(self) -> dict[str, Any]:
         """Plain-JSON-types dict, schema tag included (tuples -> lists)."""
         payload = _asdict_plain(self)
-        # Absent observability is the historical layout: omit the key
-        # entirely so pre-observability specs keep their spec_hash.
+        # Absent observability/faults is the historical layout: omit the
+        # keys entirely so pre-existing specs keep their spec_hash.
         if payload.get("observability") is None:
             del payload["observability"]
+        if payload.get("faults") is None:
+            del payload["faults"]
         payload["schema"] = SPEC_SCHEMA
         return payload
 
@@ -477,10 +615,11 @@ _SECTION_TYPES: dict[str, type] = {
     "experiment": ExperimentSpec,
     "sweep": SweepSpec,
     "observability": ObservabilitySpec,
+    "faults": FaultSpec,
 }
 
 #: Sections that may be null / absent.
-_OPTIONAL_SECTIONS = {"model", "experiment", "sweep", "observability"}
+_OPTIONAL_SECTIONS = {"model", "experiment", "sweep", "observability", "faults"}
 
 
 def _asdict_plain(value: Any) -> Any:

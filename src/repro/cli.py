@@ -154,6 +154,14 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: size_balanced)",
     )
     p.add_argument(
+        "--faults", action="store_true",
+        help="draw a seeded fault schedule per scenario (stragglers, "
+        "crash/rejoin, link degradation, PS failures) and check the "
+        "graceful-degradation oracles instead of the fault-free timing "
+        "envelopes; the scenario draw is unchanged, but digests differ "
+        "from the frozen fault-free corpus",
+    )
+    p.add_argument(
         "--bundle-dir", default=None, metavar="DIR",
         help="on any oracle violation, re-run the failing seed with "
         "diagnostics capture and write one reproducible bundle directory "
@@ -380,6 +388,7 @@ def _dispatch(args) -> int:
             shards=args.shards,
             shard_placement=args.shard_placement,
             bundle_dir=args.bundle_dir,
+            faults=args.faults,
         )
         print(report.summary())
         return 1 if report.failures else 0

@@ -82,5 +82,21 @@ class UnknownNameError(ConfigurationError):
         )
 
 
+class WorkerCrashError(ReproError):
+    """A sweep worker process died and its work could not be recovered.
+
+    Raised by :func:`repro.exec.sweep_map` after a worker process exits
+    abnormally (segfault, OOM kill, ``os._exit``) *and* the serial
+    retry of its stripe also dies.  Carries the index of the first item
+    whose retry failed so the caller can name the poisoned work item."""
+
+    def __init__(self, item_index: int, detail: str) -> None:
+        self.item_index = item_index
+        super().__init__(
+            f"worker crashed on item {item_index} and the serial retry "
+            f"died too: {detail}"
+        )
+
+
 class ConvergenceError(ReproError):
     """A training run failed to reach its target accuracy in budget."""

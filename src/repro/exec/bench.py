@@ -30,7 +30,10 @@ from typing import Any, Callable
 #: fuzz scenario is constructed under) and a ``spec_hash`` per fuzz
 #: metric — the sha256 over the batch's per-seed RunSpec hashes, so a
 #: perf artifact is traceable to the exact configurations it timed.
-SCHEMA = "hetpipe-bench/3"
+#: /4 adds the ``fuzz_faults`` metric: fuzz throughput with a seeded
+#: fault schedule per scenario under the graceful-degradation oracles
+#: (the fault-injection tax is part of the tracked trajectory).
+SCHEMA = "hetpipe-bench/4"
 
 #: Default benchmark sizes: full mode tracks the acceptance workload
 #: (100 seeds); quick mode stays in CI-smoke territory.
@@ -149,13 +152,17 @@ def _batch_spec_hash(report) -> str:
 
 
 def bench_fuzz(
-    seeds: int, jobs: int | None = None, fidelity: str = "full"
+    seeds: int, jobs: int | None = None, fidelity: str = "full",
+    faults: bool = False,
 ) -> dict[str, Any]:
     """Fuzz throughput over ``seeds`` scenarios (the headline metric).
 
     ``fidelity="fast_forward"`` measures the coalescing engine itself:
     equivalence twins stay off (they are a correctness gate, not part of
     a scenario's cost — ``repro fuzz --fidelity fast_forward`` runs them).
+    ``faults`` measures the fault-injection mode: every scenario also
+    pays for its fault-free horizon twin, the armed schedule, and the
+    recovery machinery.
     """
     from repro.scenarios import run_fuzz
 
@@ -164,6 +171,7 @@ def bench_fuzz(
         lambda: run_fuzz(
             range(seeds), jobs=jobs or 1, fidelity=fidelity,
             verify_equivalence=False if fidelity == "fast_forward" else None,
+            faults=faults,
         )
     )
     return {
@@ -268,6 +276,7 @@ def run_bench(
     metrics["plan_cache"] = bench_plan_cache()
     metrics["fuzz"] = bench_fuzz(seeds, jobs=1)
     metrics["fuzz_fast_forward"] = bench_fuzz(seeds, jobs=1, fidelity="fast_forward")
+    metrics["fuzz_faults"] = bench_fuzz(seeds, jobs=1, faults=True)
     metrics["fuzz_long_horizon"] = bench_fuzz_long_horizon(quick)
     parallel_jobs = jobs if jobs is not None else (os.cpu_count() or 1)
     if parallel_jobs > 1:
@@ -309,6 +318,14 @@ def render(payload: dict[str, Any]) -> str:
         lines.append(
             f"  fuzz ff     : {ff['scenarios_per_sec']:>12.1f} scenarios/s "
             f"({speedup:.2f}x full; {share:.0%} of events coalesced)"
+        )
+    faulted = m.get("fuzz_faults")
+    if faulted:
+        base = m["fuzz"]["scenarios_per_sec"]
+        ratio = faulted["scenarios_per_sec"] / base if base > 0 else 0.0
+        lines.append(
+            f"  fuzz faults : {faulted['scenarios_per_sec']:>12.1f} scenarios/s "
+            f"({ratio:.2f}x fault-free; {int(faulted['violations'])} violations)"
         )
     lh = m.get("fuzz_long_horizon")
     if lh:
@@ -368,6 +385,7 @@ def check_against(
     for metric, simulated_key, coalesced_key in (
         ("fuzz", "events_simulated", "events_fast_forwarded"),
         ("fuzz_fast_forward", "events_simulated", "events_fast_forwarded"),
+        ("fuzz_faults", "events_simulated", "events_fast_forwarded"),
         ("fuzz_long_horizon", "fast_forward_events_simulated", "fast_forward_events_coalesced"),
     ):
         base_metric = baseline["metrics"].get(metric, {})

@@ -36,7 +36,7 @@ import multiprocessing
 import os
 from typing import Any, Callable, Iterable, Sequence, TypeVar
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, WorkerCrashError
 
 logger = logging.getLogger(__name__)
 
@@ -46,6 +46,10 @@ R = TypeVar("R")
 #: Items processed between explicit ``gc.collect()`` calls while the
 #: automatic collector is paused.
 _GC_EVERY = 64
+
+#: Isolated attempts granted to each item of a dead worker's stripe
+#: before the item is declared poisoned (:class:`WorkerCrashError`).
+_ITEM_RETRIES = 2
 
 
 def resolve_jobs(jobs: int | None) -> int:
@@ -110,6 +114,96 @@ def _worker_stripe(args: tuple[Callable[[T], R], list[T]]) -> list[R]:
         return out
 
 
+def _stripe_main(conn, fn: Callable[[T], R], items: list[T]) -> None:
+    """Worker process entry: run the stripe, send ``(status, payload)``.
+
+    A worker that dies without sending anything (segfault, OOM kill,
+    ``os._exit``) is detected by the parent as EOF on the pipe; an
+    ordinary exception travels back explicitly so it can re-raise with
+    its type intact.
+    """
+    try:
+        results = _worker_stripe((fn, items))
+    except BaseException as exc:
+        try:
+            conn.send(("error", exc))
+        except Exception:
+            # Unpicklable exception: degrade to its repr.
+            conn.send(("error", ConfigurationError(repr(exc))))
+        return
+    conn.send(("ok", results))
+
+
+def _spawn_stripe(ctx, fn: Callable[[T], R], stripe_items: list[T]):
+    """Start one stripe worker; returns ``(process, recv_conn)``."""
+    recv_conn, send_conn = ctx.Pipe(duplex=False)
+    proc = ctx.Process(target=_stripe_main, args=(send_conn, fn, stripe_items))
+    proc.start()
+    send_conn.close()  # parent keeps only the receive end: EOF == death
+    return proc, recv_conn
+
+
+def _receive(proc, conn):
+    """``(status, payload)`` from a worker, or ``None`` if it died.
+
+    The pipe is drained *before* joining: a worker blocked sending a
+    large result would deadlock against a parent blocked in ``join``.
+    """
+    try:
+        message = conn.recv()
+    except EOFError:
+        proc.join()
+        return None
+    proc.join()
+    return message
+
+
+def _retry_stripe(
+    ctx, fn: Callable[[T], R], items: Sequence[T], stripe: list[int], exitcode
+) -> list[R]:
+    """Re-run a dead worker's stripe, one isolated process per item.
+
+    Isolation keeps a segfaulting item from taking the parent down; the
+    bounded per-item retries distinguish a transient death (OOM kill
+    under memory pressure) from a poisoned item, which raises
+    :class:`WorkerCrashError` naming its original index.
+    """
+    logger.warning(
+        "sweep_map: worker died (exitcode %s); retrying its %d item(s) "
+        "in isolated processes",
+        exitcode, len(stripe),
+    )
+    results: list[R] = []
+    for index in stripe:
+        for attempt in range(_ITEM_RETRIES):
+            proc, conn = _spawn_stripe(ctx, fn, [items[index]])
+            try:
+                message = _receive(proc, conn)
+            finally:
+                if proc.is_alive():  # pragma: no cover - defensive
+                    proc.terminate()
+                    proc.join()
+                conn.close()
+            if message is not None:
+                status, payload = message
+                if status == "error":
+                    raise payload
+                results.append(payload[0])
+                break
+            logger.warning(
+                "sweep_map: item %d died in isolation (attempt %d/%d, "
+                "exitcode %s)",
+                index, attempt + 1, _ITEM_RETRIES, proc.exitcode,
+            )
+        else:
+            raise WorkerCrashError(
+                index,
+                f"process exited with code {proc.exitcode} on all "
+                f"{_ITEM_RETRIES} isolated attempts",
+            )
+    return results
+
+
 def sweep_map(
     fn: Callable[[T], R],
     items: Iterable[T],
@@ -123,6 +217,14 @@ def sweep_map(
     ``jobs`` is (see module docstring for why).  ``fn`` must be a
     module-level callable and items/results must pickle when
     ``jobs > 1``.  A worker exception propagates to the caller.
+
+    A worker process that *dies* (segfault, OOM kill) does not hang or
+    poison the batch: its stripe is re-run one isolated process per
+    item with bounded retries, and only an item that keeps killing its
+    process raises :class:`~repro.errors.WorkerCrashError` — naming
+    that item's index.  ``KeyboardInterrupt`` tears the workers down
+    (terminate + join) before propagating, so an interrupted ``repro
+    fuzz``/``repro sweep`` leaves no orphan processes behind.
 
     ``on_result(index, result)`` is invoked in item order — immediately
     per item when serial, after the merge when parallel — so progress
@@ -140,12 +242,31 @@ def sweep_map(
         len(items), len(stripes), getattr(fn, "__name__", fn),
     )
     ctx = multiprocessing.get_context(mp_context)
-    with ctx.Pool(processes=len(stripes)) as pool:
-        handles = [
-            pool.apply_async(_worker_stripe, ((fn, [items[i] for i in stripe]),))
-            for stripe in stripes
-        ]
-        stripe_results = [handle.get() for handle in handles]
+    workers = [
+        _spawn_stripe(ctx, fn, [items[i] for i in stripe]) for stripe in stripes
+    ]
+    stripe_results: list[list[R]] = []
+    try:
+        for stripe, (proc, conn) in zip(stripes, workers):
+            message = _receive(proc, conn)
+            if message is None:
+                stripe_results.append(
+                    _retry_stripe(ctx, fn, items, stripe, proc.exitcode)
+                )
+                continue
+            status, payload = message
+            if status == "error":
+                raise payload
+            stripe_results.append(payload)
+    finally:
+        # Reached with workers still alive only on an abnormal exit —
+        # a raised worker exception, WorkerCrashError, or the user's
+        # KeyboardInterrupt: tear everything down, leave no orphans.
+        for proc, conn in workers:
+            if proc.is_alive():
+                proc.terminate()
+            proc.join()
+            conn.close()
     out: list[R] = [None] * len(items)  # type: ignore[list-item]
     for stripe, results in zip(stripes, stripe_results):
         if len(results) != len(stripe):

@@ -1,0 +1,40 @@
+"""Deterministic fault injection and recovery (the robustness layer).
+
+HetPipe's premise is training on unreliable "whimpy" fleets, so the
+simulator must be able to make things slow down, drop, and die — and
+prove the WSP contracts survive it.  This package turns a frozen
+:class:`~repro.api.spec.FaultSpec` into engine events and drives the
+runtime's recovery machinery:
+
+* :mod:`repro.faults.schedule` — compiles the spec (seeded draws plus
+  explicit events) into an absolute-time :class:`FaultEvent` schedule,
+  a pure function of ``(spec, targets, horizon, seed)`` so a replayed
+  diagnostics bundle reproduces the exact same faults;
+* :mod:`repro.faults.injector` — :class:`FaultInjector` arms the
+  schedule on the simulator and applies/reverts each fault against the
+  live runtime (straggler slowdowns, node crash/rejoin, link
+  degradation, PS process failure), while :class:`FaultState` is the
+  shared visibility surface the parameter server's retry/backoff path
+  and the graceful-degradation oracles read.
+
+The no-fault path is bit-identical to a run without this package: a
+disabled/absent ``FaultSpec`` normalizes away at the spec layer and no
+fault hook fires.
+"""
+
+from repro.faults.injector import FaultInjector, FaultState
+from repro.faults.schedule import (
+    FaultEvent,
+    FaultTargets,
+    compile_schedule,
+    draw_fault_spec,
+)
+
+__all__ = [
+    "FaultEvent",
+    "FaultInjector",
+    "FaultState",
+    "FaultTargets",
+    "compile_schedule",
+    "draw_fault_spec",
+]

@@ -1,0 +1,265 @@
+"""Compile a :class:`~repro.api.spec.FaultSpec` into an event schedule.
+
+Event times in a spec are *fractions of the fault-free makespan* (the
+baseline twin the runner measures before arming any fault), so one spec
+scales across scenarios instead of hardcoding simulated seconds.  The
+compiled schedule is a pure function of ``(spec, targets, horizon,
+seed)``: drawn events come from a dedicated ``random.Random`` stream
+keyed by the run seed (independent of the scenario/netsim draws, so
+enabling faults never perturbs what scenario a seed generates), and
+explicit ``spec.events`` tuples are validated against the topology and
+appended.  Replaying a diagnostics bundle therefore reproduces the
+exact same fault sequence from the spec alone.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+
+from repro.api.spec import FaultSpec
+from repro.errors import ConfigurationError
+
+#: Drawn-event windows, as (lo, hi) fractions of the fault-free
+#: makespan.  Starts land inside the measured run; durations are short
+#: relative to the horizon so drawn schedules always stay recoverable
+#: within the spec's retry budget.
+_STRAGGLER_START = (0.05, 0.55)
+_STRAGGLER_DURATION = (0.05, 0.30)
+_CRASH_START = (0.10, 0.45)
+_CRASH_REJOIN = (0.03, 0.15)
+_LINK_START = (0.05, 0.55)
+_LINK_DURATION = (0.05, 0.25)
+_PS_START = (0.10, 0.50)
+_PS_DURATION = (0.03, 0.12)
+
+#: Mildest slowdown a drawn straggler applies (the spec's
+#: ``straggler_factor`` is the worst).
+_STRAGGLER_FLOOR = 1.25
+
+#: Mildest degradation a drawn link fault applies (the spec's
+#: ``link_scale_floor`` is the worst).
+_LINK_SCALE_CEIL = 0.90
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One compiled fault, in absolute simulated seconds.
+
+    ``duration <= 0`` means the fault is permanent: a permanent crash
+    triggers PS-shard failover plus elastic re-partitioning instead of
+    a scheduled rejoin.
+    """
+
+    kind: str  # "straggler" | "crash" | "link" | "ps"
+    time: float
+    duration: float
+    vw: int = -1  # straggler: virtual worker index
+    stage: int = -1  # straggler: stage index within the worker's plan
+    node: int = -1  # crash / node-targeted ps fault
+    slot: int = -1  # shard-targeted ps fault
+    factor: float = 1.0  # straggler slowdown multiplier
+    scale: float = 1.0  # link bandwidth scale
+
+    @property
+    def permanent(self) -> bool:
+        return self.duration <= 0.0
+
+    def describe(self) -> str:
+        span = "permanent" if self.permanent else f"{self.duration:.4f}s"
+        if self.kind == "straggler":
+            target = f"vw{self.vw}.s{self.stage} x{self.factor:.2f}"
+        elif self.kind == "crash":
+            target = f"node {self.node}"
+        elif self.kind == "link":
+            target = f"scale {self.scale:.2f}"
+        else:
+            target = f"slot {self.slot}" if self.slot >= 0 else f"node {self.node}"
+        return f"{self.kind} @t={self.time:.4f} ({span}): {target}"
+
+
+@dataclass(frozen=True)
+class FaultTargets:
+    """The topology a drawn schedule may aim at."""
+
+    num_virtual_workers: int
+    stages_per_worker: tuple[int, ...]
+    node_ids: tuple[int, ...]
+    shards: int = 1
+
+
+def draw_fault_spec(seed: int) -> FaultSpec:
+    """The fuzz generator's fault axis: a seeded, always-active spec.
+
+    Uses its own ``random.Random`` stream (keyed ``faults-{seed}``) so
+    the scenario and congested-fabric draws for a seed are untouched;
+    guarantees at least one fault so every fuzzed schedule exercises
+    the recovery machinery.  Drawn schedules are transient-only —
+    permanent failures (elastic re-partitioning) are an explicit-event
+    feature with their own deterministic tests.
+    """
+    rng = random.Random(f"faults-{seed}")
+    spec = FaultSpec(
+        enabled=True,
+        stragglers=rng.randint(0, 2),
+        crashes=rng.randint(0, 1),
+        link_faults=rng.randint(0, 1),
+        ps_faults=rng.randint(0, 1),
+    )
+    if spec.stragglers + spec.crashes + spec.link_faults + spec.ps_faults == 0:
+        spec = replace(spec, stragglers=1)
+    return spec
+
+
+def _draw(rng: random.Random, window: tuple[float, float]) -> float:
+    lo, hi = window
+    return lo + rng.random() * (hi - lo)
+
+
+def compile_schedule(
+    spec: FaultSpec,
+    targets: FaultTargets,
+    horizon: float,
+    seed: int,
+) -> tuple[FaultEvent, ...]:
+    """The absolute-time schedule for one run, sorted by fire time.
+
+    Drawn events first (their count/knobs come from the spec, their
+    details from the ``faults-sched-{seed}`` stream), then the spec's
+    explicit events, validated against ``targets``.  Pure and
+    deterministic; an empty result (all counts zero, no explicit
+    events) arms nothing and leaves the run bit-identical to
+    faults-off.
+    """
+    if horizon <= 0.0:
+        raise ConfigurationError(
+            f"fault schedule needs a positive horizon, got {horizon!r}"
+        )
+    if targets.num_virtual_workers < 1 or not targets.node_ids:
+        raise ConfigurationError("fault schedule needs a non-empty topology")
+    rng = random.Random(f"faults-sched-{seed}")
+    events: list[FaultEvent] = []
+    for _ in range(spec.stragglers):
+        vw = rng.randrange(targets.num_virtual_workers)
+        stage = rng.randrange(targets.stages_per_worker[vw])
+        floor = min(_STRAGGLER_FLOOR, spec.straggler_factor)
+        factor = floor + rng.random() * (spec.straggler_factor - floor)
+        events.append(
+            FaultEvent(
+                "straggler",
+                _draw(rng, _STRAGGLER_START) * horizon,
+                _draw(rng, _STRAGGLER_DURATION) * horizon,
+                vw=vw,
+                stage=stage,
+                factor=factor,
+            )
+        )
+    for _ in range(spec.crashes):
+        node = rng.choice(targets.node_ids)
+        events.append(
+            FaultEvent(
+                "crash",
+                _draw(rng, _CRASH_START) * horizon,
+                _draw(rng, _CRASH_REJOIN) * horizon,
+                node=node,
+            )
+        )
+    for _ in range(spec.link_faults):
+        ceil = max(spec.link_scale_floor, _LINK_SCALE_CEIL)
+        scale = spec.link_scale_floor + rng.random() * (ceil - spec.link_scale_floor)
+        events.append(
+            FaultEvent(
+                "link",
+                _draw(rng, _LINK_START) * horizon,
+                _draw(rng, _LINK_DURATION) * horizon,
+                scale=scale,
+            )
+        )
+    for _ in range(spec.ps_faults):
+        if targets.shards > 1:
+            slot, node = rng.randrange(targets.shards), -1
+        else:
+            slot, node = -1, rng.choice(targets.node_ids)
+        events.append(
+            FaultEvent(
+                "ps",
+                _draw(rng, _PS_START) * horizon,
+                _draw(rng, _PS_DURATION) * horizon,
+                node=node,
+                slot=slot,
+            )
+        )
+    for i, raw in enumerate(spec.events):
+        events.append(_explicit_event(raw, i, targets, horizon))
+    events.sort(key=lambda event: (event.time, event.kind))
+    return tuple(events)
+
+
+def _explicit_event(
+    raw: tuple, index: int, targets: FaultTargets, horizon: float
+) -> FaultEvent:
+    """Validate one ``spec.events`` tuple against the topology."""
+    kind = raw[0]
+    start = float(raw[1]) * horizon
+    if kind == "straggler":
+        _, _, vw, stage, factor, duration = raw
+        vw, stage = int(vw), int(stage)
+        if not 0 <= vw < targets.num_virtual_workers:
+            raise ConfigurationError(
+                f"faults.events[{index}]: virtual worker {vw} out of range "
+                f"(run has {targets.num_virtual_workers})"
+            )
+        if not 0 <= stage < targets.stages_per_worker[vw]:
+            raise ConfigurationError(
+                f"faults.events[{index}]: stage {stage} out of range "
+                f"(vw{vw} has {targets.stages_per_worker[vw]} stages)"
+            )
+        if float(factor) < 1.0:
+            raise ConfigurationError(
+                f"faults.events[{index}]: straggler factor must be >= 1, "
+                f"got {factor!r}"
+            )
+        return FaultEvent(
+            "straggler",
+            start,
+            float(duration) * horizon,
+            vw=vw,
+            stage=stage,
+            factor=float(factor),
+        )
+    if kind == "crash":
+        _, _, node, rejoin = raw
+        node = int(node)
+        if node not in targets.node_ids:
+            raise ConfigurationError(
+                f"faults.events[{index}]: node {node} not in cluster "
+                f"{list(targets.node_ids)}"
+            )
+        return FaultEvent("crash", start, float(rejoin) * horizon, node=node)
+    if kind == "link":
+        _, _, scale, duration = raw
+        if not 0.0 < float(scale) <= 1.0:
+            raise ConfigurationError(
+                f"faults.events[{index}]: link scale must be in (0, 1], "
+                f"got {scale!r}"
+            )
+        return FaultEvent(
+            "link", start, float(duration) * horizon, scale=float(scale)
+        )
+    # "ps": the target is a shard slot when the run shards its PS,
+    # otherwise a node (the node's PS process).
+    _, _, target, duration = raw
+    target = int(target)
+    if targets.shards > 1:
+        if not 0 <= target < targets.shards:
+            raise ConfigurationError(
+                f"faults.events[{index}]: PS shard slot {target} out of range "
+                f"(run has {targets.shards})"
+            )
+        return FaultEvent("ps", start, float(duration) * horizon, slot=target)
+    if target not in targets.node_ids:
+        raise ConfigurationError(
+            f"faults.events[{index}]: node {target} not in cluster "
+            f"{list(targets.node_ids)}"
+        )
+    return FaultEvent("ps", start, float(duration) * horizon, node=target)

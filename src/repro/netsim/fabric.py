@@ -262,6 +262,10 @@ class Fabric:
         self.ib_fabric = SharedLink(
             sim, ic.ib_effective * ib_scale, "ib.fabric", "ib_fabric"
         )
+        #: fault-injection state: link degradation scales the bottleneck
+        #: rate of subsequent flows (1.0 = healthy fabric; the memoized
+        #: routes stay valid because the scale applies after lookup)
+        self.rate_scale = 1.0
         self.flows: list[Flow] = []
         #: total time flows spent waiting for their path, counted once
         #: per flow (the per-link ``queue_delay_total`` counters instead
@@ -378,6 +382,8 @@ class Fabric:
                 self.sim.schedule_at(now, on_complete)
             return now
         path, latency, path_names, bottleneck = self._route_entry(src, dst)
+        if self.rate_scale != 1.0:
+            bottleneck *= self.rate_scale
         if rate_cap is not None:
             bottleneck = min(bottleneck, rate_cap)
         occupy = nbytes / bottleneck

@@ -25,7 +25,10 @@ if TYPE_CHECKING:  # pragma: no cover
 
 #: Trace categories recorded as instant annotations (one marker each).
 ANNOTATION_CATEGORIES = frozenset(
-    ("inject", "minibatch_done", "wave_push", "pull_done")
+    (
+        "inject", "minibatch_done", "wave_push", "pull_done",
+        "fault", "fault_recovered", "checkpoint", "repartition",
+    )
 )
 
 

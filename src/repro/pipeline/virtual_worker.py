@@ -103,6 +103,9 @@ class VirtualWorkerPipeline:
         #: deterministic per pipeline name
         self.jitter = jitter
         self._jitter_rng = random.Random(zlib.crc32(name.encode()) & 0x7FFFFFFF)
+        #: fault-injection state: per-stage straggler slowdown factors
+        #: (empty = healthy; the no-fault duration path is unchanged)
+        self.stage_scale: dict[int, float] = {}
 
         self.stages: list[_StageState] = []
         for stage in plan.stages:
@@ -163,6 +166,44 @@ class VirtualWorkerPipeline:
         """Stop admitting new minibatches; in-flight ones drain."""
         self._running = False
 
+    # ------------------------------------------------------------------
+    # fault injection (see repro.faults)
+    # ------------------------------------------------------------------
+
+    def set_link_scale(self, scale: float) -> None:
+        """Degrade (or restore) this worker's *cross-node* stage links.
+
+        Dedicated-interconnect mode only: fabric-backed edges are scaled
+        at the fabric itself, and intra-node links are unaffected by a
+        shared-fabric fault."""
+        for s, state in enumerate(self.stages):
+            if state.to_next is not None and isinstance(state.to_next, Channel):
+                if not self.plan.stages[s].gpu.same_node(self.plan.stages[s + 1].gpu):
+                    state.to_next.rate_scale = scale
+            if state.to_prev is not None and isinstance(state.to_prev, Channel):
+                if not self.plan.stages[s].gpu.same_node(self.plan.stages[s - 1].gpu):
+                    state.to_prev.rate_scale = scale
+
+    def resume_from(self, base: int) -> None:
+        """Elastic-recovery restart point: the pipeline's public minibatch
+        numbering continues from ``base`` (the checkpointed progress of
+        the worker it replaces), exactly like a fast-forward translation.
+        Must be called before :meth:`start`."""
+        if self._running:
+            raise SimulationError(f"{self.name}: cannot resume a running pipeline")
+        self.mb_offset = base
+        self.completed = base
+
+    def halt(self) -> None:
+        """Permanently abandon this pipeline (its node crashed and a
+        replacement is taking over): stop admissions, silence callbacks,
+        and halt every stage processor so in-flight work dies."""
+        self._running = False
+        self.on_minibatch_done = None
+        self.on_inject = None
+        for state in self.stages:
+            state.processor.halt()
+
     def _try_inject(self) -> None:
         if not self._running:
             return
@@ -213,6 +254,13 @@ class VirtualWorkerPipeline:
             return duration
         return duration * (1.0 + self.jitter * self._jitter_rng.uniform(-1.0, 1.0))
 
+    def _task_time(self, s: int, duration: float) -> float:
+        """Effective task duration on stage ``s``: straggler slowdown
+        (if any fault is active) composed with the jitter draw."""
+        if self.stage_scale:
+            duration *= self.stage_scale.get(s, 1.0)
+        return self._jittered(duration)
+
     def _start_forward(self, s: int, p: int) -> None:
         state = self.stages[s]
         stage = self.plan.stages[s]
@@ -224,7 +272,7 @@ class VirtualWorkerPipeline:
         # skip between enqueue and start advances mb_offset).
         if last:
             # Condition 4: last partition runs fwd+bwd as one task.
-            duration = self._jittered(stage.fwd_compute + stage.bwd_compute)
+            duration = self._task_time(s, stage.fwd_compute + stage.bwd_compute)
             self.trace.emit(self.sim.now, "fb_enqueue", self._actor[s], minibatch=p + self.mb_offset)
             state.processor.submit(
                 duration,
@@ -235,7 +283,7 @@ class VirtualWorkerPipeline:
         else:
             self.trace.emit(self.sim.now, "f_enqueue", self._actor[s], minibatch=p + self.mb_offset)
             state.processor.submit(
-                self._jittered(stage.fwd_compute),
+                self._task_time(s, stage.fwd_compute),
                 lambda: self._forward_done(s, p),
                 tag=("F", p),
                 on_start=(lambda s=s, p=p: self.trace.emit(self.sim.now, "f_start", self._actor[s], minibatch=p + self.mb_offset)),
@@ -272,7 +320,7 @@ class VirtualWorkerPipeline:
             stage = self.plan.stages[s]
             self.trace.emit(self.sim.now, "b_enqueue", self._actor[s], minibatch=p + self.mb_offset)
             state.processor.submit(
-                self._jittered(stage.bwd_compute),
+                self._task_time(s, stage.bwd_compute),
                 (lambda s=s, p=p: self._backward_done(s, p)),
                 tag=("B", p),
                 on_start=(lambda s=s, p=p: self.trace.emit(self.sim.now, "b_start", self._actor[s], minibatch=p + self.mb_offset)),

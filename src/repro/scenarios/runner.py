@@ -268,20 +268,34 @@ def _check_1f1b(
     return trace.digest(), sim.events_processed, sim.events_fast_forwarded
 
 
-def _makespan_only(scenario: Scenario, run: RunSpec, budget: int) -> float:
-    """Time for the *dedicated*-network twin of ``run`` to reach the
-    target global version (no oracles, no trace — just the clock)."""
+def _makespan_only(
+    scenario: Scenario,
+    run: RunSpec,
+    budget: int,
+    keep_network: bool = False,
+    fabric_spec: FabricSpec = DEFAULT_FABRIC_SPEC,
+) -> float:
+    """Time for a fault-free twin of ``run`` to reach the target global
+    version (no oracles, no trace — just the clock).
+
+    By default the twin runs on the dedicated network (the contention
+    oracle's reference); with ``keep_network`` it keeps the run's own
+    network model, which is the fault-injection baseline — the horizon
+    fault fractions scale by and the degradation oracle's yardstick.
+    """
     spec = scenario.spec
     twin = replace(
         run,
-        network=replace(run.network, model="dedicated"),
+        network=run.network if keep_network else replace(run.network, model="dedicated"),
         fidelity=FidelitySpec(),
+        faults=None,
     )
     runtime = HetPipeRuntime.from_spec(
         twin,
         cluster=scenario.cluster,
         model=scenario.model,
         plans=list(scenario.plans),
+        fabric_spec=fabric_spec,
     )
     runtime.start()
     runtime.run_until_global_version(
@@ -528,6 +542,11 @@ def run_scenario(
     budget = EVENTS_PER_MINIBATCH * expected_minibatches * max(
         plan.k for plan in scenario.plans
     )
+    faulted = run.faults is not None
+    if faulted:
+        # Retries, re-queued work, and re-earned minibatches all cost
+        # extra events; recovery must not be mistaken for a storm.
+        budget *= 4
 
     window = 0.0
     completions: tuple[int, ...] = tuple(0 for _ in scenario.plans)
@@ -537,13 +556,37 @@ def run_scenario(
     equivalence_checked = False
     runtime = _build_runtime(scenario, run, fidelity, trace, oracles, fabric_spec)
     try:
+        if faulted:
+            # The fault-free baseline of the *same* run (same network
+            # model): the horizon the schedule's time fractions scale
+            # by, and the degradation oracle's yardstick.
+            from repro.faults import FaultInjector, FaultTargets, compile_schedule
+
+            horizon = _makespan_only(
+                scenario, run, budget, keep_network=True, fabric_spec=fabric_spec
+            )
+            targets = FaultTargets(
+                num_virtual_workers=len(scenario.plans),
+                stages_per_worker=tuple(plan.k for plan in scenario.plans),
+                node_ids=tuple(node.node_id for node in scenario.cluster.nodes),
+                shards=run.pipeline.shards,
+            )
+            schedule = compile_schedule(run.faults, targets, horizon, spec.seed)
+            if schedule:
+                FaultInjector(runtime, schedule, run.faults, horizon).arm()
+            # An empty schedule arms nothing: the run (checkpoint
+            # cadence included) stays bit-identical to faults-off.
         window, completions, makespan = _drive_main(runtime, spec, budget)
         throughput = (
             sum(completions) * scenario.model.batch_size / window if window > 0 else 0.0
         )
         runtime.check_invariants()
-        _check_bounds(scenario, runtime, window, completions, violations, fabric_spec)
-        if shared:
+        if not faulted:
+            # The differential/contention envelopes assume a fault-free
+            # run; under injection the graceful-degradation oracles own
+            # the timing verdict instead.
+            _check_bounds(scenario, runtime, window, completions, violations, fabric_spec)
+        if shared and not faulted:
             dedicated_makespan = _makespan_only(scenario, run, budget)
             if makespan < dedicated_makespan * (1.0 - 1e-9):
                 violations.append(
@@ -554,6 +597,7 @@ def run_scenario(
         if (
             fidelity == "fast_forward"
             and verify_equivalence
+            and not faulted
             and runtime.sim.events_fast_forwarded > 0
         ):
             # The semantic-equivalence oracle: the full-fidelity twin of
@@ -604,6 +648,23 @@ def run_scenario(
             "oracle_state": _oracle_state(oracles),
             "snapshots": _snapshots(runtime),
         }
+        injector = runtime.fault_injector
+        if injector is not None:
+            # Nested under snapshots so write_bundle persists it (the
+            # bundle format has fixed top-level files).
+            state = injector.state
+            diagnostics["snapshots"]["faults"] = {
+                "horizon": injector.horizon,
+                "schedule": [e.describe() for e in injector.schedule],
+                "fired": [e.describe() for e in injector.fired],
+                "recovered": [e.describe() for e in injector.recovered],
+                "retries_attempted": state.retries_attempted,
+                "sends_blocked": state.sends_blocked,
+                "sends_resolved": state.sends_resolved,
+                "checkpoints": list(state.checkpoints),
+                "down_nodes": sorted(state.down_nodes),
+                "structural_change": runtime._structural_change,
+            }
     return ScenarioResult(
         spec=spec,
         digest=combined,
@@ -693,6 +754,7 @@ def _fuzz_run_spec(
     waves_scale: int,
     shards: int,
     shard_placement: str,
+    faults: bool = False,
 ) -> RunSpec:
     """The exact RunSpec one fuzz seed runs under.
 
@@ -707,14 +769,25 @@ def _fuzz_run_spec(
         shards=shards,
         shard_placement=shard_placement,
     )
-    return spec.to_run_spec(
+    run = spec.to_run_spec(
         fidelity=fidelity,
         verify_equivalence=verify_equivalence,
         waves_scale=waves_scale,
     )
+    if faults:
+        # The fault axis rides on top of the unchanged scenario draw (a
+        # seed still denotes the same deployment); the schedule comes
+        # from its own seeded stream, and the graceful-degradation
+        # oracle suite replaces the fault-free timing envelopes.
+        from repro.faults import draw_fault_spec
+
+        run = replace(run, faults=draw_fault_spec(seed), oracles="faults")
+    return run
 
 
-def _fuzz_one(args: tuple[int, str, str, bool | None, int, int, str]) -> ScenarioResult:
+def _fuzz_one(
+    args: tuple[int, str, str, bool | None, int, int, str, bool]
+) -> ScenarioResult:
     """Run a single seed end to end (the :func:`sweep_map` work item).
 
     The generated scenario is lifted into a typed
@@ -725,11 +798,14 @@ def _fuzz_one(args: tuple[int, str, str, bool | None, int, int, str]) -> Scenari
     generation failures are reported as findings rather than raised —
     the harness's contract is that *any* seed yields a verdict.
     """
-    seed, network_model, fidelity, verify_equivalence, waves_scale, shards, shard_placement = args
+    (
+        seed, network_model, fidelity, verify_equivalence,
+        waves_scale, shards, shard_placement, faults,
+    ) = args
     try:
         run = _fuzz_run_spec(
             seed, network_model, fidelity, verify_equivalence,
-            waves_scale, shards, shard_placement,
+            waves_scale, shards, shard_placement, faults,
         )
         return run_scenario(run)
     except ReproError as exc:
@@ -761,6 +837,7 @@ def run_fuzz(
     shards: int = 1,
     shard_placement: str = "size_balanced",
     bundle_dir: str | None = None,
+    faults: bool = False,
 ) -> FuzzReport:
     """Generate and run the scenario for every seed.
 
@@ -790,14 +867,18 @@ def run_fuzz(
     diagnostics capture and writes one bundle directory per failure
     (see :mod:`repro.obs.bundle`); the report's summary references each
     bundle next to its violations.
+    ``faults`` draws a seeded fault schedule per scenario (stragglers,
+    crash/rejoin, link degradation, PS failures) and swaps the oracle
+    suite for the graceful-degradation family; off (the default) keeps
+    every digest frozen.
     """
     from repro.exec import sweep_map
 
     validate_fidelity(fidelity)
     seeds = list(seeds)
     logger.info(
-        "fuzz: %d seeds, network=%s fidelity=%s shards=%d jobs=%s",
-        len(seeds), network_model, fidelity, shards, jobs,
+        "fuzz: %d seeds, network=%s fidelity=%s shards=%d faults=%s jobs=%s",
+        len(seeds), network_model, fidelity, shards, faults, jobs,
     )
     on_result = None
     if verbose_log is not None:
@@ -807,7 +888,7 @@ def run_fuzz(
         [
             (
                 seed, network_model, fidelity, verify_equivalence,
-                waves_scale, shards, shard_placement,
+                waves_scale, shards, shard_placement, faults,
             )
             for seed in seeds
         ],
@@ -824,7 +905,7 @@ def run_fuzz(
             seed = result.spec.seed
             run = _fuzz_run_spec(
                 seed, network_model, fidelity, verify_equivalence,
-                waves_scale, shards, shard_placement,
+                waves_scale, shards, shard_placement, faults,
             )
             logger.info("seed %d failed; re-running with diagnostics capture", seed)
             captured = run_scenario(run, capture_diagnostics=True)

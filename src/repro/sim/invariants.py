@@ -29,6 +29,19 @@ becomes impossible under the paper's rules:
   :class:`~repro.pipeline.one_f_one_b.OneFOneBPipeline`: a stage never
   starts a forward while its next in-order backward is ready.
 
+Fault-injected runs swap in the *graceful-degradation* family
+(:func:`fault_oracles`): :class:`RecoveryOracle` (every transient fault
+recovers in bounded time, no send is left stranded, the checkpoint
+ledger keeps pace), :class:`FailoverConservationOracle` (no minibatch
+is lost across crash/rejoin or PS failover — every recorded wave is
+backed by completed minibatches), and :class:`DegradationOracle`
+(makespan degrades no worse than proportionally to the injected
+slowdowns, link degradation, downtime, and capacity lost).  The
+scheduling/conservation oracles assume a replay-free single topology,
+which elastic recovery deliberately breaks, so they stay out of the
+fault suite; staleness and version clocks must hold under faults and
+stay in.
+
 Quiescence (no deadlock within an event budget) is enforced by the fuzz
 runner through ``run_until_global_version``'s budget rather than an
 oracle class, since it is a property of the run loop, not of any single
@@ -464,6 +477,180 @@ def default_oracles() -> list[RuntimeOracle]:
         VersionOracle(),
         ConservationOracle(),
         FabricOracle(),
+    ]
+
+
+# ----------------------------------------------------------------------
+# graceful degradation under fault injection (see repro.faults)
+# ----------------------------------------------------------------------
+
+#: Multiplicative headroom the degradation bound grants over the ideal
+#: composed slowdown — recovery is never perfectly pipelined with
+#: useful work (pipeline refill after a rejoin, retry backoff tails).
+_DEGRADATION_SLACK = 0.75
+
+#: Seconds of allowed end-to-end slowdown per second of crash/PS fault
+#: window: a down node stalls the *global* clock (every worker waits at
+#: its staleness bound), and the exponential-backoff retry tail can
+#: overshoot the recovery instant by up to the last backoff interval.
+_DOWNTIME_FACTOR = 4.0
+
+
+class RecoveryOracle(RuntimeOracle):
+    """Bounded recovery: transient faults heal, nothing stays stranded.
+
+    Reads the :class:`~repro.faults.injector.FaultInjector` attached to
+    the runtime (a no-op on fault-free runs): every fired transient
+    fault whose recovery time fell inside the run must have recovered,
+    no send may still be blocked once every fault window has closed,
+    and the parameter-version checkpoint ledger must have kept pace
+    with the global clock (elastic recovery resumes from it).
+    """
+
+    def verify_final(self, runtime: "HetPipeRuntime") -> None:
+        injector = runtime.fault_injector
+        if injector is None:
+            return
+        from collections import Counter
+
+        state = injector.state
+        now = runtime.sim.now
+        fired = Counter(e for e in injector.fired if not e.permanent)
+        healed = Counter(injector.recovered)
+        for event, count in fired.items():
+            if count > healed.get(event, 0) and event.time + event.duration < now:
+                raise InvariantViolation(
+                    f"recovery: [{event.describe()}] was due to recover at "
+                    f"t={event.time + event.duration:.6f} but had not by "
+                    f"t={now:.6f}"
+                )
+        windows_open = (
+            state.down_nodes or state.down_ps or state.down_ps_nodes
+            or injector.pending()
+        )
+        if state.sends_blocked > 0 and not windows_open:
+            raise InvariantViolation(
+                f"recovery: {state.sends_blocked} PS send(s) still blocked "
+                f"after every fault window closed"
+            )
+        if state.sends_blocked < 0:
+            raise InvariantViolation(
+                "recovery: more blocked sends resolved than were ever blocked"
+            )
+        version = runtime.ps.global_version
+        if version >= 0:
+            last = state.checkpoints[-1][0] if state.checkpoints else -1
+            if version - last >= 2 * state.checkpoint_every:
+                raise InvariantViolation(
+                    f"recovery: checkpoint ledger stopped at version {last} "
+                    f"while the global clock reached {version} "
+                    f"(cadence {state.checkpoint_every})"
+                )
+
+
+class FailoverConservationOracle(RuntimeOracle):
+    """No minibatch lost: recorded progress is always backed by work.
+
+    The elastic-recovery contract: whatever crash/failover sequence
+    occurred, every wave the PS recorded for a worker is backed by that
+    worker's completed minibatches (a replacement pipeline re-earns any
+    progress that died with its predecessor, never skips it), and the
+    global version is exactly the minimum of the per-worker clocks.
+    """
+
+    def verify_final(self, runtime: "HetPipeRuntime") -> None:
+        injector = runtime.fault_injector
+        if injector is None:
+            return
+        nm = runtime.nm
+        for vw, stats in enumerate(runtime.stats):
+            recorded = runtime.ps.pushed_wave[vw]
+            if recorded >= 0 and stats.minibatches_done < (recorded + 1) * nm:
+                raise InvariantViolation(
+                    f"failover conservation: vw{vw} recorded wave {recorded} "
+                    f"backed by only {stats.minibatches_done} completed "
+                    f"minibatches (needs {(recorded + 1) * nm})"
+                )
+            pipeline = runtime.pipelines[vw]
+            if pipeline.completed != stats.minibatches_done:
+                raise InvariantViolation(
+                    f"failover conservation: vw{vw} pipeline counter "
+                    f"{pipeline.completed} != stats {stats.minibatches_done} "
+                    f"(lost or double-counted minibatches across failover)"
+                )
+        if runtime.ps.global_version != min(runtime.ps.pushed_wave):
+            raise InvariantViolation(
+                f"failover conservation: global version "
+                f"{runtime.ps.global_version} != min(pushed_wave)="
+                f"{min(runtime.ps.pushed_wave)} after recovery"
+            )
+
+
+class DegradationOracle(RuntimeOracle):
+    """Throughput degrades no worse than proportionally to what was lost.
+
+    The makespan under faults must stay within the composed bound of
+    the fault-free baseline (the injector's horizon) inflated by: the
+    worst straggler factor, the worst link degradation, the capacity
+    ratio after permanent losses, a slack factor for imperfectly
+    pipelined recovery, a downtime charge per second of crash/PS fault
+    window, and one extra horizon when elastic re-partitioning rebuilt
+    the deployment (pipeline refill plus re-earned work).
+    """
+
+    def verify_final(self, runtime: "HetPipeRuntime") -> None:
+        injector = runtime.fault_injector
+        if injector is None:
+            return
+        now = runtime.sim.now
+        horizon = injector.horizon
+        straggler = 1.0
+        link = 1.0
+        downtime = 0.0
+        for event in injector.fired:
+            if event.kind == "straggler":
+                straggler = max(straggler, event.factor)
+            elif event.kind == "link":
+                link = max(link, 1.0 / event.scale)
+            elif event.kind in ("crash", "ps"):
+                window = horizon if event.permanent else event.duration
+                downtime += min(window, max(0.0, now - event.time))
+        capacity = 1.0
+        if runtime._lost_nodes:
+            total = len(runtime.cluster.gpus)
+            lost = sum(
+                1 for g in runtime.cluster.gpus if g.node_id in runtime._lost_nodes
+            )
+            if total > lost:
+                capacity = total / (total - lost)
+        bound = (
+            horizon * straggler * link * capacity * (1.0 + _DEGRADATION_SLACK)
+            + _DOWNTIME_FACTOR * downtime
+            + (horizon if runtime._structural_change else 0.0)
+        )
+        if now > bound:
+            raise InvariantViolation(
+                f"degradation: makespan {now:.6f} exceeds the graceful bound "
+                f"{bound:.6f} (baseline {horizon:.6f}, straggler x{straggler:.2f}, "
+                f"link x{link:.2f}, capacity x{capacity:.2f}, "
+                f"downtime {downtime:.6f})"
+            )
+
+
+def fault_oracles() -> list[RuntimeOracle]:
+    """The graceful-degradation suite for fault-injected runs.
+
+    Staleness and version clocks must hold *through* recovery; the
+    scheduling/conservation oracles assume a single replay-free
+    topology and are deliberately absent (elastic recovery re-runs
+    minibatches on a rebuilt deployment).
+    """
+    return [
+        StalenessOracle(),
+        VersionOracle(),
+        RecoveryOracle(),
+        FailoverConservationOracle(),
+        DegradationOracle(),
     ]
 
 

@@ -43,6 +43,11 @@ class Processor:
         self._queue: deque[_Job] = deque()
         self._busy = False
         self._busy_since: float | None = None
+        #: fault-injection state: a down processor queues submissions
+        #: without starting them until :meth:`restore` (crash/rejoin)
+        self._down = False
+        self._current: _Job | None = None
+        self._current_event = None
         #: optional observer called with True/False on busy transitions;
         #: the WSP runtime uses it to account virtual-worker idle time
         self.on_state_change: Callable[[bool], None] | None = None
@@ -69,7 +74,7 @@ class Processor:
         if duration < 0:
             raise SimulationError(f"{self.name}: negative job duration {duration}")
         self._queue.append(_Job(duration, on_complete, tag, on_start))
-        if not self._busy:
+        if not self._busy and not self._down:
             self._start_next()
 
     def _notify(self) -> None:
@@ -88,7 +93,8 @@ class Processor:
         self._notify()
         if job.on_start is not None:
             job.on_start()
-        self.sim.schedule(job.duration, self._finish, job)
+        self._current = job
+        self._current_event = self.sim.schedule(job.duration, self._finish, job)
 
     def _finish(self, job: _Job) -> None:
         now = self.sim.now
@@ -109,15 +115,76 @@ class Processor:
             self._busy_since = now
             if nxt.on_start is not None:
                 nxt.on_start()
-            self.sim.schedule(nxt.duration, self._finish, nxt)
+            self._current = nxt
+            self._current_event = self.sim.schedule(nxt.duration, self._finish, nxt)
         else:
             self._busy = False
             self._busy_since = None
+            self._current = None
+            self._current_event = None
             if self._notified_busy and self.on_state_change is not None:
                 self._notified_busy = False
                 self.on_state_change(False)
         if job.on_complete is not None:
             job.on_complete()
+
+    # ------------------------------------------------------------------
+    # fault injection (see repro.faults)
+    # ------------------------------------------------------------------
+
+    @property
+    def down(self) -> bool:
+        return self._down
+
+    def fail(self) -> None:
+        """Crash the processor: the in-flight job is aborted (it re-runs
+        in full after :meth:`restore` — its partial service is lost, as
+        on a real crash) and queued work waits for the rejoin."""
+        if self._down:
+            return
+        self._down = True
+        if self._busy:
+            if self._current_event is not None:
+                self._current_event.cancel()
+            if self._current is not None:
+                self._queue.appendleft(self._current)
+            self._current = None
+            self._current_event = None
+            self._busy = False
+            self._busy_since = None
+            self._notify()
+
+    def restore(self) -> None:
+        """Rejoin after a crash: resume the queued work in order."""
+        if not self._down:
+            return
+        self._down = False
+        if not self._busy and self._queue:
+            self._start_next()
+
+    def halt(self) -> None:
+        """Permanently stop: cancel in-flight work, drop the queue, and
+        detach observers — used when a pipeline is abandoned by elastic
+        re-partitioning (its replacement re-runs the lost work)."""
+        self._down = True
+        if self._busy:
+            if self._current_event is not None:
+                self._current_event.cancel()
+            self._current = None
+            self._current_event = None
+            self._busy = False
+            self._busy_since = None
+            self._notify()
+        self._queue.clear()
+        self.on_state_change = None
+
+    def drain_to(self, other: "Processor") -> None:
+        """Move queued (and crash-aborted) jobs to ``other``, preserving
+        order — PS-shard failover migrates pending applies this way."""
+        jobs = list(self._queue)
+        self._queue.clear()
+        for job in jobs:
+            other.submit(job.duration, job.on_complete, tag=job.tag, on_start=job.on_start)
 
     def utilization(self, elapsed: float | None = None) -> float:
         """Fraction of time busy.  ``elapsed`` defaults to ``sim.now``."""
@@ -180,6 +247,10 @@ class Channel:
         self.name = name
         self.bandwidth = bandwidth
         self.latency = latency
+        #: fault-injection state: link degradation scales the effective
+        #: bandwidth of *subsequent* transfers (1.0 = healthy; the
+        #: no-fault arithmetic is untouched, keeping digests identical)
+        self.rate_scale = 1.0
         self.bytes_moved = 0.0
         self.transfers_completed = 0
         self.busy_time = 0.0
@@ -214,7 +285,10 @@ class Channel:
                 self.max_queue_depth = len(pending)
         else:
             start = now
-        occupy = nbytes / self.bandwidth
+        bandwidth = self.bandwidth
+        if self.rate_scale != 1.0:
+            bandwidth *= self.rate_scale
+        occupy = nbytes / bandwidth
         self._free_at = start + occupy
         done = self._free_at + self.latency
         self.busy_time += occupy

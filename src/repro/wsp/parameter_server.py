@@ -90,6 +90,12 @@ class ParameterServerSim:
         self._push_backlog: list[list[tuple[int, list, Callable[[], None] | None]]] = [
             [] for _ in range(num_virtual_workers)
         ]
+        #: fault-injection visibility surface (repro.faults.FaultState);
+        #: None keeps every send/apply path bit-identical to no-faults
+        self._faults = None
+        #: current link-degradation scale, applied to cross-node streams
+        #: (including ones lazily created during the fault window)
+        self._link_scale = 1.0
 
     # ------------------------------------------------------------------
     # fabric
@@ -117,6 +123,8 @@ class ParameterServerSim:
             ic = self.cluster.interconnect
             if cross_node:
                 channel = Channel(self.sim, ic.ib_effective, ic.ib_latency, f"ps.vw{vw_index}.s{stage}.{direction}{suffix}.ib")
+                if self._link_scale != 1.0:
+                    channel.rate_scale = self._link_scale
             else:
                 channel = Channel(self.sim, ic.pcie_effective, ic.pcie_latency, f"ps.vw{vw_index}.s{stage}.{direction}{suffix}.local")
             self._channels[key] = channel
@@ -132,6 +140,7 @@ class ParameterServerSim:
         nbytes: float,
         on_complete: Callable[[], None] | None,
         shard: int | None = None,
+        _attempt: int = 0,
     ) -> None:
         """Move ``nbytes`` from ``src_node`` to ``dst_node`` host memory.
 
@@ -139,7 +148,37 @@ class ParameterServerSim:
         slot when sharded, so a stage's K shards move in parallel);
         shared mode routes one flow over the fabric, contending with
         every other transfer crossing the same lanes, switches, and NICs.
+
+        Under fault injection a send whose PS endpoint (or whose worker
+        node) is down does not start: it retries with exponential backoff
+        until the endpoint recovers or the retry budget is exhausted (an
+        unrecoverable failure).  A permanent failover redirects the PS
+        endpoint to the surviving host first.
         """
+        faults = self._faults
+        if faults is not None:
+            # Whole-node failover re-homes either endpoint; a PS-only
+            # failover re-homes just the PS side of the transfer.
+            src_node = faults.node_redirect.get(src_node, src_node)
+            dst_node = faults.node_redirect.get(dst_node, dst_node)
+            if direction == "push":
+                dst_node = faults.redirect.get(dst_node, dst_node)
+                ps_node, other = dst_node, src_node
+            else:
+                src_node = faults.redirect.get(src_node, src_node)
+                ps_node, other = src_node, dst_node
+            if faults.blocks_ps(ps_node, shard) or other in faults.down_nodes:
+                faults.retry(
+                    _attempt,
+                    lambda: self._send(
+                        vw_index, stage, direction, src_node, dst_node,
+                        nbytes, on_complete, shard, _attempt + 1,
+                    ),
+                    f"ps.vw{vw_index}.s{stage}.{direction}",
+                )
+                return
+            if _attempt > 0:
+                faults.send_resolved()
         if self.fabric is not None:
             slot = "" if shard is None else f".k{shard}"
             self.fabric.transfer(
@@ -155,13 +194,20 @@ class ParameterServerSim:
 
     def _applier(self, shard_node: int, shard: int | None) -> Processor:
         """The apply queue for one destination: per node unsharded, per
-        (node, shard slot) sharded — each shard is its own PS process."""
+        (node, shard slot) sharded — each shard is its own PS process.
+
+        Consults the failover redirect so in-flight transfers that were
+        addressed to a since-failed node apply at its replacement."""
+        if self._faults is not None:
+            shard_node = self._faults.redirect.get(shard_node, shard_node)
         if shard is None:
             return self._apply[shard_node]
         key = (shard_node, shard)
         proc = self._shard_apply.get(key)
         if proc is None:
             proc = Processor(self.sim, f"ps.apply.n{shard_node}.k{shard}")
+            if self._faults is not None and self._faults.blocks_ps(shard_node, shard):
+                proc.fail()
             self._shard_apply[key] = proc
         return proc
 
@@ -213,12 +259,7 @@ class ParameterServerSim:
         A worker's waves apply strictly in order: if its previous push is
         still in flight, this one queues behind it.
         """
-        expected = (
-            self.pushed_wave[vw_index]
-            + 1
-            + len(self._push_backlog[vw_index])
-            + (1 if self._push_in_flight[vw_index] else 0)
-        )
+        expected = self.expected_next_wave(vw_index)
         if wave != expected:
             raise SimulationError(
                 f"vw{vw_index} pushed wave {wave}, expected {expected}"
@@ -262,6 +303,16 @@ class ParameterServerSim:
                     shard,
                 )
 
+    def expected_next_wave(self, vw_index: int) -> int:
+        """The wave ``vw_index`` must push next: everything recorded plus
+        everything already in flight or backlogged is committed."""
+        return (
+            self.pushed_wave[vw_index]
+            + 1
+            + len(self._push_backlog[vw_index])
+            + (1 if self._push_in_flight[vw_index] else 0)
+        )
+
     def subscribe_push(self, observer: Callable[[int, int, int], None]) -> None:
         """Call ``observer(vw_index, wave, global_version)`` per recorded push."""
         self._push_observers.append(observer)
@@ -274,6 +325,8 @@ class ParameterServerSim:
         advanced = new_version > self.global_version
         if advanced:
             self.global_version = new_version
+            if self._faults is not None:
+                self._faults.on_version_advance(self.global_version, self.sim.now)
         # Observers run before waiter callbacks so they see every push in
         # recording order, ahead of any cascade the version advance starts.
         for observer in self._push_observers:
@@ -339,6 +392,62 @@ class ParameterServerSim:
                     vw_index, stage, "pull", shard_node, dst_node, nbytes,
                     transfer_done, shard,
                 )
+
+    # ------------------------------------------------------------------
+    # fault injection (see repro.faults)
+    # ------------------------------------------------------------------
+
+    def fail_node(self, node: int) -> None:
+        """Take every PS process hosted on ``node`` down: existing apply
+        queues stop serving (queued applies wait for the rejoin) and new
+        sends addressed to the node block in the retry path."""
+        self._apply[node].fail()
+        for (n, _), proc in self._shard_apply.items():
+            if n == node:
+                proc.fail()
+
+    def restore_node(self, node: int) -> None:
+        """Rejoin ``node``'s PS processes: queued applies resume in order."""
+        self._apply[node].restore()
+        for (n, _), proc in self._shard_apply.items():
+            if n == node:
+                proc.restore()
+
+    def fail_process(self, node: int, slot: int) -> None:
+        """Kill one sharded PS process (``slot`` hosted on ``node``)."""
+        proc = self._shard_apply.get((node, slot))
+        if proc is not None:
+            proc.fail()
+
+    def restore_process(self, node: int, slot: int) -> None:
+        proc = self._shard_apply.get((node, slot))
+        if proc is not None:
+            proc.restore()
+
+    def migrate_node(self, dead: int, replacement: int) -> None:
+        """Permanent failover: re-home ``dead``'s PS state on
+        ``replacement``.  Queued applies drain across (order preserved),
+        the dead processors are halted, and the redirect map points both
+        in-flight completions and future sends at the survivor."""
+        if self._faults is None:
+            raise SimulationError("migrate_node requires fault injection")
+        self._faults.redirect[dead] = replacement
+        self._apply[dead].drain_to(self._apply[replacement])
+        self._apply[dead].halt()
+        for (n, k), proc in list(self._shard_apply.items()):
+            if n == dead:
+                target = self._applier(replacement, k)
+                if target is not proc:
+                    proc.drain_to(target)
+                proc.halt()
+
+    def set_link_scale(self, scale: float) -> None:
+        """Degrade (or restore) the cross-node PS streams.  Dedicated
+        mode only — in fabric mode the fabric itself is scaled."""
+        self._link_scale = scale
+        for channel in self._channels.values():
+            if channel.name.endswith(".ib"):
+                channel.rate_scale = scale
 
     # ------------------------------------------------------------------
     # version subscriptions

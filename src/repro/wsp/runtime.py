@@ -97,6 +97,7 @@ class HetPipeRuntime:
         fabric_spec: FabricSpec = DEFAULT_FABRIC_SPEC,
         fidelity: str = "full",
         obs=None,
+        planner: str = "dp",
         _spec_constructed: bool = False,
     ) -> None:
         validate_fidelity(fidelity)
@@ -135,6 +136,18 @@ class HetPipeRuntime:
         self.network_model = network_model
         self.fidelity = fidelity
         self.jitter = jitter
+        #: planner registry name — elastic re-partitioning re-runs it on
+        #: the surviving GPUs after a permanent node loss
+        self.planner = planner
+        self._fabric_spec = fabric_spec
+        #: fault-injection driver (repro.faults.FaultInjector); None on
+        #: every fault-free run
+        self.fault_injector = None
+        self._lost_nodes: set[int] = set()
+        #: set once elastic re-partitioning replaced any pipeline; the
+        #: pre-fault steady state (and the fast-forward component list)
+        #: is gone for good
+        self._structural_change = False
 
         self.sim = Simulator()
         #: optional telemetry collector (:class:`repro.obs.ObsCollector`).
@@ -294,6 +307,7 @@ class HetPipeRuntime:
             fabric_spec=fabric_spec,
             fidelity=run.fidelity.fidelity,
             obs=obs,
+            planner=run.pipeline.planner,
             _spec_constructed=True,
         )
 
@@ -463,6 +477,135 @@ class HetPipeRuntime:
             depth = max(depth, q)
         return total, depth
 
+    # ------------------------------------------------------------------
+    # fault injection and elastic recovery (see repro.faults)
+    # ------------------------------------------------------------------
+
+    def crash_node(self, node: int) -> None:
+        """Transient node crash: every stage processor and PS process on
+        ``node`` stops serving.  In-flight tasks abort (they re-run in
+        full after :meth:`restore_node`) and new PS sends touching the
+        node block in the retry path."""
+        for vw, plan in enumerate(self.plans):
+            pipeline = self.pipelines[vw]
+            for s, stage in enumerate(plan.stages):
+                if stage.gpu.node_id == node:
+                    pipeline.stages[s].processor.fail()
+        self.ps.fail_node(node)
+
+    def restore_node(self, node: int) -> None:
+        """Rejoin a transiently-crashed node: queued work resumes."""
+        self.ps.restore_node(node)
+        for vw, plan in enumerate(self.plans):
+            pipeline = self.pipelines[vw]
+            for s, stage in enumerate(plan.stages):
+                if stage.gpu.node_id == node:
+                    pipeline.stages[s].processor.restore()
+
+    def set_link_scale(self, scale: float) -> None:
+        """Apply a shared-fabric degradation factor (1.0 = healthy) to
+        the run's cross-node links: the fabric itself in shared mode, the
+        PS streams plus every pipeline's cross-node stage channels in
+        dedicated mode."""
+        if self.fabric is not None:
+            self.fabric.rate_scale = scale
+            return
+        self.ps.set_link_scale(scale)
+        for pipeline in self.pipelines:
+            pipeline.set_link_scale(scale)
+
+    def handle_node_loss(self, node: int) -> None:
+        """Permanent loss of ``node``: PS-shard failover to a survivor,
+        then elastic re-partitioning of every virtual worker that had a
+        stage there — re-run the registered planner on the surviving
+        GPUs, resume from the parameter server's committed progress, and
+        rebuild placements over the surviving nodes."""
+        self._lost_nodes.add(node)
+        self._structural_change = True
+        survivors = [
+            n.node_id for n in self.cluster.nodes
+            if n.node_id not in self._lost_nodes
+        ]
+        if not survivors:
+            raise SimulationError(f"node {node} lost and no survivors remain")
+        self.ps.migrate_node(node, survivors[0])
+        # The node is gone for either end of a transfer, not just as a
+        # PS host: in-flight pushes whose sources named it re-home too.
+        self.ps._faults.node_redirect[node] = survivors[0]
+        affected = [
+            vw for vw, plan in enumerate(self.plans)
+            if any(stage.gpu.node_id == node for stage in plan.stages)
+        ]
+        if not affected:
+            return
+        from repro.api.registry import PLANNERS
+        from repro.models.profiler import Profiler
+
+        planner = PLANNERS.get(self.planner)
+        profiler = Profiler(self.calibration)
+        for vw in affected:
+            old = self.pipelines[vw]
+            old.halt()
+            gpus = [
+                stage.gpu for stage in self.plans[vw].stages
+                if stage.gpu.node_id not in self._lost_nodes
+            ]
+            if not gpus:
+                # The whole worker died with its node: adopt a surviving
+                # node's GPUs (oversubscribing them — the replacement
+                # shares silicon with that node's own worker, which the
+                # degradation oracle's capacity bound accounts for).
+                host = survivors[vw % len(survivors)]
+                gpus = [g for g in self.cluster.gpus if g.node_id == host]
+            new_plan = planner(
+                self.model, gpus, self.nm, self.cluster.interconnect,
+                self.calibration, profiler,
+            )
+            # Resume from the PS's committed progress for this worker:
+            # waves recorded, in flight, or backlogged all eventually
+            # record, so the replacement's first push is exactly the
+            # wave the PS expects next.
+            base = self.ps.expected_next_wave(vw) * self.nm
+            pipeline = VirtualWorkerPipeline(
+                self.sim,
+                new_plan,
+                self.cluster.interconnect,
+                name=f"vw{vw}",
+                gate=self.gates[vw],
+                on_minibatch_done=(lambda p, t, vw=vw: self._on_minibatch_done(vw, p, t)),
+                on_inject=(lambda p, t, vw=vw: self._on_inject(vw, p, t)),
+                trace=self.trace,
+                jitter=self.jitter,
+                fabric=self.fabric,
+            )
+            for state in pipeline.stages:
+                state.processor.on_state_change = (
+                    lambda busy, vw=vw: self._on_processor_state(vw, busy)
+                )
+            pipeline.resume_from(base)
+            self.plans[vw] = new_plan
+            self.pipelines[vw] = pipeline
+            # Progress beyond the last committed wave was lost with the
+            # node; the replacement re-earns it (and re-counts it).
+            self.stats[vw].minibatches_done = base
+            self._busy_count[vw] = 0
+            self._all_idle_since[vw] = self.sim.now
+            pipeline.start()
+        self.rebuild_placements(survivors)
+
+    def rebuild_placements(self, node_ids: Sequence[int]) -> None:
+        """Re-place the PS shards over ``node_ids`` through the same
+        PLACEMENTS-registry policy the run started with (failover after
+        a permanent PS-host loss)."""
+        effective_policy = (
+            self.shard_placement_policy if self.shards > 1 else self.placement_policy
+        )
+        self.placements = build_placements(
+            self.model, self.plans, list(node_ids), effective_policy,
+            shards=self.shards, cluster=self.cluster,
+            fabric_spec=self._fabric_spec if self.fabric is not None else None,
+        )
+
 
 class _RuntimeFastForward:
     """Steady-state macro-event coalescing for one :class:`HetPipeRuntime`.
@@ -542,6 +685,15 @@ class _RuntimeFastForward:
     def on_boundary(self, target: int) -> None:
         """A global-version advance just executed; detect and maybe skip."""
         runtime = self.runtime
+        # Fault injection: a skip would shift armed fault events (or
+        # coalesce a live fault window), so bail while any fault is
+        # scheduled or active; a structural change (elastic
+        # re-partitioning) stales the component list permanently.
+        if runtime._structural_change:
+            return
+        injector = runtime.fault_injector
+        if injector is not None and injector.pending():
+            return
         ps = runtime.ps
         comps = self._components()
         cycle = self.detector.observe(

@@ -1,8 +1,11 @@
 """Sweep executor: deterministic striping, parallel == serial output."""
 
+import multiprocessing
+import os
+
 import pytest
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, WorkerCrashError
 from repro.exec import resolve_jobs, stripe_indices, sweep_map
 from repro.scenarios import run_fuzz
 
@@ -15,6 +18,24 @@ def _boom(x):
     if x == 3:
         raise ValueError("item 3 exploded")
     return x
+
+
+def _flaky_exit(arg):
+    """Kill the whole process on item 4 until ``counter`` reaches 2.
+
+    ``os._exit`` models a segfault/OOM kill: no exception, no pickle,
+    just a dead worker.  An empty counter path dies unconditionally
+    (the poisoned-item case)."""
+    x, counter = arg
+    if x == 4:
+        if not counter:
+            os._exit(13)
+        seen = int(open(counter).read()) if os.path.exists(counter) else 0
+        if seen < 2:
+            with open(counter, "w") as fh:
+                fh.write(str(seen + 1))
+            os._exit(13)
+    return x * 10
 
 
 class TestStripes:
@@ -73,6 +94,36 @@ class TestSweepMap:
             sweep_map(_boom, range(6), jobs=2)
         with pytest.raises(ValueError):
             sweep_map(_boom, range(6), jobs=1)
+
+
+class TestWorkerDeath:
+    """A dying worker process must never hang or poison the batch."""
+
+    def test_transient_death_recovers_via_isolated_retries(self, tmp_path):
+        # The stripe worker dies once, then the first isolated retry
+        # dies too; the second isolated attempt succeeds — the batch
+        # completes with every result intact and in order.
+        counter = str(tmp_path / "deaths")
+        items = [(i, counter) for i in range(8)]
+        assert sweep_map(_flaky_exit, items, jobs=2) == [i * 10 for i in range(8)]
+
+    def test_poisoned_item_raises_typed_error_naming_its_index(self):
+        items = [(i, "") for i in range(8)]
+        with pytest.raises(WorkerCrashError) as err:
+            sweep_map(_flaky_exit, items, jobs=2)
+        assert err.value.item_index == 4
+        assert "item 4" in str(err.value)
+
+    def test_no_orphan_processes_after_a_crash(self):
+        with pytest.raises(WorkerCrashError):
+            sweep_map(_flaky_exit, [(i, "") for i in range(8)], jobs=3)
+        assert multiprocessing.active_children() == []
+
+    def test_healthy_items_unaffected_by_sibling_stripe_death(self, tmp_path):
+        counter = str(tmp_path / "deaths")
+        items = [(i, counter) for i in range(9)]
+        results = sweep_map(_flaky_exit, items, jobs=3)
+        assert results == [i * 10 for i in range(9)]
 
 
 class TestFuzzParallelDeterminism:
