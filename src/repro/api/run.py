@@ -17,6 +17,17 @@ and bit-identical to a serial run**, each tagged with its point's
 ``spec_hash``.  This is the CI-facing planner-search entry point: a
 grid over ``pipeline.planner`` / ``pipeline.nm`` (or any other spec
 field) runs anywhere ``repro`` runs.
+
+With a :class:`~repro.store.ResultStore` attached the sweep becomes
+crash-safe and resumable: every completed point is committed to the
+store the moment it finishes (completion order, via the executor's
+``on_stream`` hook — a SIGKILL mid-grid loses at most the in-flight
+points), and ``resume=True`` reconstructs any point whose verified
+entry already exists instead of recomputing it.  Because each point's
+outcome is a pure function of its spec — and the store keys entries by
+``spec_hash`` — a resumed sweep's merged output is bit-identical to an
+uninterrupted serial run; a corrupted entry is quarantined by the store
+and simply recomputed.
 """
 
 from __future__ import annotations
@@ -64,19 +75,28 @@ class SweepPointResult:
 
 @dataclass(frozen=True)
 class SweepResult:
-    """All points of one grid, in expansion order."""
+    """All points of one grid, in expansion order.
+
+    ``reused`` counts points reconstructed from a result store under
+    ``resume=True`` rather than recomputed; it is provenance only — the
+    points themselves (and their :meth:`SweepPointResult.describe`
+    lines) are bit-identical either way, so per-point output diffs
+    clean across a crash/resume boundary.
+    """
 
     grid_hash: str
     points: tuple[SweepPointResult, ...]
+    reused: int = 0
 
     @property
     def failures(self) -> tuple[SweepPointResult, ...]:
         return tuple(p for p in self.points if not p.ok)
 
     def summary_line(self) -> str:
+        reused = f", {self.reused} reused" if self.reused else ""
         return (
-            f"sweep: {len(self.points)} points, {len(self.failures)} failing "
-            f"(grid {self.grid_hash[:12]})"
+            f"sweep: {len(self.points)} points, {len(self.failures)} failing"
+            f"{reused} (grid {self.grid_hash[:12]})"
         )
 
     def failure_lines(self) -> list[str]:
@@ -98,12 +118,12 @@ def _sweep_point(args: tuple[int, str, str]) -> SweepPointResult:
 
     Module-level and argument-pure — the point travels as canonical
     JSON so worker processes rebuild it with full validation.  Errors
-    are contained per point: an infeasible deployment (PartitionError
-    on a too-deep Nm, say) is a normal planner-search outcome and must
-    fail its own point, not abort the grid.
+    are contained per point — *any* error: an infeasible deployment
+    (PartitionError on a too-deep Nm, say) is a normal planner-search
+    outcome, and even an unexpected bug in one configuration's code
+    path must fail its own point, not abort the other N-1 points of
+    the grid.
     """
-    from repro.errors import ReproError
-
     index, point_json, label = args
     point = RunSpec.from_json(point_json)
     try:
@@ -132,7 +152,7 @@ def _sweep_point(args: tuple[int, str, str]) -> SweepPointResult:
             ),
             violations=tuple(result.violations),
         )
-    except ReproError as exc:
+    except Exception as exc:
         return SweepPointResult(
             index=index,
             spec_hash=point.spec_hash,
@@ -144,8 +164,54 @@ def _sweep_point(args: tuple[int, str, str]) -> SweepPointResult:
         )
 
 
+def _point_payload(result: SweepPointResult) -> dict:
+    """The store-record payload of one completed point.
+
+    Only the spec-determined outcome is stored — index and label are
+    properties of the *grid* a point appears in, recomputed from the
+    current expansion on resume, so a stored point reconstructs
+    byte-identically into any grid that contains its spec.
+    """
+    return {
+        "kind": result.kind,
+        "ok": result.ok,
+        "summary": result.summary,
+        "violations": list(result.violations),
+    }
+
+
+def _point_from_record(record, index: int, label: str) -> SweepPointResult | None:
+    """Rebuild a cached point from its verified store record.
+
+    Returns ``None`` for a record that does not look like a sweep point
+    (wrong kind, missing fields) — the caller recomputes, which is the
+    correct degradation for a store shared with other tools.
+    """
+    payload = record.payload
+    if record.kind not in ("scenario", "experiment"):
+        return None
+    if not isinstance(payload.get("summary"), str) or not isinstance(
+        payload.get("ok"), bool
+    ):
+        return None
+    return SweepPointResult(
+        index=index,
+        spec_hash=record.key,
+        label=label,
+        kind=record.kind,
+        ok=payload["ok"],
+        summary=payload["summary"],
+        violations=tuple(payload.get("violations", ())),
+    )
+
+
 def run_sweep(
-    spec: RunSpec, jobs: int | None = 1, on_result=None
+    spec: RunSpec,
+    jobs: int | None = 1,
+    on_result=None,
+    store=None,
+    resume: bool = False,
+    timeout: float | None = None,
 ) -> SweepResult:
     """Expand ``spec``'s grid and run every point deterministically.
 
@@ -155,18 +221,74 @@ def run_sweep(
     canonical spec JSON, so they are stable across runs, hosts, and
     worker counts.  ``on_result`` (e.g. ``print``-driven) receives each
     :class:`SweepPointResult` in order as it merges.
+
+    ``store`` (a :class:`~repro.store.ResultStore`) makes the sweep
+    crash-safe: every completed point is committed the moment it
+    finishes, in completion order, so a SIGKILL loses at most the
+    in-flight points.  ``resume=True`` additionally skips any point
+    whose verified entry already exists in the store (corrupted entries
+    are quarantined and recomputed); the merged result — including the
+    per-point ``describe()`` lines — is bit-identical to an
+    uninterrupted run.  ``timeout`` arms the executor's per-item
+    watchdog: a point that hangs past it is killed and retried in
+    isolation, and raises :class:`~repro.errors.ItemTimeoutError` if it
+    never finishes (finished points are already safe in the store).
     """
     from repro.exec import sweep_map
 
     if spec.sweep is None:
         raise SpecError("spec has no sweep section; use run() for single points")
     points = expand_sweep(spec)
-    items = [
-        (index, point.to_json(indent=None), axis_assignments(spec, point))
-        for index, point in enumerate(points)
-    ]
-    callback = None
-    if on_result is not None:
-        callback = lambda i, result: on_result(result)  # noqa: E731
-    results = sweep_map(_sweep_point, items, jobs=jobs, on_result=callback)
-    return SweepResult(grid_hash=spec.spec_hash, points=tuple(results))
+    labels = [axis_assignments(spec, point) for point in points]
+
+    merged: list = [None] * len(points)
+    reused = 0
+    pending: list[tuple[int, str, str]] = []
+    for index, point in enumerate(points):
+        cached = None
+        if store is not None and resume:
+            record = store.fetch(point.spec_hash)  # quarantines corruption
+            if record is not None:
+                cached = _point_from_record(record, index, labels[index])
+        if cached is not None:
+            merged[index] = cached
+            reused += 1
+        else:
+            pending.append((index, point.to_json(indent=None), labels[index]))
+
+    emitted = 0
+
+    def _flush() -> None:
+        nonlocal emitted
+        while emitted < len(merged) and merged[emitted] is not None:
+            if on_result is not None:
+                on_result(merged[emitted])
+            emitted += 1
+
+    def _deliver(_sub_index: int, result: SweepPointResult) -> None:
+        merged[result.index] = result
+        _flush()
+
+    on_stream = None
+    if store is not None:
+        on_stream = lambda _i, result: store.put(  # noqa: E731
+            result.spec_hash,
+            result.kind,
+            _point_payload(result),
+            spec=points[result.index].to_dict(),
+            tool="repro sweep",
+        )
+
+    _flush()  # leading cached points print before any work starts
+    if pending:
+        sweep_map(
+            _sweep_point,
+            pending,
+            jobs=jobs,
+            on_result=_deliver,
+            on_stream=on_stream,
+            timeout=timeout,
+        )
+    return SweepResult(
+        grid_hash=spec.spec_hash, points=tuple(merged), reused=reused
+    )

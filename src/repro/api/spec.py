@@ -59,6 +59,17 @@ def _require(condition: bool, message: str) -> None:
         raise SpecError(message)
 
 
+def canonical_dumps(data: Any) -> str:
+    """The canonical compact JSON form: sorted keys, no whitespace.
+
+    Everything content-addressed in this project — ``spec_hash``, the
+    result store's entry checksums and bench-history keys — hashes this
+    exact serialization, so the same dict always maps to the same hash
+    regardless of insertion order or source formatting.
+    """
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
 @dataclass(frozen=True)
 class ClusterSpec:
     """A paper-style testbed: one GPU type per node, N GPUs each.
@@ -595,10 +606,7 @@ class RunSpec:
         Invariant under key order and formatting of the source file;
         changes whenever any field that affects behavior changes.
         """
-        canonical = json.dumps(
-            self.to_dict(), sort_keys=True, separators=(",", ":")
-        )
-        return hashlib.sha256(canonical.encode()).hexdigest()
+        return hashlib.sha256(canonical_dumps(self.to_dict()).encode()).hexdigest()
 
 
 # ----------------------------------------------------------------------

@@ -50,6 +50,14 @@ def _positive_int(value: str) -> int:
     return parsed
 
 
+def _positive_float(value: str) -> float:
+    """argparse type: a float > 0 (watchdog timeouts)."""
+    parsed = float(value)
+    if parsed <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {parsed}")
+    return parsed
+
+
 def _add_model_arg(parser: argparse.ArgumentParser, default: str = "vgg19") -> None:
     parser.add_argument(
         "--model", choices=["vgg19", "resnet152"], default=default,
@@ -206,6 +214,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the end-to-end figure timings",
     )
     p.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="also append this run's payload to a result store as an "
+        "accumulating bench history record (keyed by the payload's "
+        "content hash; inspect with `repro store ls DIR`)",
+    )
+    p.add_argument(
         "--profile", action="store_true",
         help="run the suite under cProfile, print the human top-25 to "
         "stdout, and write the structured hetpipe-profile/1 JSON next to "
@@ -292,9 +306,112 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true",
         help="suppress the per-point progress lines (summary only)",
     )
+    p.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="commit every completed point to a crash-safe result store "
+        "the moment it finishes (a SIGKILL mid-grid loses at most the "
+        "in-flight points)",
+    )
+    p.add_argument(
+        "--resume", action="store_true",
+        help="skip points whose verified entry already exists in --store "
+        "(corrupted entries are quarantined and recomputed); merged "
+        "output is bit-identical to an uninterrupted run",
+    )
+    p.add_argument(
+        "--timeout", type=_positive_float, default=None, metavar="SECS",
+        help="per-point wall-clock watchdog: a point that hangs past "
+        "SECS is killed and retried in isolation; one that never "
+        "finishes exits 2 naming its index (finished points are already "
+        "safe in --store)",
+    )
+    p = sub.add_parser(
+        "store",
+        help="inspect and maintain a result store directory "
+        "(see `repro sweep --store`)",
+    )
+    store_sub = p.add_subparsers(dest="store_command", required=True)
+    p = store_sub.add_parser(
+        "ls", help="list the store's entries (key, kind, summary)"
+    )
+    p.add_argument("dir", metavar="DIR", help="store directory")
+    p = store_sub.add_parser(
+        "verify",
+        help="check every entry against its embedded checksum; exits 1 "
+        "listing the defects if any entry is corrupt (read-only: "
+        "nothing is quarantined)",
+    )
+    p.add_argument("dir", metavar="DIR", help="store directory")
+    p = store_sub.add_parser(
+        "gc",
+        help="drop leftover temp files, purge quarantined entries, and "
+        "prune manifest rows whose object is gone",
+    )
+    p.add_argument("dir", metavar="DIR", help="store directory")
+    p = store_sub.add_parser(
+        "quarantine",
+        help="move one entry out of the store by key (it will be "
+        "recomputed by the next resumed sweep)",
+    )
+    p.add_argument("dir", metavar="DIR", help="store directory")
+    p.add_argument("key", metavar="KEY", help="entry key (a spec_hash)")
     p = sub.add_parser("all", help="run every experiment (slow)")
     _add_jobs_arg(p)
     return parser
+
+
+def _dispatch_store(args) -> int:
+    """``repro store {ls,verify,gc,quarantine}``: store maintenance.
+
+    ``verify`` follows the findings convention (exit 1 listing the
+    defects, nothing modified); ``quarantine`` of a missing key is a
+    configuration error (exit 2 upstream).
+    """
+    import os
+
+    from repro.errors import ConfigurationError
+    from repro.store import ResultStore
+
+    if not os.path.isdir(args.dir):
+        raise ConfigurationError(
+            f"{args.dir!r} is not a directory; pass the --store DIR a "
+            f"sweep wrote (it contains objects/ and manifest.json)"
+        )
+    store = ResultStore(args.dir)
+    if args.store_command == "ls":
+        entries = store.entries()
+        for entry in entries:
+            summary = entry.get("summary") or ""
+            print(f"{entry['key'][:12]}  {entry.get('kind', '?'):>10}  {summary}")
+        print(f"store: {len(entries)} entr{'y' if len(entries) == 1 else 'ies'} in {args.dir}")
+        return 0
+    if args.store_command == "verify":
+        defects = store.verify()
+        for key, detail in defects:
+            print(f"CORRUPT {key[:12]}: {detail}")
+        print(
+            f"store: {len(store)} entr{'y' if len(store) == 1 else 'ies'} "
+            f"checked, {len(defects)} corrupt"
+        )
+        return 1 if defects else 0
+    if args.store_command == "gc":
+        counts = store.gc()
+        print(
+            f"store: dropped {counts['tmp']} temp file(s), purged "
+            f"{counts['quarantined']} quarantined entr"
+            f"{'y' if counts['quarantined'] == 1 else 'ies'}, pruned "
+            f"{counts['manifest']} stale manifest row(s)"
+        )
+        return 0
+    assert args.store_command == "quarantine"
+    moved = store.quarantine(args.key)
+    if moved is None:
+        raise ConfigurationError(
+            f"no entry {args.key!r} in {args.dir}; `repro store ls` lists "
+            f"the keys that exist"
+        )
+    print(f"quarantined {args.key[:12]} -> {moved}")
+    return 0
 
 
 def _load_spec(path: str):
@@ -318,15 +435,27 @@ def main(argv: list[str] | None = None) -> int:
         level=getattr(logging, args.log_level.upper()),
         format="%(levelname)s %(name)s: %(message)s",
     )
-    from repro.errors import ConfigurationError, PartitionError
+    from repro.errors import (
+        ConfigurationError,
+        ItemTimeoutError,
+        PartitionError,
+        StoreCorruptionError,
+    )
 
     try:
         return _dispatch(args)
-    except (ConfigurationError, PartitionError) as exc:
+    except (
+        ConfigurationError,
+        PartitionError,
+        StoreCorruptionError,
+        ItemTimeoutError,
+    ) as exc:
         # Typed configuration errors — malformed specs (SpecError),
         # unknown registry names (UnknownNameError, which lists the
         # available entries), inconsistent clusters, infeasible
-        # deployments: one actionable line, exit code 2 — never a raw
+        # deployments, corrupted store entries (StoreCorruptionError
+        # names the file), hung sweep items (ItemTimeoutError names the
+        # point): one actionable line, exit code 2 — never a raw
         # traceback.
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -455,8 +584,24 @@ def _dispatch(args) -> int:
         from repro.api.run import run_sweep
 
         spec = _load_spec(args.spec)
+        store = None
+        if args.store is not None:
+            from repro.store import ResultStore
+
+            store = ResultStore(args.store)
+        elif args.resume:
+            from repro.errors import SpecError
+
+            raise SpecError("--resume needs --store DIR (nowhere to resume from)")
         on_result = None if args.quiet else (lambda point: print(point.describe()))
-        result = run_sweep(spec, jobs=args.jobs, on_result=on_result)
+        result = run_sweep(
+            spec,
+            jobs=args.jobs,
+            on_result=on_result,
+            store=store,
+            resume=args.resume,
+            timeout=args.timeout,
+        )
         print(result.summary_line())
         if args.quiet:  # the per-point lines were suppressed above
             for point in result.failures:
@@ -464,6 +609,8 @@ def _dispatch(args) -> int:
         for line in result.failure_lines():
             print(line)
         return 1 if result.failures else 0
+    elif args.command == "store":
+        return _dispatch_store(args)
     elif args.command == "all":
         from repro.experiments import (
             run_ablations,

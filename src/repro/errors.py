@@ -82,6 +82,53 @@ class UnknownNameError(ConfigurationError):
         )
 
 
+class StoreCorruptionError(ReproError):
+    """A result-store entry failed read-time integrity verification.
+
+    Raised by :mod:`repro.store` when an entry under ``objects/`` is
+    truncated, is not valid JSON, carries an unknown schema tag, or its
+    embedded sha256 checksum does not match its content.  The normal
+    sweep path never surfaces this error: :meth:`ResultStore.fetch`
+    quarantines the damaged file (moved to ``quarantine/``) and returns
+    a miss so the point is recomputed.  It escapes only from the strict
+    surfaces (``ResultStore.load``, ``repro store verify``), and the CLI
+    maps it to exit code 2 — consistent with :class:`UnknownNameError` —
+    naming the offending entry."""
+
+    def __init__(self, path: str, detail: str) -> None:
+        self.path = path
+        self.detail = detail
+        super().__init__(
+            f"result store entry {path!r} is corrupted ({detail}); "
+            f"quarantine it with `repro store quarantine` (or rerun the "
+            f"sweep with --resume, which quarantines and recomputes it)"
+        )
+
+
+class ItemTimeoutError(ReproError):
+    """A sweep item exceeded its per-item wall-clock watchdog.
+
+    Raised by :func:`repro.exec.sweep_map` when one work item runs past
+    ``timeout`` seconds in its worker *and* on every bounded isolated
+    retry — a single pathological spec must be able to hang neither a
+    worker nor the whole sweep.  Carries the item's original index so
+    the caller can name it; points already completed (and, under
+    ``repro sweep --store``, already persisted) are not lost.  The CLI
+    maps this to exit code 2 — consistent with
+    :class:`UnknownNameError`."""
+
+    def __init__(self, item_index: int, timeout: float, attempts: int) -> None:
+        self.item_index = item_index
+        self.timeout = timeout
+        self.attempts = attempts
+        super().__init__(
+            f"sweep item {item_index} exceeded its {timeout:g}s watchdog on "
+            f"all {attempts} isolated attempt(s); the item looks "
+            f"pathological — raise --timeout, drop the point from the grid, "
+            f"or resume with --store/--resume to keep the finished points"
+        )
+
+
 class WorkerCrashError(ReproError):
     """A sweep worker process died and its work could not be recovered.
 

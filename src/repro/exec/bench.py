@@ -423,6 +423,32 @@ def write_payload(payload: dict[str, Any], path: str) -> None:
         fh.write("\n")
 
 
+def record_history(payload: dict[str, Any], store_dir: str) -> str:
+    """Append one bench run to a result store as history.
+
+    Unlike sweep points (keyed by ``spec_hash``, dedup-by-content is the
+    point), bench runs are keyed by the sha256 of their own canonical
+    payload: every run with distinct timings accumulates as a distinct
+    record — the machine's perf history, listable with
+    ``repro store ls`` — while byte-identical reruns dedupe naturally.
+    Returns the one-line confirmation for the CLI.
+    """
+    import hashlib
+
+    from repro.api.spec import canonical_dumps
+    from repro.store import ResultStore
+
+    key = hashlib.sha256(canonical_dumps(payload).encode()).hexdigest()
+    rate = (
+        payload.get("metrics", {}).get("fuzz", {}).get("scenarios_per_sec", 0.0)
+    )
+    summary = f"{payload.get('schema', '?')} fuzz {rate:.1f} scen/s"
+    ResultStore(store_dir).put(
+        key, "bench", {"summary": summary, "bench": payload}, tool="repro bench"
+    )
+    return f"store: recorded bench run {key[:12]} -> {store_dir}"
+
+
 #: Schema tag for the structured cProfile payload.
 PROFILE_SCHEMA = "hetpipe-profile/1"
 
@@ -498,6 +524,8 @@ def main_bench(args) -> int:
     if args.out:
         write_payload(payload, args.out)
         print(f"wrote {args.out}")
+    if getattr(args, "store", None):
+        print(record_history(payload, args.store))
     if args.check:
         ok, message = check_against(payload, args.check, args.tolerance)
         print(("OK: " if ok else "REGRESSION: ") + message, file=sys.stderr if not ok else sys.stdout)

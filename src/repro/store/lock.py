@@ -1,0 +1,111 @@
+"""Advisory inter-process file lock for store manifest updates.
+
+Two sweeps sharing one ``--store`` directory may both rewrite the
+manifest; object files themselves need no lock (each commit is a single
+atomic rename of a content-complete temp file), but a manifest
+read-modify-write cycle does.  On POSIX the lock is ``fcntl.flock`` on a
+dedicated lock file — crash-safe, because the kernel drops the lock with
+the process, so a SIGKILL'd sweep can never wedge the store.  Where
+``fcntl`` is unavailable the fallback is an ``O_EXCL`` lock file with a
+bounded stale-lock takeover, which degrades gracefully rather than
+importing anything outside the standard library.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import time
+from typing import Any
+
+try:  # POSIX
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
+
+logger = logging.getLogger(__name__)
+
+#: Seconds between acquisition attempts in the O_EXCL fallback.
+_POLL_INTERVAL = 0.05
+
+#: Age after which an O_EXCL lock file is presumed abandoned (its owner
+#: was SIGKILL'd before removing it) and taken over.
+_STALE_AFTER = 30.0
+
+
+class FileLock:
+    """``with FileLock(path): ...`` — exclusive inter-process section.
+
+    Reentrant within a process is *not* supported (and not needed: the
+    store takes the lock only around manifest read-modify-write).
+    ``timeout`` bounds the wait; expiry raises ``TimeoutError`` rather
+    than deadlocking a sweep on a wedged peer.
+    """
+
+    def __init__(self, path: str, timeout: float = 60.0) -> None:
+        self.path = path
+        self.timeout = timeout
+        self._fd: int | None = None
+
+    def __enter__(self) -> "FileLock":
+        os.makedirs(os.path.dirname(self.path) or ".", exist_ok=True)
+        if fcntl is not None:
+            self._fd = os.open(self.path, os.O_CREAT | os.O_RDWR, 0o644)
+            deadline = time.monotonic() + self.timeout
+            while True:
+                try:
+                    fcntl.flock(self._fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+                    return self
+                except OSError:
+                    if time.monotonic() >= deadline:
+                        os.close(self._fd)
+                        self._fd = None
+                        raise TimeoutError(
+                            f"could not acquire store lock {self.path!r} "
+                            f"within {self.timeout:g}s"
+                        ) from None
+                    time.sleep(_POLL_INTERVAL)
+        return self._enter_excl()
+
+    def _enter_excl(self) -> "FileLock":  # pragma: no cover - non-POSIX
+        deadline = time.monotonic() + self.timeout
+        while True:
+            try:
+                self._fd = os.open(self.path, os.O_CREAT | os.O_EXCL | os.O_RDWR, 0o644)
+                os.write(self._fd, str(os.getpid()).encode())
+                return self
+            except FileExistsError:
+                try:
+                    age = time.time() - os.path.getmtime(self.path)
+                except OSError:
+                    age = 0.0  # holder just released; retry immediately
+                if age > _STALE_AFTER:
+                    logger.warning(
+                        "store lock %s is %.0fs old; presuming its owner "
+                        "died and taking it over", self.path, age,
+                    )
+                    try:
+                        os.unlink(self.path)
+                    except OSError:
+                        pass
+                    continue
+                if time.monotonic() >= deadline:
+                    raise TimeoutError(
+                        f"could not acquire store lock {self.path!r} "
+                        f"within {self.timeout:g}s"
+                    ) from None
+                time.sleep(_POLL_INTERVAL)
+
+    def __exit__(self, *exc: Any) -> None:
+        if self._fd is None:
+            return
+        if fcntl is not None:
+            fcntl.flock(self._fd, fcntl.LOCK_UN)
+            os.close(self._fd)
+        else:  # pragma: no cover - non-POSIX
+            os.close(self._fd)
+            try:
+                os.unlink(self.path)
+            except OSError:
+                pass
+        self._fd = None

@@ -2,16 +2,40 @@
 
 import multiprocessing
 import os
+import time
 
 import pytest
 
-from repro.errors import ConfigurationError, WorkerCrashError
+from repro.errors import ConfigurationError, ItemTimeoutError, WorkerCrashError
 from repro.exec import resolve_jobs, stripe_indices, sweep_map
 from repro.scenarios import run_fuzz
 
 
 def _square(x):
     return x * x
+
+
+def _hang_on(arg):
+    """Sleep far past any test watchdog on the marked item."""
+    x, hang = arg
+    if x == hang:
+        time.sleep(120)
+    return x * 10
+
+
+def _hang_until_marked(arg):
+    """Hang only while the marker file is absent, then drop the marker.
+
+    First execution of the marked item hangs (watchdog fires); the
+    isolated retry sees the marker and completes — the transient-hang
+    model (a load spike, not a pathological item).
+    """
+    x, marker = arg
+    if x == 2 and not os.path.exists(marker):
+        with open(marker, "w") as fh:
+            fh.write("seen")
+        time.sleep(120)
+    return x * 10
 
 
 def _boom(x):
@@ -124,6 +148,87 @@ class TestWorkerDeath:
         items = [(i, counter) for i in range(9)]
         results = sweep_map(_flaky_exit, items, jobs=3)
         assert results == [i * 10 for i in range(9)]
+
+
+class TestStreaming:
+    """``on_stream`` fires per completed item in completion order —
+    the hook ``repro sweep --store`` persists through."""
+
+    def test_stream_fires_for_every_item(self):
+        for jobs in (1, 3):
+            streamed = []
+            sweep_map(
+                _square, range(9), jobs=jobs,
+                on_stream=lambda i, r: streamed.append((i, r)),
+            )
+            assert sorted(streamed) == [(i, i * i) for i in range(9)]
+
+    def test_serial_stream_precedes_in_order_delivery(self):
+        order = []
+        sweep_map(
+            _square, range(4), jobs=1,
+            on_stream=lambda i, r: order.append(("stream", i)),
+            on_result=lambda i, r: order.append(("result", i)),
+        )
+        assert order == [
+            (phase, i) for i in range(4) for phase in ("stream", "result")
+        ]
+
+    def test_on_result_stays_in_order_alongside_streaming(self):
+        ordered = []
+        sweep_map(
+            _square, range(12), jobs=4,
+            on_stream=lambda i, r: None,
+            on_result=lambda i, r: ordered.append(i),
+        )
+        assert ordered == list(range(12))
+
+
+class TestWatchdog:
+    """A hung item must neither hang the sweep nor take healthy
+    results down with it."""
+
+    def test_pathological_item_raises_typed_error_naming_its_index(self):
+        items = [(i, 3) for i in range(6)]
+        with pytest.raises(ItemTimeoutError) as err:
+            sweep_map(_hang_on, items, jobs=2, timeout=0.5)
+        assert err.value.item_index == 3
+        assert "item 3" in str(err.value)
+        assert multiprocessing.active_children() == []
+
+    def test_transient_hang_recovers_via_isolated_retry(self, tmp_path):
+        marker = str(tmp_path / "marker")
+        items = [(i, marker) for i in range(6)]
+        results = sweep_map(_hang_until_marked, items, jobs=2, timeout=1.0)
+        assert results == [i * 10 for i in range(6)]
+
+    def test_completed_items_stream_before_the_timeout_aborts(self, tmp_path):
+        streamed = []
+        items = [(i, 4) for i in range(6)]
+        with pytest.raises(ItemTimeoutError):
+            sweep_map(
+                _hang_on, items, jobs=2, timeout=0.5,
+                on_stream=lambda i, r: streamed.append(i),
+            )
+        assert 0 in streamed  # worker 0's first item landed before the abort
+
+    def test_timeout_forces_process_path_even_serial(self):
+        # jobs=1 with a watchdog still spawns a killable worker; a hang
+        # must not wedge the parent.
+        with pytest.raises(ItemTimeoutError):
+            sweep_map(_hang_on, [(3, 3)], jobs=1, timeout=0.5)
+
+    def test_generous_timeout_changes_nothing(self):
+        assert sweep_map(_square, range(8), jobs=1, timeout=60.0) == [
+            i * i for i in range(8)
+        ]
+        assert sweep_map(_square, range(8), jobs=3, timeout=60.0) == [
+            i * i for i in range(8)
+        ]
+
+    def test_non_positive_timeout_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sweep_map(_square, range(4), timeout=0.0)
 
 
 class TestFuzzParallelDeterminism:

@@ -1,0 +1,266 @@
+"""Result store: atomic commits, integrity verification, quarantine.
+
+The contract under test is the one ``repro sweep --store/--resume``
+leans on: every committed entry reads back verified byte-for-byte, any
+corruption (truncation, bit flip, checksum edit, schema damage) is a
+typed :class:`StoreCorruptionError` on the strict path and a
+quarantine-plus-miss on the graceful path — never a crash, never a
+silently-wrong record.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.api.spec import canonical_dumps
+from repro.errors import ReproError, StoreCorruptionError
+from repro.store import RESULT_SCHEMA, FileLock, ResultRecord, ResultStore
+
+KEY = "a" * 64
+OTHER = "b" * 64
+
+
+def _store(tmp_path) -> ResultStore:
+    return ResultStore(str(tmp_path / "store"))
+
+
+def _put(store: ResultStore, key: str = KEY, **payload) -> str:
+    payload.setdefault("summary", "ok line")
+    payload.setdefault("ok", True)
+    return store.put(key, "scenario", payload, spec={"kind": "scenario"})
+
+
+class TestRoundTrip:
+    def test_put_then_load_returns_the_record(self, tmp_path):
+        store = _store(tmp_path)
+        _put(store, x=1)
+        record = store.load(KEY)
+        assert record.key == KEY
+        assert record.kind == "scenario"
+        assert record.payload == {"summary": "ok line", "ok": True, "x": 1}
+        assert record.spec == {"kind": "scenario"}
+
+    def test_miss_is_none_not_an_error(self, tmp_path):
+        store = _store(tmp_path)
+        assert store.load(KEY) is None
+        assert store.fetch(KEY) is None
+
+    def test_contains_len_keys(self, tmp_path):
+        store = _store(tmp_path)
+        _put(store)
+        _put(store, key=OTHER)
+        assert KEY in store and OTHER in store
+        assert "c" * 64 not in store
+        assert len(store) == 2
+        assert list(store.keys()) == sorted([KEY, OTHER])
+
+    def test_put_is_idempotent_overwrite(self, tmp_path):
+        store = _store(tmp_path)
+        _put(store, x=1)
+        _put(store, x=2)
+        assert store.load(KEY).payload["x"] == 2
+        assert len(store) == 1
+
+    def test_no_tmp_debris_after_commit(self, tmp_path):
+        store = _store(tmp_path)
+        _put(store)
+        leftovers = (
+            os.listdir(store.tmp_dir) if os.path.isdir(store.tmp_dir) else []
+        )
+        assert leftovers == []
+
+    def test_record_is_schema_tagged_with_checksum(self, tmp_path):
+        store = _store(tmp_path)
+        path = _put(store)
+        with open(path) as fh:
+            data = json.load(fh)
+        assert data["schema"] == RESULT_SCHEMA
+        assert len(data["checksum"]) == 64
+        assert data["provenance"]["tool"] == "repro"
+
+
+class TestCorruption:
+    """Every damage model lands in the same place: typed error on
+    ``load``, quarantine + miss on ``fetch``, recompute downstream."""
+
+    def _damage(self, path: str, how: str) -> None:
+        if how == "truncated":
+            raw = open(path, "rb").read()
+            open(path, "wb").write(raw[: len(raw) // 2])
+        elif how == "bitflip":
+            raw = bytearray(open(path, "rb").read())
+            raw[len(raw) // 2] ^= 0xFF
+            open(path, "wb").write(bytes(raw))
+        elif how == "checksum":
+            data = json.load(open(path))
+            data["checksum"] = "0" * 64
+            json.dump(data, open(path, "w"))
+        elif how == "payload_edit":
+            # Valid JSON, valid schema — but the body no longer hashes
+            # to the embedded checksum.
+            data = json.load(open(path))
+            data["payload"]["summary"] = "tampered"
+            json.dump(data, open(path, "w"))
+        elif how == "schema":
+            data = json.load(open(path))
+            data["schema"] = "hetpipe-result/999"
+            json.dump(data, open(path, "w"))
+        else:  # not JSON at all (and not UTF-8)
+            open(path, "wb").write(b"\x89PNG not a record")
+
+    @pytest.mark.parametrize(
+        "how", ["truncated", "bitflip", "checksum", "payload_edit", "schema", "binary"]
+    )
+    def test_load_raises_typed_error(self, tmp_path, how):
+        store = _store(tmp_path)
+        path = _put(store)
+        self._damage(path, how)
+        with pytest.raises(StoreCorruptionError) as err:
+            store.load(KEY)
+        assert isinstance(err.value, ReproError)  # exits 2 at the CLI
+        assert path in str(err.value)
+
+    @pytest.mark.parametrize("how", ["truncated", "bitflip", "checksum"])
+    def test_fetch_quarantines_and_reports_a_miss(self, tmp_path, how):
+        store = _store(tmp_path)
+        path = _put(store)
+        self._damage(path, how)
+        assert store.fetch(KEY) is None
+        assert KEY not in store  # gone from objects/
+        assert os.listdir(store.quarantine_dir) == [f"{KEY}.json"]
+
+    def test_key_filename_mismatch_detected(self, tmp_path):
+        store = _store(tmp_path)
+        path = _put(store)
+        os.makedirs(os.path.dirname(store.path_for(OTHER)), exist_ok=True)
+        os.rename(path, store.path_for(OTHER))
+        with pytest.raises(StoreCorruptionError):
+            store.load(OTHER)
+
+    def test_intact_entries_survive_a_corrupt_sibling(self, tmp_path):
+        store = _store(tmp_path)
+        _put(store)
+        other_path = _put(store, key=OTHER)
+        self._damage(other_path, "bitflip")
+        assert store.fetch(OTHER) is None
+        assert store.fetch(KEY).payload["summary"] == "ok line"
+
+
+class TestVerifyAndGc:
+    def test_verify_clean_store_is_empty(self, tmp_path):
+        store = _store(tmp_path)
+        _put(store)
+        assert store.verify() == []
+
+    def test_verify_lists_defects_without_modifying(self, tmp_path):
+        store = _store(tmp_path)
+        path = _put(store)
+        open(path, "w").write("{")
+        problems = store.verify()
+        assert [key for key, _ in problems] == [KEY]
+        assert os.path.exists(path)  # read-only: nothing quarantined
+        assert KEY in store
+
+    def test_gc_counts_tmp_quarantine_and_stale_manifest(self, tmp_path):
+        store = _store(tmp_path)
+        path = _put(store)
+        open(path, "w").write("not json")
+        assert store.fetch(KEY) is None  # quarantines
+        os.makedirs(store.tmp_dir, exist_ok=True)
+        open(os.path.join(store.tmp_dir, "999.0.leftover.json"), "w").write("x")
+        counts = store.gc()
+        assert counts == {"tmp": 1, "quarantined": 1, "manifest": 0}
+        assert store.gc() == {"tmp": 0, "quarantined": 0, "manifest": 0}
+
+    def test_quarantine_missing_key_returns_none(self, tmp_path):
+        assert _store(tmp_path).quarantine(KEY) is None
+
+    def test_quarantine_collision_keeps_both(self, tmp_path):
+        store = _store(tmp_path)
+        _put(store)
+        store.quarantine(KEY)
+        _put(store)
+        store.quarantine(KEY)
+        assert sorted(os.listdir(store.quarantine_dir)) == [
+            f"{KEY}.1.json",
+            f"{KEY}.json",
+        ]
+
+
+class TestManifest:
+    """The manifest is an advisory index: objects/ is the truth."""
+
+    def test_entries_merge_objects_with_manifest_metadata(self, tmp_path):
+        store = _store(tmp_path)
+        _put(store)
+        (entry,) = store.entries()
+        assert entry["key"] == KEY
+        assert entry["kind"] == "scenario"
+        assert entry["summary"] == "ok line"
+
+    def test_damaged_manifest_is_tolerated(self, tmp_path):
+        store = _store(tmp_path)
+        _put(store)
+        open(store.manifest_path, "w").write("NOT JSON {{{")
+        assert store.fetch(KEY) is not None  # reads don't need it
+        (entry,) = store.entries()  # ls degrades to objects/ truth
+        assert entry["key"] == KEY
+
+    def test_missing_manifest_is_tolerated(self, tmp_path):
+        store = _store(tmp_path)
+        _put(store)
+        os.unlink(store.manifest_path)
+        assert [e["key"] for e in store.entries()] == [KEY]
+
+    def test_two_handles_interleave_safely(self, tmp_path):
+        a = ResultStore(str(tmp_path / "store"))
+        b = ResultStore(str(tmp_path / "store"))
+        _put(a)
+        _put(b, key=OTHER)
+        assert len(a) == 2
+        manifest = json.load(open(a.manifest_path))
+        assert sorted(manifest["entries"]) == [KEY, OTHER]
+
+
+class TestFileLock:
+    def test_reacquire_after_release(self, tmp_path):
+        path = str(tmp_path / "lk")
+        with FileLock(path):
+            pass
+        with FileLock(path):
+            pass
+
+    def test_contention_times_out_with_typed_error(self, tmp_path):
+        path = str(tmp_path / "lk")
+        with FileLock(path):
+            with pytest.raises(TimeoutError):
+                with FileLock(path, timeout=0.2):
+                    pass  # pragma: no cover - must not be reached
+
+
+class TestResultRecord:
+    def test_checksum_is_over_canonical_body(self):
+        record = ResultRecord(
+            key=KEY, kind="scenario", payload={"summary": "s"},
+            spec=None, provenance={"tool": "t", "created": 0.0},
+        )
+        data = record.to_dict()
+        import hashlib
+
+        body = {k: v for k, v in data.items() if k != "checksum"}
+        assert data["checksum"] == hashlib.sha256(
+            canonical_dumps(body).encode()
+        ).hexdigest()
+
+    def test_from_verified_dict_round_trips(self):
+        record = ResultRecord(
+            key=KEY, kind="bench", payload={"summary": "s"},
+            spec=None, provenance={"tool": "t", "created": 0.0},
+        )
+        back = ResultRecord.from_verified_dict(record.to_dict(), "p")
+        assert back == record
+
+    def test_non_dict_root_rejected(self):
+        with pytest.raises(StoreCorruptionError):
+            ResultRecord.from_verified_dict(["not", "a", "dict"], "p")
