@@ -35,7 +35,7 @@ from repro.api.spec import (
     PipelineSpec,
     RunSpec,
 )
-from repro.errors import SpecError
+from repro.errors import PartitionError, SpecError
 
 
 def run_to_scenario_spec(run: RunSpec):
@@ -74,6 +74,8 @@ def run_to_scenario_spec(run: RunSpec):
         network_model=run.network.model,
         shards=run.pipeline.shards,
         shard_placement=run.pipeline.shard_placement,
+        variant=run.pipeline.variant,
+        memory_limited=run.pipeline.memory_limited,
     )
 
 
@@ -110,6 +112,8 @@ def scenario_spec_to_run(
             placement=spec.placement,
             shards=spec.shards,
             shard_placement=spec.shard_placement,
+            variant=spec.variant,
+            memory_limited=spec.memory_limited,
             push_every_minibatch=spec.push_every_minibatch,
             jitter=spec.jitter,
             warmup_waves=spec.warmup_waves,
@@ -177,16 +181,23 @@ def build_scenario(run: RunSpec):
     from repro.scenarios.generator import Scenario, materialize
 
     sspec = run_to_scenario_spec(run)
-    if _is_fuzz_representable(run):
-        return materialize(sspec)
+    try:
+        if _is_fuzz_representable(run):
+            return materialize(sspec)
+    except PartitionError as exc:
+        if run.pipeline.memory_limited:
+            raise _memory_limited_error(run, exc) from exc
+        raise
     # Cache key: only what planning can observe — the cluster, model,
     # calibration, and the pipeline's nm/allocation/planner/placement
-    # (placement gates validate_local_placement).  Everything else —
-    # seed, network model, fidelity, oracle suite, staleness bound,
-    # window sizes, push cadence, jitter — plays no part in building,
-    # so specs differing only in those share one entry (a sweep over
-    # fidelity, seeds, or measured_waves re-plans nothing); the derived
-    # ScenarioSpec is re-wrapped below with the requested run's fields.
+    # (placement gates validate_local_placement), plus the variant when
+    # memory-limited planning makes its weight-version accounting
+    # observable.  Everything else — seed, network model, fidelity,
+    # oracle suite, staleness bound, window sizes, push cadence, jitter
+    # — plays no part in building, so specs differing only in those
+    # share one entry (a sweep over fidelity, seeds, or measured_waves
+    # re-plans nothing); the derived ScenarioSpec is re-wrapped below
+    # with the requested run's fields.
     canonical = replace(
         run,
         seed=0,
@@ -195,6 +206,11 @@ def build_scenario(run: RunSpec):
             d=0,
             shards=1,
             shard_placement="size_balanced",
+            variant=(
+                run.pipeline.variant
+                if run.pipeline.memory_limited
+                else "vw_hetpipe"
+            ),
             push_every_minibatch=False,
             jitter=0.0,
             warmup_waves=2,
@@ -205,11 +221,33 @@ def build_scenario(run: RunSpec):
         oracles="default",
         faults=None,
     )
-    built = _build_general_cached(canonical)
+    try:
+        built = _build_general_cached(canonical)
+    except PartitionError as exc:
+        if run.pipeline.memory_limited:
+            raise _memory_limited_error(run, exc) from exc
+        raise
     if built.spec == sspec:
         return built
     return Scenario(
         spec=sspec, cluster=built.cluster, model=built.model, plans=built.plans
+    )
+
+
+def _memory_limited_error(run: RunSpec, exc: PartitionError) -> SpecError:
+    """Actionable rejection for an infeasible memory-limited point."""
+    from repro.pipeline.variants import get_variant
+
+    policy = get_variant(run.pipeline.variant).weight_policy
+    return SpecError(
+        f"pipeline.memory_limited: variant {run.pipeline.variant!r} "
+        f"(weight policy {policy!r}) has no feasible partition at "
+        f"Nm={run.pipeline.nm} on cluster "
+        f"{run.cluster.node_codes}x{run.cluster.gpus_per_node} — the "
+        f"analytic per-GPU memory bound exceeds capacity on every split. "
+        f"Lower pipeline.nm, switch to a lighter weight-version policy "
+        f"(pipedream_2bw or xpipe), or set pipeline.memory_limited=false "
+        f"to keep the historical accounting.  [{exc}]"
     )
 
 
@@ -231,9 +269,16 @@ def _build_general_cached(run: RunSpec):
     planner = PLANNERS.get(run.pipeline.planner)
     assignment = allocate(cluster, run.pipeline.allocation)
     profiler = Profiler(calibration)
+    if run.pipeline.memory_limited:
+        from repro.pipeline.variants import get_variant
+
+        weight_policy = get_variant(run.pipeline.variant).weight_policy
+    else:
+        weight_policy = "stash_per_minibatch"
     plans = tuple(
         planner(
-            model, vw, run.pipeline.nm, cluster.interconnect, calibration, profiler
+            model, vw, run.pipeline.nm, cluster.interconnect, calibration, profiler,
+            weight_policy=weight_policy,
         )
         for vw in assignment.virtual_workers
     )

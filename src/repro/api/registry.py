@@ -184,6 +184,31 @@ ORACLES.register("faults", _oracles_faults)
 
 
 # ----------------------------------------------------------------------
+# pipeline variants: name -> () -> VariantDef
+# ----------------------------------------------------------------------
+
+VARIANTS: Registry[Callable[[], Any]] = Registry("pipeline variant")
+
+
+def _variant_entry(name: str) -> Callable[[], Any]:
+    def resolve() -> Any:
+        from repro.pipeline.variants import get_variant
+
+        return get_variant(name)
+
+    return resolve
+
+
+#: The pipeline-variant zoo (see :mod:`repro.pipeline.variants.defs` for
+#: the semantics each entry pins down): "vw_hetpipe" is the paper's WSP
+#: pipeline and the default everywhere; the others re-interpret the same
+#: substrate under PipeDream / PipeDream-2BW / GPipe / XPipe weight
+#: versioning and admission rules.
+for _name in ("vw_hetpipe", "gpipe_flush", "pipedream", "pipedream_2bw", "xpipe"):
+    VARIANTS.register(_name, _variant_entry(_name))
+
+
+# ----------------------------------------------------------------------
 # planners: name -> (model, gpus, nm, interconnect, calibration,
 #                    profiler) -> PartitionPlan
 # ----------------------------------------------------------------------
@@ -191,29 +216,39 @@ ORACLES.register("faults", _oracles_faults)
 PLANNERS: Registry[Callable[..., Any]] = Registry("planner")
 
 
-def _plan_dp(model, gpus, nm, interconnect, calibration, profiler) -> Any:
+def _plan_dp(
+    model, gpus, nm, interconnect, calibration, profiler,
+    weight_policy: str = "stash_per_minibatch",
+) -> Any:
     from repro.partition import plan_virtual_worker
 
     return plan_virtual_worker(
         model, gpus, nm, interconnect, calibration, profiler,
-        search_orderings=False,
+        search_orderings=False, weight_policy=weight_policy,
     )
 
 
-def _plan_dp_ordered(model, gpus, nm, interconnect, calibration, profiler) -> Any:
+def _plan_dp_ordered(
+    model, gpus, nm, interconnect, calibration, profiler,
+    weight_policy: str = "stash_per_minibatch",
+) -> Any:
     from repro.partition import plan_virtual_worker
 
     return plan_virtual_worker(
         model, gpus, nm, interconnect, calibration, profiler,
-        search_orderings=True,
+        search_orderings=True, weight_policy=weight_policy,
     )
 
 
-def _plan_bnb(model, gpus, nm, interconnect, calibration, profiler) -> Any:
+def _plan_bnb(
+    model, gpus, nm, interconnect, calibration, profiler,
+    weight_policy: str = "stash_per_minibatch",
+) -> Any:
     from repro.partition import plan_virtual_worker_bnb
 
     return plan_virtual_worker_bnb(
-        model, gpus, nm, interconnect, calibration, profiler
+        model, gpus, nm, interconnect, calibration, profiler,
+        weight_policy=weight_policy,
     )
 
 

@@ -173,6 +173,14 @@ class PipelineSpec:
     shards: int = 1
     shard_placement: str = "size_balanced"
     planner: str = "dp"
+    #: pipeline-variant semantics (weight versioning, flush gates,
+    #: staleness contract); resolved against the VARIANTS registry at
+    #: build time.  The default reproduces the pre-zoo behavior exactly.
+    variant: str = "vw_hetpipe"
+    #: enforce per-GPU memory capacity in the planner using the
+    #: variant's weight-version accounting; False keeps the historical
+    #: HetPipe §4 feasibility pruning regardless of variant
+    memory_limited: bool = False
     push_every_minibatch: bool = False
     jitter: float = 0.0
     warmup_waves: int = 2
@@ -211,6 +219,14 @@ class PipelineSpec:
         _require(
             isinstance(self.planner, str) and bool(self.planner),
             f"pipeline.planner must be a non-empty string, got {self.planner!r}",
+        )
+        _require(
+            isinstance(self.variant, str) and bool(self.variant),
+            f"pipeline.variant must be a non-empty string, got {self.variant!r}",
+        )
+        _require(
+            isinstance(self.memory_limited, bool),
+            f"pipeline.memory_limited must be true/false, got {self.memory_limited!r}",
         )
         _require(
             isinstance(self.jitter, (int, float)) and 0.0 <= float(self.jitter) < 1.0,

@@ -162,6 +162,14 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: size_balanced)",
     )
     p.add_argument(
+        "--variant", default="vw_hetpipe", metavar="NAME",
+        help="pipeline variant to re-run the seeded scenarios under "
+        "(resolved through the VARIANTS registry: vw_hetpipe, "
+        "gpipe_flush, pipedream, pipedream_2bw, xpipe; unknown names "
+        "exit 2 listing what exists; the default vw_hetpipe keeps the "
+        "frozen digests)",
+    )
+    p.add_argument(
         "--faults", action="store_true",
         help="draw a seeded fault schedule per scenario (stragglers, "
         "crash/rejoin, link degradation, PS failures) and check the "
@@ -335,6 +343,14 @@ def build_parser() -> argparse.ArgumentParser:
         "ls", help="list the store's entries (key, kind, summary)"
     )
     p.add_argument("dir", metavar="DIR", help="store directory")
+    p.add_argument(
+        "--where", action="append", default=None, metavar="FIELD=VALUE",
+        help="only list entries whose record spec matches, e.g. "
+        "--where pipeline.variant=pipedream (dotted path into the "
+        "entry's spec dict; repeatable — clauses AND together; values "
+        "compare as strings, so booleans are true/false and numbers "
+        "their literal form)",
+    )
     p = store_sub.add_parser(
         "verify",
         help="check every entry against its embedded checksum; exits 1 "
@@ -360,6 +376,42 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _parse_where(raw: str) -> tuple[list[str], str]:
+    """Split one ``--where dotted.field=value`` clause; malformed exits 2."""
+    from repro.errors import SpecError
+
+    field, sep, value = raw.partition("=")
+    if not sep or not field:
+        raise SpecError(
+            f"--where wants FIELD=VALUE (a dotted path into the record's "
+            f"spec, e.g. pipeline.variant=pipedream), got {raw!r}"
+        )
+    return field.split("."), value
+
+
+def _entry_matches(store, key: str, clauses) -> bool:
+    """True when the verified record's spec satisfies every clause.
+
+    The walk is forgiving — a record without a spec, or a path that
+    dead-ends, simply doesn't match (filters narrow; they never error on
+    heterogeneous stores).  Values compare as strings so booleans and
+    numbers filter by their JSON literal form.
+    """
+    record = store.load(key)
+    if record is None or record.spec is None:
+        return False
+    for path, expected in clauses:
+        node = record.spec
+        for part in path:
+            if not isinstance(node, dict) or part not in node:
+                return False
+            node = node[part]
+        actual = "true" if node is True else "false" if node is False else str(node)
+        if actual != expected:
+            return False
+    return True
+
+
 def _dispatch_store(args) -> int:
     """``repro store {ls,verify,gc,quarantine}``: store maintenance.
 
@@ -380,6 +432,12 @@ def _dispatch_store(args) -> int:
     store = ResultStore(args.dir)
     if args.store_command == "ls":
         entries = store.entries()
+        if getattr(args, "where", None):
+            clauses = [_parse_where(raw) for raw in args.where]
+            entries = [
+                entry for entry in entries
+                if _entry_matches(store, entry["key"], clauses)
+            ]
         for entry in entries:
             summary = entry.get("summary") or ""
             print(f"{entry['key'][:12]}  {entry.get('kind', '?'):>10}  {summary}")
@@ -518,6 +576,7 @@ def _dispatch(args) -> int:
             shard_placement=args.shard_placement,
             bundle_dir=args.bundle_dir,
             faults=args.faults,
+            variant=args.variant,
         )
         print(report.summary())
         return 1 if report.failures else 0

@@ -33,7 +33,11 @@ from typing import Any, Callable
 #: /4 adds the ``fuzz_faults`` metric: fuzz throughput with a seeded
 #: fault schedule per scenario under the graceful-degradation oracles
 #: (the fault-injection tax is part of the tracked trajectory).
-SCHEMA = "hetpipe-bench/4"
+#: /5 adds the ``fuzz_variant`` metric: fuzz throughput under a
+#: non-default pipeline variant (pipedream_2bw — the double-buffer
+#: ledger plus the WeightVersionOracle and version-window gate are the
+#: variant zoo's per-scenario tax).
+SCHEMA = "hetpipe-bench/5"
 
 #: Default benchmark sizes: full mode tracks the acceptance workload
 #: (100 seeds); quick mode stays in CI-smoke territory.
@@ -153,7 +157,7 @@ def _batch_spec_hash(report) -> str:
 
 def bench_fuzz(
     seeds: int, jobs: int | None = None, fidelity: str = "full",
-    faults: bool = False,
+    faults: bool = False, variant: str = "vw_hetpipe",
 ) -> dict[str, Any]:
     """Fuzz throughput over ``seeds`` scenarios (the headline metric).
 
@@ -162,7 +166,9 @@ def bench_fuzz(
     a scenario's cost — ``repro fuzz --fidelity fast_forward`` runs them).
     ``faults`` measures the fault-injection mode: every scenario also
     pays for its fault-free horizon twin, the armed schedule, and the
-    recovery machinery.
+    recovery machinery.  ``variant`` re-runs the same seeded scenarios
+    under a pipeline-variant entry (composed admission gates, the
+    weight-version ledger, and the per-variant oracles).
     """
     from repro.scenarios import run_fuzz
 
@@ -171,7 +177,7 @@ def bench_fuzz(
         lambda: run_fuzz(
             range(seeds), jobs=jobs or 1, fidelity=fidelity,
             verify_equivalence=False if fidelity == "fast_forward" else None,
-            faults=faults,
+            faults=faults, variant=variant,
         )
     )
     return {
@@ -277,6 +283,7 @@ def run_bench(
     metrics["fuzz"] = bench_fuzz(seeds, jobs=1)
     metrics["fuzz_fast_forward"] = bench_fuzz(seeds, jobs=1, fidelity="fast_forward")
     metrics["fuzz_faults"] = bench_fuzz(seeds, jobs=1, faults=True)
+    metrics["fuzz_variant"] = bench_fuzz(seeds, jobs=1, variant="pipedream_2bw")
     metrics["fuzz_long_horizon"] = bench_fuzz_long_horizon(quick)
     parallel_jobs = jobs if jobs is not None else (os.cpu_count() or 1)
     if parallel_jobs > 1:
@@ -326,6 +333,14 @@ def render(payload: dict[str, Any]) -> str:
         lines.append(
             f"  fuzz faults : {faulted['scenarios_per_sec']:>12.1f} scenarios/s "
             f"({ratio:.2f}x fault-free; {int(faulted['violations'])} violations)"
+        )
+    varianted = m.get("fuzz_variant")
+    if varianted:
+        base = m["fuzz"]["scenarios_per_sec"]
+        ratio = varianted["scenarios_per_sec"] / base if base > 0 else 0.0
+        lines.append(
+            f"  fuzz variant: {varianted['scenarios_per_sec']:>12.1f} scenarios/s "
+            f"(pipedream_2bw; {ratio:.2f}x default variant)"
         )
     lh = m.get("fuzz_long_horizon")
     if lh:
@@ -386,6 +401,7 @@ def check_against(
         ("fuzz", "events_simulated", "events_fast_forwarded"),
         ("fuzz_fast_forward", "events_simulated", "events_fast_forwarded"),
         ("fuzz_faults", "events_simulated", "events_fast_forwarded"),
+        ("fuzz_variant", "events_simulated", "events_fast_forwarded"),
         ("fuzz_long_horizon", "fast_forward_events_simulated", "fast_forward_events_coalesced"),
     ):
         base_metric = baseline["metrics"].get(metric, {})

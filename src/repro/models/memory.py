@@ -26,6 +26,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.cluster.gpu import GPUSpec
+from repro.errors import ConfigurationError
 from repro.models.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.models.layers import LayerSpec
 
@@ -35,12 +36,47 @@ def in_flight_at_stage(nm: int, stage_index: int) -> int:
     return max(1, nm - stage_index)
 
 
+#: Weight-version policy tag of the default (HetPipe §4) accounting.
+DEFAULT_WEIGHT_POLICY = "stash_per_minibatch"
+
+
+def weight_version_count(weight_policy: str, in_flight: int) -> int:
+    """Extra weight copies a stage pins for ``in_flight`` minibatches.
+
+    Per-variant accounting (see :mod:`repro.pipeline.variants.defs`):
+    ``"stash_per_minibatch"`` (HetPipe §4 / PipeDream) stashes one
+    version per in-flight minibatch beyond the live weights;
+    ``"double_buffer"`` (PipeDream-2BW) holds exactly one shadow copy
+    once the pipeline overlaps; ``"single"`` (GPipe flush) and
+    ``"predicted"`` (XPipe) hold none — the wave drains before the next
+    version, or prediction recomputes effective weights on the fly.
+    """
+    if weight_policy == "stash_per_minibatch":
+        return max(0, in_flight - 1)
+    if weight_policy == "double_buffer":
+        return 1 if in_flight > 1 else 0
+    if weight_policy in ("single", "predicted"):
+        return 0
+    raise ConfigurationError(
+        f"unknown weight policy {weight_policy!r}; expected one of "
+        f"stash_per_minibatch, double_buffer, single, predicted"
+    )
+
+
 def stage_memory_bytes(
     layers: Sequence[LayerSpec],
     in_flight: int,
     calibration: Calibration = DEFAULT_CALIBRATION,
+    weight_policy: str = DEFAULT_WEIGHT_POLICY,
 ) -> float:
-    """Memory needed by a stage holding ``in_flight`` minibatches."""
+    """Memory needed by a stage holding ``in_flight`` minibatches.
+
+    ``weight_policy`` selects the variant's weight-version accounting;
+    the default reproduces HetPipe's §4 model with arithmetic (and float
+    results) identical to the pre-variant implementation.  Activation
+    stash accounting is shared by all variants: activations are pinned
+    by in-flight minibatches regardless of how weights are versioned.
+    """
     params = sum(layer.param_bytes for layer in layers)
     stash = sum(layer.stash_bytes for layer in layers) * calibration.activation_stash_factor
     if calibration.activation_recompute:
@@ -48,7 +84,10 @@ def stage_memory_bytes(
         stash *= calibration.recompute_stash_fraction
     workspace = max((layer.workspace_bytes for layer in layers), default=0.0)
     weight_state = params * calibration.weight_state_multiplier
-    weight_versions = params * calibration.weight_version_factor * max(0, in_flight - 1)
+    weight_versions = (
+        params * calibration.weight_version_factor
+        * weight_version_count(weight_policy, in_flight)
+    )
     return weight_state + weight_versions + stash * in_flight + workspace
 
 

@@ -24,7 +24,12 @@ from repro.cluster.gpu import GPUDevice
 from repro.cluster.topology import InterconnectSpec
 from repro.models.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.models.graph import ModelGraph
-from repro.models.memory import gpu_usable_bytes, in_flight_at_stage
+from repro.models.memory import (
+    DEFAULT_WEIGHT_POLICY,
+    gpu_usable_bytes,
+    in_flight_at_stage,
+    weight_version_count,
+)
 from repro.models.profiler import ModelProfile, Profiler
 
 _INF = float("inf")
@@ -68,12 +73,14 @@ class StageEvaluator:
         interconnect: InterconnectSpec,
         calibration: Calibration = DEFAULT_CALIBRATION,
         profiler: Profiler | None = None,
+        weight_policy: str = DEFAULT_WEIGHT_POLICY,
     ) -> None:
         self.model = model
         self.gpus = list(gpus)
         self.nm = nm
         self.interconnect = interconnect
         self.calibration = calibration
+        self.weight_policy = weight_policy
         profiler = profiler or Profiler(calibration)
         self._profiles: list[ModelProfile] = [
             profiler.profile(model, gpu.spec) for gpu in self.gpus
@@ -87,6 +94,13 @@ class StageEvaluator:
         self._stash_by_layer = tuple(layer.stash_bytes for layer in layers)
         self._workspace_by_layer = tuple(layer.workspace_bytes for layer in layers)
         self._in_flight = [in_flight_at_stage(nm, s) for s in range(k)]
+        # Per-variant weight-version copy count per stage.  Under the
+        # default policy this is exactly max(0, in_flight - 1), so the
+        # evaluate() arithmetic below stays bit-identical to the
+        # pre-variant implementation.
+        self._version_count = [
+            weight_version_count(weight_policy, m) for m in self._in_flight
+        ]
         # comm[s][boundary]: receive time of the activation entering at
         # ``start`` (forward) / the gradient entering at ``stop`` (backward)
         self._fwd_comm: list[tuple[float, ...] | None] = [None] * k
@@ -141,7 +155,9 @@ class StageEvaluator:
             stash *= cal.recompute_stash_fraction
         workspace = max(self._workspace_by_layer[start:stop], default=0.0)
         weight_state = params * cal.weight_state_multiplier
-        weight_versions = params * cal.weight_version_factor * max(0, in_flight - 1)
+        weight_versions = (
+            params * cal.weight_version_factor * self._version_count[stage_index]
+        )
         memory = weight_state + weight_versions + stash * in_flight + workspace
         feasible = memory <= self._usable[stage_index]
         return StageEval(

@@ -18,6 +18,7 @@ from repro.cluster.topology import InterconnectSpec
 from repro.errors import PartitionError
 from repro.models.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.models.graph import ModelGraph
+from repro.models.memory import DEFAULT_WEIGHT_POLICY
 from repro.models.profiler import Profiler
 from repro.partition.dp_solver import StageEvaluator, solve_boundaries
 from repro.partition.ordering import candidate_orderings, ordering_signature
@@ -41,21 +42,24 @@ def _plan_cache_key(
     nm: int,
     interconnect: InterconnectSpec,
     calibration: Calibration,
+    weight_policy: str,
 ) -> tuple:
     """Everything :func:`solve_boundaries` can observe, by value.
 
     Stage costs depend on the GPU *types* in order, whether adjacent
     GPUs share a node (or are the same device), the model content, the
-    depth, and the link/calibration constants — not on device ids.  Two
-    virtual workers with the same signature therefore share boundaries
-    (ED allocations produce N identical workers), and a re-planned
-    worker hits even though ``materialize`` rebuilt the model object.
+    depth, the link/calibration constants, and the variant's
+    weight-version accounting policy (it moves the memory-feasibility
+    frontier) — not on device ids.  Two virtual workers with the same
+    signature therefore share boundaries (ED allocations produce N
+    identical workers), and a re-planned worker hits even though
+    ``materialize`` rebuilt the model object.
     """
     adjacency = tuple(
         (a.gpu_id == b.gpu_id, a.same_node(b)) for a, b in zip(ordering, ordering[1:])
     )
     specs = tuple(gpu.spec for gpu in ordering)
-    return (model, nm, specs, adjacency, interconnect, calibration)
+    return (model, nm, specs, adjacency, interconnect, calibration, weight_policy)
 
 
 def _solve_cached(evaluator: StageEvaluator, key: tuple) -> list[int] | None:
@@ -121,11 +125,16 @@ def plan_virtual_worker(
     calibration: Calibration = DEFAULT_CALIBRATION,
     profiler: Profiler | None = None,
     search_orderings: bool = True,
+    weight_policy: str = DEFAULT_WEIGHT_POLICY,
 ) -> PartitionPlan:
     """Best partition plan for one virtual worker at pipeline depth ``nm``.
 
-    Raises :class:`PartitionError` when no ordering admits a feasible
-    plan (the model cannot be trained on this virtual worker at ``nm``).
+    ``weight_policy`` selects the pipeline variant's weight-version
+    memory accounting for the per-stage feasibility pruning (the
+    default is HetPipe's §4 accounting, bit-identical to the historical
+    planner).  Raises :class:`PartitionError` when no ordering admits a
+    feasible plan (the model cannot be trained on this virtual worker
+    at ``nm`` under that accounting).
     """
     if not gpus:
         raise PartitionError("virtual worker has no GPUs")
@@ -140,10 +149,13 @@ def plan_virtual_worker(
     best: tuple[float, float, tuple, PartitionPlan] | None = None
     for ordering in orderings:
         evaluator = StageEvaluator(
-            model, ordering, nm, interconnect, calibration, profiler
+            model, ordering, nm, interconnect, calibration, profiler,
+            weight_policy=weight_policy,
         )
         if cacheable:
-            key = _plan_cache_key(model, ordering, nm, interconnect, calibration)
+            key = _plan_cache_key(
+                model, ordering, nm, interconnect, calibration, weight_policy
+            )
             boundaries = _solve_cached(evaluator, key)
         else:
             boundaries = solve_boundaries(evaluator)
@@ -168,6 +180,7 @@ def plan_virtual_worker_bnb(
     interconnect: InterconnectSpec,
     calibration: Calibration = DEFAULT_CALIBRATION,
     profiler: Profiler | None = None,
+    weight_policy: str = DEFAULT_WEIGHT_POLICY,
 ) -> PartitionPlan:
     """Partition plan from the branch-and-bound cross-check solver.
 
@@ -183,7 +196,8 @@ def plan_virtual_worker_bnb(
 
     profiler = profiler or Profiler(calibration)
     evaluator = StageEvaluator(
-        model, tuple(gpus), nm, interconnect, calibration, profiler
+        model, tuple(gpus), nm, interconnect, calibration, profiler,
+        weight_policy=weight_policy,
     )
     boundaries, _ = solve_bnb(evaluator)
     if boundaries is None:
@@ -202,14 +216,15 @@ def max_feasible_nm(
     profiler: Profiler | None = None,
     limit: int = 8,
     search_orderings: bool = True,
+    weight_policy: str = DEFAULT_WEIGHT_POLICY,
 ) -> int:
     """``Maxm`` (§4): the largest pipeline depth with a feasible plan.
 
     Returns 0 when the model does not fit the virtual worker at all.
     Feasibility is monotone in ``Nm`` (more in-flight minibatches only
-    add memory), so a linear scan with early exit is exact.  Pass the
-    same ``search_orderings`` the subsequent planning will use —
-    feasibility depends on the GPU order.
+    add memory under every weight policy), so a linear scan with early
+    exit is exact.  Pass the same ``search_orderings`` the subsequent
+    planning will use — feasibility depends on the GPU order.
     """
     profiler = profiler or Profiler(calibration)
     feasible = 0
@@ -217,7 +232,7 @@ def max_feasible_nm(
         try:
             plan_virtual_worker(
                 model, gpus, nm, interconnect, calibration, profiler,
-                search_orderings=search_orderings,
+                search_orderings=search_orderings, weight_policy=weight_policy,
             )
         except PartitionError:
             break

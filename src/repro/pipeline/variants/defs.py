@@ -1,0 +1,156 @@
+"""The pipeline-variant zoo: declarative semantics per variant.
+
+A :class:`VariantDef` pins down the three axes on which the pipelined-
+training literature differs while sharing HetPipe's execution substrate:
+
+* **weight-version policy** (``weight_policy``) — how many extra weight
+  copies a stage holds for ``m`` in-flight minibatches, consumed by
+  :func:`repro.models.memory.stage_memory_bytes` and the memory-
+  constrained planners:
+
+  - ``"stash_per_minibatch"`` — PipeDream-style weight stashing: every
+    in-flight minibatch beyond the current weights pins one version
+    (``max(0, m - 1)`` copies).  This is also HetPipe's §4 accounting
+    (``w_p`` is kept until ``p``'s backward pass), so ``vw_hetpipe``
+    and ``pipedream`` share it.
+  - ``"double_buffer"`` — PipeDream-2BW: gradients coalesce into one
+    shadow copy, so at most one extra version exists regardless of
+    depth (``1`` copy once ``m > 1``).
+  - ``"single"`` — GPipe flush: a wave runs on one frozen version and
+    drains before the next, so no extra copies (``0``).
+  - ``"predicted"`` — XPipe: async weight prediction recomputes the
+    effective weights from the live version plus momentum, replacing
+    stashed copies (``0``).
+
+* **admission/flush gate** (``wave_flush`` / ``version_window``) —
+  extra admission conditions AND-composed with the runtime's WSP gate
+  (see :mod:`repro.pipeline.variants.gates`).  The WSP gate itself is
+  never tightened: its pull cadence is what completes waves, so a
+  variant that lowered the effective ``D`` below the runtime's pull
+  policy would deadlock rather than flush.
+
+* **staleness contract** — what the oracles enforce.  Every variant
+  keeps §5's missing-updates bound (:meth:`staleness_bound`: the
+  substrate still pulls on HetPipe's schedule), and adds a per-variant
+  cap on distinct live weight versions (:meth:`max_weight_versions`)
+  checked against the runtime's stashed-version ledger: PipeDream's
+  version-distance bound (at most ``Nm`` distinct versions in flight),
+  2BW's two-version bound (gate-enforced), the flush variant's
+  one-pull-per-wave bound, and ``None`` (unchecked) for the default so
+  its runs are observationally identical to the pre-zoo tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import UnknownNameError
+
+#: Weight-version policies a variant may declare (see module docstring).
+WEIGHT_POLICIES = ("stash_per_minibatch", "double_buffer", "single", "predicted")
+
+
+@dataclass(frozen=True)
+class VariantDef:
+    """Semantics of one pipeline variant (see module docstring)."""
+
+    name: str
+    #: one of :data:`WEIGHT_POLICIES` — drives memory accounting
+    weight_policy: str
+    #: admit wave ``w`` only after every earlier wave fully drained
+    wave_flush: bool = False
+    #: admission cap on distinct live weight versions (None = no cap)
+    version_window: int | None = None
+    #: ledger contract: "unchecked" | "in_flight" (<= Nm) | "fixed:N"
+    version_contract: str = "unchecked"
+    #: one-line description for docs and ``repro fuzz --variant`` output
+    summary: str = ""
+
+    def staleness_bound(self, d: int, nm: int) -> int:
+        """§5 missing-updates admission bound for this variant.
+
+        All variants run on the WSP substrate (same pull cadence, same
+        admission arithmetic), so the bound is HetPipe's ``s_global``;
+        the per-variant differentiation is the weight-version contract.
+        """
+        # Lazy: repro.wsp's package __init__ pulls the runtime, which
+        # imports this package back — a module-level import here would
+        # be circular whenever variants loads first.
+        from repro.wsp.staleness import global_staleness, local_staleness
+
+        return global_staleness(d, local_staleness(nm))
+
+    def max_weight_versions(self, nm: int) -> int | None:
+        """Ledger contract: max distinct weight versions alive in one
+        pipeline, or ``None`` when this variant leaves it unchecked."""
+        if self.version_contract == "unchecked":
+            return None
+        if self.version_contract == "in_flight":
+            return nm
+        return int(self.version_contract.partition(":")[2])
+
+    def weight_version_count(self, in_flight: int) -> int:
+        """Extra weight copies a stage holds at ``in_flight`` minibatches."""
+        from repro.models.memory import weight_version_count
+
+        return weight_version_count(self.weight_policy, in_flight)
+
+
+#: Default variant — current behavior, byte-identical to the pre-zoo tree.
+DEFAULT_VARIANT = "vw_hetpipe"
+
+VARIANT_DEFS: dict[str, VariantDef] = {
+    d.name: d
+    for d in (
+        VariantDef(
+            name="vw_hetpipe",
+            weight_policy="stash_per_minibatch",
+            summary="HetPipe WSP (§4/§5): continuous pipeline, per-minibatch "
+            "weight stashing, s_global admission (the default)",
+        ),
+        VariantDef(
+            name="gpipe_flush",
+            weight_policy="single",
+            wave_flush=True,
+            version_contract="fixed:2",
+            summary="GPipe: flush between waves, one frozen version per wave "
+            "(<= 2 alive while a pull lands mid-wave)",
+        ),
+        VariantDef(
+            name="pipedream",
+            weight_policy="stash_per_minibatch",
+            version_contract="in_flight",
+            summary="PipeDream: per-minibatch weight stashing, version "
+            "distance bounded by the in-flight depth (<= Nm)",
+        ),
+        VariantDef(
+            name="pipedream_2bw",
+            weight_policy="double_buffer",
+            version_window=2,
+            version_contract="fixed:2",
+            summary="PipeDream-2BW: double-buffered weights with gradient "
+            "coalescing; admission blocks past 2 live versions",
+        ),
+        VariantDef(
+            name="xpipe",
+            weight_policy="predicted",
+            version_contract="in_flight",
+            summary="XPipe: async weight prediction replaces stashed "
+            "versions (no version memory; ledger stays observation-bounded)",
+        ),
+    )
+}
+
+
+def variant_names() -> list[str]:
+    return sorted(VARIANT_DEFS)
+
+
+def get_variant(name: str) -> VariantDef:
+    """Resolve a variant by name; unknown names raise the typed
+    :class:`~repro.errors.UnknownNameError` listing what exists (the
+    CLI maps it to exit code 2, matching planners/placements)."""
+    try:
+        return VARIANT_DEFS[name]
+    except KeyError:
+        raise UnknownNameError("pipeline variant", name, variant_names()) from None

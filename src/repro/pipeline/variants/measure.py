@@ -1,51 +1,13 @@
-"""Pipeline scheduling variants — the ablations of Table 2.
-
-* :class:`GPipeFlushGate` reproduces GPipe's behaviour: all minibatches
-  of a wave use the same weights, and the pipeline *flushes* between
-  waves (no minibatch of wave ``w`` starts until every minibatch of
-  earlier waves has drained).  The flush bubbles are the "frequent
-  pipeline flushes, possibly resulting in low GPU utilization" the paper
-  quotes against GPipe (§2.3).
-* :func:`measure_flush_pipeline` measures a plan under that gate so the
-  ablation bench can quantify the flush penalty against HetPipe's
-  continuous pipeline.
-"""
+"""GPipe flush-pipeline measurement — the ablation of Table 2."""
 
 from __future__ import annotations
-
-from dataclasses import dataclass
-from typing import Callable
 
 from repro.cluster.topology import InterconnectSpec
 from repro.errors import SimulationError
 from repro.partition.spec import PartitionPlan
-from repro.pipeline.tasks import wave_of
+from repro.pipeline.variants.gates import GPipeFlushGate
 from repro.pipeline.virtual_worker import VirtualWorkerPipeline
 from repro.sim.engine import Simulator
-
-
-@dataclass
-class GPipeFlushGate:
-    """Admit wave ``w`` only after all earlier waves fully completed."""
-
-    nm: int
-    limit: int  # total minibatches to admit (bounded measurement runs)
-    completed: int = 0
-    _wake: Callable[[], None] | None = None
-
-    def may_start(self, minibatch: int) -> bool:
-        if minibatch > self.limit:
-            return False
-        wave = wave_of(minibatch, self.nm)
-        return self.completed >= wave * self.nm
-
-    def subscribe(self, wake: Callable[[], None]) -> None:
-        self._wake = wake
-
-    def on_done(self) -> None:
-        self.completed += 1
-        if self._wake is not None:
-            self._wake()
 
 
 def measure_flush_pipeline(

@@ -141,6 +141,18 @@ class VirtualWorkerPipeline:
         self.done_times: dict[int, float] = {}
         #: completed count observed at each minibatch's injection
         self.staleness_ledger: dict[int, int] = {}
+        #: stashed-version ledger (pipeline-variant zoo): the pulled
+        #: weight version this worker held at each in-flight minibatch's
+        #: injection, keyed by *raw* minibatch id (raw ids stay stable
+        #: across fast-forward skips; public ids do not).  The distinct
+        #: values are the weight versions a stashing variant must keep
+        #: alive; variant gates and the weight-version oracle read it.
+        self.version_stamps: dict[int, int] = {}
+        #: current pulled weight version (fed by the WSP runtime's pull
+        #: path; -1 before the first pull, matching the gate's initial)
+        self.weight_version = -1
+        #: monotone peak of distinct stamped versions alive at once
+        self.versions_peak = 0
         #: fast-forward id translation: a steady-state skip advances the
         #: *public* minibatch numbering (trace records, ledgers, gate and
         #: callback ids) by the coalesced count while in-flight events
@@ -204,6 +216,15 @@ class VirtualWorkerPipeline:
         for state in self.stages:
             state.processor.halt()
 
+    def set_weight_version(self, version: int) -> None:
+        """Record the worker's freshly pulled weight version; minibatches
+        injected from now on are stamped with it (see ``version_stamps``)."""
+        self.weight_version = version
+
+    def versions_alive(self) -> int:
+        """Distinct weight versions pinned by in-flight minibatches."""
+        return len(set(self.version_stamps.values()))
+
     def _try_inject(self) -> None:
         if not self._running:
             return
@@ -225,6 +246,10 @@ class VirtualWorkerPipeline:
         self.active += 1
         self.inject_times[pub] = self.sim.now
         self.staleness_ledger[pub] = self.completed
+        self.version_stamps[p] = self.weight_version
+        alive = len(set(self.version_stamps.values()))
+        if alive > self.versions_peak:
+            self.versions_peak = alive
         self.trace.emit(self.sim.now, "inject", self.name, minibatch=pub)
         if self.on_inject is not None:
             self.on_inject(pub, self.sim.now)
@@ -348,6 +373,7 @@ class VirtualWorkerPipeline:
         pub = p + self.mb_offset
         self.completed += 1
         self.active -= 1
+        self.version_stamps.pop(p, None)
         self.done_times[pub] = self.sim.now
         self.trace.emit(self.sim.now, "minibatch_done", self.name, minibatch=pub)
         if self.on_minibatch_done is not None:
@@ -373,6 +399,13 @@ class VirtualWorkerPipeline:
         for state in self.stages:
             values.append(state.next_fwd + offset)
             values.append(state.next_bwd + offset)
+        # Stashed-version ledger state: the pulled version advances by a
+        # fixed count per steady-state cycle (one pull per wave) and the
+        # distinct-versions peak plateaus (delta 0), so both are valid
+        # cycle counters; slot 0 must stay `completed` (the runtime's
+        # per-pipeline delta reads depend on it).
+        values.append(self.weight_version)
+        values.append(self.versions_peak)
         return tuple(values)
 
     def ff_levels(self, now: float) -> tuple:
@@ -387,6 +420,18 @@ class VirtualWorkerPipeline:
                     tuple(sorted(p - state.next_bwd for p in state.bwd_ready)),
                 )
             )
+        # Relative shape of the stashed-version ledger: (how far behind
+        # the injection head, how far behind the pulled version) per
+        # in-flight stamp — absolute ids advance every cycle, offsets
+        # must repeat exactly.
+        levels.append(
+            tuple(
+                sorted(
+                    (self.next_minibatch - p, self.weight_version - v)
+                    for p, v in self.version_stamps.items()
+                )
+            )
+        )
         return tuple(levels)
 
     def ff_advance(self, cycles: int, deltas: tuple, dt: float) -> None:
@@ -396,6 +441,16 @@ class VirtualWorkerPipeline:
         self.completed += advanced
         self.mb_offset += advanced
         self.minibatches_fast_forwarded += advanced
+        # Ledger counters ride the same deltas (their ff_counters slots
+        # sit right after the per-stage watermarks); surviving raw
+        # stamps shift by the skipped versions so relative staleness —
+        # the part of the ledger that repeats — is preserved.
+        versions = cycles * deltas[2 + 2 * len(self.stages)]
+        if versions:
+            self.weight_version += versions
+            for raw in self.version_stamps:
+                self.version_stamps[raw] += versions
+        self.versions_peak += cycles * deltas[3 + 2 * len(self.stages)]
 
     # ------------------------------------------------------------------
     # observability

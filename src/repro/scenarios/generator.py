@@ -74,6 +74,14 @@ class ScenarioSpec:
     #: from ``repro fuzz --shards`` or a spec's pipeline section
     shards: int = 1
     shard_placement: str = "size_balanced"
+    #: pipeline-variant semantics (see :mod:`repro.pipeline.variants`);
+    #: the generator never draws a variant — overrides come from
+    #: ``repro fuzz --variant`` or a spec's pipeline section, so every
+    #: seed's default scenario (and digest) stays frozen
+    variant: str = "vw_hetpipe"
+    #: enforce per-GPU capacity in planning with the variant's
+    #: weight-version accounting (never drawn; spec-only)
+    memory_limited: bool = False
 
     def to_run_spec(
         self,
@@ -109,6 +117,9 @@ class ScenarioSpec:
             f"{' net=shared' if self.network_model == 'shared' else ''}"
             # likewise only for sharded-PS runs
             f"{f' shards={self.shards}:{self.shard_placement}' if self.shards > 1 else ''}"
+            # and only for non-default pipeline variants
+            f"{f' variant={self.variant}' if self.variant != 'vw_hetpipe' else ''}"
+            f"{' memcap' if self.memory_limited else ''}"
         )
 
 
@@ -183,11 +194,16 @@ def materialize(spec: ScenarioSpec) -> Scenario:
         if spec.network_model == "dedicated"
         and spec.shards == 1
         and spec.shard_placement == "size_balanced"
+        and (spec.variant == "vw_hetpipe" or spec.memory_limited)
         else replace(
             spec,
             network_model="dedicated",
             shards=1,
             shard_placement="size_balanced",
+            # the variant only reaches planning through memory-limited
+            # weight-version accounting; otherwise plans are identical
+            # and specs differing only in variant share one entry
+            variant=spec.variant if spec.memory_limited else "vw_hetpipe",
         )
     )
     scenario = _materialize_cached(canonical)
@@ -207,10 +223,17 @@ def _materialize_cached(spec: ScenarioSpec) -> Scenario:
     )
     assignment = allocate(cluster, spec.allocation)
     profiler = Profiler(DEFAULT_CALIBRATION)
+    if spec.memory_limited:
+        from repro.pipeline.variants import get_variant
+
+        weight_policy = get_variant(spec.variant).weight_policy
+    else:
+        weight_policy = "stash_per_minibatch"
     plans = tuple(
         plan_virtual_worker(
             model, vw, spec.nm, cluster.interconnect,
             DEFAULT_CALIBRATION, profiler, search_orderings=False,
+            weight_policy=weight_policy,
         )
         for vw in assignment.virtual_workers
     )

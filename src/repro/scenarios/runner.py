@@ -473,7 +473,11 @@ def run_scenario(
     Shared-network scenarios additionally run their dedicated twin and
     assert the contention oracle: adding contention (and a congested
     fabric) can only slow a run down, so the shared makespan must be at
-    least the dedicated one.
+    least the dedicated one.  Variants whose admission gates are
+    timing-dependent (wave flush, version windows) are exempt — their
+    gates admit based on *when* completions and pulls land, so the two
+    fabrics execute genuinely different admission schedules and the
+    monotone-makespan premise does not hold.
 
     ``fidelity="full"`` (the default) is the historical bit-identical
     contract: digests hash every raw record under ``hetpipe-trace/1``.
@@ -586,7 +590,18 @@ def run_scenario(
             # run; under injection the graceful-degradation oracles own
             # the timing verdict instead.
             _check_bounds(scenario, runtime, window, completions, violations, fabric_spec)
-        if shared and not faulted:
+        from repro.pipeline.variants import get_variant
+
+        variant_def = get_variant(spec.variant)
+        # Wave-flush / version-window gates admit on completion and
+        # pull *timing*, so the shared run and its dedicated twin are
+        # different admission schedules, not the same workload slowed
+        # down — the monotone-makespan comparison is only sound for
+        # variants that add no timing-dependent gate.
+        timing_dependent_gate = (
+            variant_def.wave_flush or variant_def.version_window is not None
+        )
+        if shared and not faulted and not timing_dependent_gate:
             dedicated_makespan = _makespan_only(scenario, run, budget)
             if makespan < dedicated_makespan * (1.0 - 1e-9):
                 violations.append(
@@ -755,6 +770,7 @@ def _fuzz_run_spec(
     shards: int,
     shard_placement: str,
     faults: bool = False,
+    variant: str = "vw_hetpipe",
 ) -> RunSpec:
     """The exact RunSpec one fuzz seed runs under.
 
@@ -768,6 +784,7 @@ def _fuzz_run_spec(
         network_model=network_model,
         shards=shards,
         shard_placement=shard_placement,
+        variant=variant,
     )
     run = spec.to_run_spec(
         fidelity=fidelity,
@@ -786,7 +803,7 @@ def _fuzz_run_spec(
 
 
 def _fuzz_one(
-    args: tuple[int, str, str, bool | None, int, int, str, bool]
+    args: tuple[int, str, str, bool | None, int, int, str, bool, str]
 ) -> ScenarioResult:
     """Run a single seed end to end (the :func:`sweep_map` work item).
 
@@ -800,12 +817,12 @@ def _fuzz_one(
     """
     (
         seed, network_model, fidelity, verify_equivalence,
-        waves_scale, shards, shard_placement, faults,
+        waves_scale, shards, shard_placement, faults, variant,
     ) = args
     try:
         run = _fuzz_run_spec(
             seed, network_model, fidelity, verify_equivalence,
-            waves_scale, shards, shard_placement, faults,
+            waves_scale, shards, shard_placement, faults, variant,
         )
         return run_scenario(run)
     except ReproError as exc:
@@ -838,6 +855,7 @@ def run_fuzz(
     shard_placement: str = "size_balanced",
     bundle_dir: str | None = None,
     faults: bool = False,
+    variant: str = "vw_hetpipe",
 ) -> FuzzReport:
     """Generate and run the scenario for every seed.
 
@@ -871,14 +889,22 @@ def run_fuzz(
     crash/rejoin, link degradation, PS failures) and swaps the oracle
     suite for the graceful-degradation family; off (the default) keeps
     every digest frozen.
+    ``variant`` reruns the same seeded scenarios under a pipeline-variant
+    zoo entry (PipeDream / 2BW / GPipe / XPipe semantics and their
+    per-variant staleness/ledger oracles); the scenario draw itself
+    never varies, so the default keeps every digest frozen.  Unknown
+    names raise :class:`~repro.errors.UnknownNameError` listing the zoo.
     """
     from repro.exec import sweep_map
+    from repro.pipeline.variants import get_variant
 
     validate_fidelity(fidelity)
+    get_variant(variant)  # fail fast, before any worker fans out
     seeds = list(seeds)
     logger.info(
-        "fuzz: %d seeds, network=%s fidelity=%s shards=%d faults=%s jobs=%s",
-        len(seeds), network_model, fidelity, shards, faults, jobs,
+        "fuzz: %d seeds, network=%s fidelity=%s shards=%d faults=%s "
+        "variant=%s jobs=%s",
+        len(seeds), network_model, fidelity, shards, faults, variant, jobs,
     )
     on_result = None
     if verbose_log is not None:
@@ -888,7 +914,7 @@ def run_fuzz(
         [
             (
                 seed, network_model, fidelity, verify_equivalence,
-                waves_scale, shards, shard_placement, faults,
+                waves_scale, shards, shard_placement, faults, variant,
             )
             for seed in seeds
         ],
@@ -905,7 +931,7 @@ def run_fuzz(
             seed = result.spec.seed
             run = _fuzz_run_spec(
                 seed, network_model, fidelity, verify_equivalence,
-                waves_scale, shards, shard_placement, faults,
+                waves_scale, shards, shard_placement, faults, variant,
             )
             logger.info("seed %d failed; re-running with diagnostics capture", seed)
             captured = run_scenario(run, capture_diagnostics=True)

@@ -7,8 +7,19 @@ properties into *always-on oracles* that watch any run live and raise
 becomes impossible under the paper's rules:
 
 * :class:`StalenessOracle` — §5 admission: no minibatch ever starts
-  missing more than ``s_global = (D+1)(s_local+1) + s_local - 1``
-  predecessor updates, given the gate's pulled version at injection.
+  missing more than the variant's staleness bound (for every zoo entry
+  that is HetPipe's ``s_global = (D+1)(s_local+1) + s_local - 1``, read
+  from the run's :class:`~repro.pipeline.variants.VariantDef` so a
+  future variant with a different contract brings its own bound).
+* :class:`WeightVersionOracle` — the variant's weight-version ledger
+  contract: the number of distinct weight versions pinned by in-flight
+  minibatches never exceeds ``VariantDef.max_weight_versions(Nm)``
+  (PipeDream's ``<= Nm`` version distance, 2BW's two-buffer cap, the
+  flush variant's frozen-version rule).  A no-op for the default
+  variant, whose contract is unchecked.
+* :class:`FlushOracle` — wave-flush discipline for ``wave_flush``
+  variants: a minibatch of wave ``w`` never injects before every
+  earlier wave fully drained.  A no-op for continuous variants.
 * :class:`SchedulingOracle` — the §4 scheduling conditions, checked per
   stage from the live trace: forwards in minibatch order (cond. 1),
   backwards in minibatch order (cond. 2), fused forward+backward only on
@@ -59,6 +70,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.errors import InvariantViolation
+from repro.pipeline.tasks import wave_of
 from repro.sim.fastforward import FastForwardSummary
 from repro.sim.trace import TraceRecord
 from repro.wsp.staleness import global_staleness, local_staleness, missing_updates
@@ -111,7 +123,14 @@ class RuntimeOracle:
 
 
 class StalenessOracle(RuntimeOracle):
-    """§5 global staleness: admission never exceeds ``s_global``."""
+    """Variant staleness contract: admission never exceeds the bound.
+
+    The bound comes from the run's variant definition (every current
+    zoo entry shares HetPipe's §5 ``s_global`` because they all run on
+    the WSP pull substrate); a runtime without a variant — e.g. a
+    hand-rolled harness predating the zoo — falls back to the §5
+    formula directly.
+    """
 
     def __init__(self) -> None:
         self.max_missing = 0
@@ -120,7 +139,11 @@ class StalenessOracle(RuntimeOracle):
 
     def bind(self, runtime: "HetPipeRuntime") -> None:
         super().bind(runtime)
-        self.bound = global_staleness(runtime.d, local_staleness(runtime.nm))
+        variant_def = getattr(runtime, "variant_def", None)
+        if variant_def is not None:
+            self.bound = variant_def.staleness_bound(runtime.d, runtime.nm)
+        else:
+            self.bound = global_staleness(runtime.d, local_staleness(runtime.nm))
 
     def on_inject(self, vw: int, minibatch: int, pulled_version: int, time: float) -> None:
         assert self.runtime is not None and self.bound is not None
@@ -132,6 +155,91 @@ class StalenessOracle(RuntimeOracle):
                 f"staleness: vw{vw} started minibatch {minibatch} at t={time:.6f} "
                 f"with pulled version {pulled_version}, missing {missing} updates "
                 f"> s_global={self.bound} (D={self.runtime.d}, Nm={self.runtime.nm})"
+            )
+
+
+class WeightVersionOracle(RuntimeOracle):
+    """Variant weight-version ledger contract (see the zoo's defs).
+
+    Each pipeline stamps every in-flight minibatch with the weight
+    version it was admitted under; this oracle checks, at every
+    admission, that the number of *distinct* stamped versions stays
+    within the variant's contract — ``<= Nm`` for PipeDream's version
+    distance, ``<= 2`` for 2BW's double buffer and the flush variant's
+    frozen wave.  The default variant leaves the ledger unchecked
+    (``max_weight_versions`` is None) and this oracle is inert.
+    """
+
+    def __init__(self) -> None:
+        self.bound: int | None = None
+        self.checked = 0
+
+    def bind(self, runtime: "HetPipeRuntime") -> None:
+        super().bind(runtime)
+        variant_def = getattr(runtime, "variant_def", None)
+        self.bound = (
+            variant_def.max_weight_versions(runtime.nm)
+            if variant_def is not None
+            else None
+        )
+
+    def on_inject(self, vw: int, minibatch: int, pulled_version: int, time: float) -> None:
+        if self.bound is None:
+            return
+        assert self.runtime is not None
+        alive = self.runtime.pipelines[vw].versions_alive()
+        self.checked += 1
+        if alive > self.bound:
+            raise InvariantViolation(
+                f"weight versions: vw{vw} admitted minibatch {minibatch} at "
+                f"t={time:.6f} with {alive} distinct weight versions alive "
+                f"> {self.bound} ({self.runtime.variant} contract, "
+                f"Nm={self.runtime.nm})"
+            )
+
+    def verify_final(self, runtime: "HetPipeRuntime") -> None:
+        if self.bound is None:
+            return
+        for vw, pipeline in enumerate(runtime.pipelines):
+            if pipeline.versions_peak > self.bound:
+                raise InvariantViolation(
+                    f"weight versions: vw{vw} peaked at "
+                    f"{pipeline.versions_peak} distinct weight versions "
+                    f"> {self.bound} ({runtime.variant} contract)"
+                )
+
+
+class FlushOracle(RuntimeOracle):
+    """Wave-flush discipline for ``wave_flush`` variants.
+
+    A minibatch belonging to wave ``w`` may only inject once every
+    minibatch of waves ``0..w-1`` has fully drained — the property that
+    makes the single-weight-version accounting of the flush variants
+    sound.  Inert for continuous variants.
+    """
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.checked = 0
+
+    def bind(self, runtime: "HetPipeRuntime") -> None:
+        super().bind(runtime)
+        variant_def = getattr(runtime, "variant_def", None)
+        self.enabled = variant_def is not None and variant_def.wave_flush
+
+    def on_inject(self, vw: int, minibatch: int, pulled_version: int, time: float) -> None:
+        if not self.enabled:
+            return
+        assert self.runtime is not None
+        nm = self.runtime.nm
+        pipeline = self.runtime.pipelines[vw]
+        needed = wave_of(minibatch, nm) * nm
+        self.checked += 1
+        if pipeline.completed < needed:
+            raise InvariantViolation(
+                f"flush: vw{vw} injected minibatch {minibatch} (wave "
+                f"{wave_of(minibatch, nm)}) at t={time:.6f} with only "
+                f"{pipeline.completed} minibatches drained (needs {needed})"
             )
 
 
@@ -473,6 +581,8 @@ def default_oracles() -> list[RuntimeOracle]:
     """The standard always-on suite the fuzz harness attaches to a run."""
     return [
         StalenessOracle(),
+        WeightVersionOracle(),
+        FlushOracle(),
         SchedulingOracle(),
         VersionOracle(),
         ConservationOracle(),

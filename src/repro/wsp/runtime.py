@@ -21,6 +21,7 @@ from repro.models.graph import ModelGraph
 from repro.netsim import NETWORK_MODELS
 from repro.netsim.fabric import DEFAULT_FABRIC_SPEC, Fabric, FabricSpec
 from repro.partition.spec import PartitionPlan
+from repro.pipeline.variants import DEFAULT_VARIANT, build_variant_gate, get_variant
 from repro.pipeline.virtual_worker import VirtualWorkerPipeline
 from repro.sim.engine import Simulator
 from repro.sim.fastforward import (
@@ -98,6 +99,7 @@ class HetPipeRuntime:
         fidelity: str = "full",
         obs=None,
         planner: str = "dp",
+        variant: str = DEFAULT_VARIANT,
         _spec_constructed: bool = False,
     ) -> None:
         validate_fidelity(fidelity)
@@ -126,6 +128,12 @@ class HetPipeRuntime:
         self.cluster = cluster
         self.model = model
         self.plans = list(plans)
+        #: pipeline-variant semantics (weight-version policy, extra
+        #: admission gates, staleness contract) — see
+        #: :mod:`repro.pipeline.variants`.  Resolution raises the typed
+        #: UnknownNameError on a name outside the zoo.
+        self.variant = variant
+        self.variant_def = get_variant(variant)
         self.d = d
         self.nm = self.plans[0].nm
         self.placement_policy = placement
@@ -181,7 +189,10 @@ class HetPipeRuntime:
             fabric_spec=fabric_spec if network_model == "shared" else None,
         )
 
-        self.gates: list[_WSPGate] = []
+        #: per-VW admission gates: the bare _WSPGate for the default
+        #: variant (bit-identical to the pre-zoo tree), or a ComposedGate
+        #: AND-ing the variant's extra conditions onto the same WSP base
+        self.gates: list = []
         self.pipelines: list[VirtualWorkerPipeline] = []
         self.stats = [VirtualWorkerStats() for _ in self.plans]
         self._busy_count = [0] * len(self.plans)
@@ -189,7 +200,7 @@ class HetPipeRuntime:
         self._wait_started: list[float | None] = [None] * len(self.plans)
 
         for index, plan in enumerate(self.plans):
-            gate = _WSPGate(d, self.nm)
+            gate = build_variant_gate(self.variant_def, _WSPGate(d, self.nm), self.nm)
             pipeline = VirtualWorkerPipeline(
                 self.sim,
                 plan,
@@ -206,6 +217,10 @@ class HetPipeRuntime:
                 state.processor.on_state_change = (
                     lambda busy, index=index: self._on_processor_state(index, busy)
                 )
+            if hasattr(gate, "attach"):
+                # composed variant gates read live pipeline state (wave
+                # completion, version-stash ledger) for their conditions
+                gate.attach(pipeline)
             self.gates.append(gate)
             self.pipelines.append(pipeline)
 
@@ -308,6 +323,7 @@ class HetPipeRuntime:
             fidelity=run.fidelity.fidelity,
             obs=obs,
             planner=run.pipeline.planner,
+            variant=run.pipeline.variant,
             _spec_constructed=True,
         )
 
@@ -417,6 +433,10 @@ class HetPipeRuntime:
         self.trace.emit(now, "pull_done", f"vw{vw}", version=version)
         for oracle in self._pull_oracles:
             oracle.on_pull_done(vw, version, now)
+        # Stamp the pipeline's live weight version before waking the
+        # gate: minibatches admitted by this advance must record the
+        # just-pulled version in the stashed-version ledger.
+        self.pipelines[vw].set_weight_version(version)
         self.gates[vw].advance(version)
 
     # ------------------------------------------------------------------
@@ -582,6 +602,12 @@ class HetPipeRuntime:
                 state.processor.on_state_change = (
                     lambda busy, vw=vw: self._on_processor_state(vw, busy)
                 )
+            if hasattr(self.gates[vw], "attach"):
+                # re-home the variant gate's pipeline reference; the WSP
+                # base keeps its pulled_version across the replacement
+                self.gates[vw].attach(pipeline)
+            # The replacement starts from the last committed weights.
+            pipeline.set_weight_version(self.gates[vw].pulled_version)
             pipeline.resume_from(base)
             self.plans[vw] = new_plan
             self.pipelines[vw] = pipeline

@@ -1,0 +1,159 @@
+"""Property-based tests of the pipeline-variant zoo's memory contracts.
+
+Hypothesis draws random chain models, GPU mixes, pipeline depths, and a
+variant from the zoo; for every draw the variant's *analytic* peak-memory
+accounting (what memory-limited planning prunes on) must dominate the
+*simulated* peak — the in-flight occupancy and stashed-version ledger the
+pipeline actually reached under the variant's composed admission gates:
+
+* the planner's per-stage ``memory_bytes`` matches the analytic
+  :func:`~repro.models.memory.stage_memory_bytes` under the variant's
+  weight policy, and fits the stage's GPU;
+* the measured per-stage in-flight peak never exceeds ``Nm`` (admission
+  caps the whole pipeline at depth), and at stage 0 — the binding stage
+  of §4's accounting, where the analytic worst case is ``Nm`` itself —
+  the analytic byte bound therefore dominates the simulated peak bytes;
+  every later stage's simulated peak is dominated by the same formula
+  evaluated at depth ``Nm``;
+* the stashed-version ledger respects the variant's version contract
+  (``fixed:k`` variants never pin more than ``k`` distinct versions,
+  ``in_flight`` variants never more than ``Nm``) even with weight pulls
+  landing at adversarial cadences;
+* the composed gates never deadlock — every admitted minibatch drains.
+"""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import paper_cluster
+from repro.models.calibration import DEFAULT_CALIBRATION
+from repro.models.graph import ModelGraph
+from repro.models.layers import LayerSpec
+from repro.models.memory import (
+    gpu_usable_bytes,
+    in_flight_at_stage,
+    stage_memory_bytes,
+)
+from repro.partition import plan_virtual_worker
+from repro.pipeline.tasks import CountingGate
+from repro.pipeline.variants import VARIANT_DEFS, build_variant_gate
+from repro.pipeline.virtual_worker import VirtualWorkerPipeline
+from repro.sim import Simulator
+
+CLUSTER = paper_cluster()
+
+
+def chain_model(flops_list):
+    layers = tuple(
+        LayerSpec(
+            name=f"l{i}",
+            kind="conv",
+            flops_fwd=f * 1e9,
+            flops_bwd=1.5 * f * 1e9,
+            param_bytes=5e5,
+            output_bytes=2e6,
+            stash_bytes=4e6,
+        )
+        for i, f in enumerate(flops_list)
+    )
+    return ModelGraph(name="chain", batch_size=32, input_bytes=2e6, layers=layers)
+
+
+@st.composite
+def variant_case(draw):
+    length = draw(st.integers(min_value=4, max_value=10))
+    flops = [draw(st.floats(min_value=0.5, max_value=20.0)) for _ in range(length)]
+    k = draw(st.integers(min_value=2, max_value=4))
+    nm = draw(st.integers(min_value=1, max_value=5))
+    gpus = [CLUSTER.gpu(base) for base in draw(
+        st.lists(st.sampled_from([0, 4, 8, 12]), min_size=k, max_size=k, unique=True)
+    )]
+    total = draw(st.integers(min_value=5, max_value=20))
+    variant = draw(st.sampled_from(sorted(VARIANT_DEFS)))
+    bump_every = draw(st.integers(min_value=1, max_value=5))
+    return chain_model(flops), gpus, nm, total, variant, bump_every
+
+
+@settings(max_examples=30, deadline=None)
+@given(case=variant_case())
+def test_property_analytic_memory_bound_dominates_simulated_peak(case):
+    model, gpus, nm, total, variant, bump_every = case
+    variant_def = VARIANT_DEFS[variant]
+    policy = variant_def.weight_policy
+    plan = plan_virtual_worker(
+        model, gpus, nm, CLUSTER.interconnect,
+        search_orderings=False, weight_policy=policy,
+    )
+
+    # The planner's per-stage accounting IS the analytic bound under the
+    # variant's weight policy, and every stage fits its device.
+    analytic = []
+    for s, stage in enumerate(plan.stages):
+        bound = stage_memory_bytes(
+            model.layers[stage.start:stage.stop],
+            in_flight_at_stage(nm, s),
+            DEFAULT_CALIBRATION,
+            weight_policy=policy,
+        )
+        assert math.isclose(stage.memory_bytes, bound, rel_tol=1e-9)
+        assert stage.memory_bytes <= gpu_usable_bytes(
+            stage.gpu.spec, DEFAULT_CALIBRATION
+        )
+        analytic.append(bound)
+
+    # Simulate under the variant's composed admission gates, with weight
+    # pulls landing every `bump_every` completions (adversarial cadence
+    # for the version ledger).
+    sim = Simulator()
+    gate = build_variant_gate(variant_def, CountingGate(limit=total), nm)
+    state = {"pipeline": None, "version": 0}
+
+    def on_done(p: int, now: float) -> None:
+        if p % bump_every == 0:
+            state["version"] += 1
+            state["pipeline"].set_weight_version(state["version"])
+
+    pipeline = VirtualWorkerPipeline(
+        sim, plan, CLUSTER.interconnect, gate=gate, on_minibatch_done=on_done
+    )
+    state["pipeline"] = pipeline
+    if hasattr(gate, "attach"):
+        gate.attach(pipeline)
+    pipeline.set_weight_version(0)
+    pipeline.start()
+    sim.run_until_idle()
+
+    # Composed gates never deadlock: everything admitted drains.
+    assert pipeline.completed == total
+
+    for s in range(len(plan.stages)):
+        measured = pipeline.stages[s].peak_in_flight
+        assert measured <= nm
+        stage = plan.stages[s]
+        simulated = stage_memory_bytes(
+            model.layers[stage.start:stage.stop],
+            max(1, measured),
+            DEFAULT_CALIBRATION,
+            weight_policy=policy,
+        )
+        # stage_memory_bytes is monotone in occupancy, so the depth-Nm
+        # evaluation dominates every stage's simulated peak; at stage 0
+        # that evaluation IS the planner's analytic bound (§4's model is
+        # exact there — `max(1, Nm - 0)`), closing the loop between what
+        # memory-limited planning prunes on and what the run reached.
+        depth_bound = stage_memory_bytes(
+            model.layers[stage.start:stage.stop],
+            nm,
+            DEFAULT_CALIBRATION,
+            weight_policy=policy,
+        )
+        assert simulated <= depth_bound * (1 + 1e-12)
+        if s == 0:
+            assert math.isclose(depth_bound, analytic[0], rel_tol=1e-9)
+            assert simulated <= analytic[0] * (1 + 1e-12)
+
+    # The stashed-version ledger respects the variant's contract.
+    bound = variant_def.max_weight_versions(nm)
+    if bound is not None:
+        assert pipeline.versions_peak <= bound
